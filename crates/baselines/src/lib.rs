@@ -1,0 +1,45 @@
+//! Baseline multi-query sharing strategies from the literature.
+//!
+//! The State-Slice paper (Section 3) compares its chain against the sharing
+//! strategies used by earlier continuous-query systems:
+//!
+//! * [`pullup`] — **naive sharing with selection pull-up** (NiagaraCQ-style,
+//!   Figure 3): one join with the largest window, a router dispatching every
+//!   joined result to each registered query, and the selections applied after
+//!   routing,
+//! * [`partition_pushdown`] — **stream partition with selection push-down**
+//!   (Figure 4): stream A is partitioned by the selection predicate, a small
+//!   join serves the unfiltered queries, a large join serves the filtered
+//!   ones, and a router + order-preserving union reassemble per-query
+//!   results,
+//! * [`unshared`] — no sharing at all: one independent plan per query, the
+//!   reference point the paper's motivation example argues against.
+//!
+//! All builders consume the same [`QueryWorkload`](state_slice_core::QueryWorkload)
+//! as the chain planner and produce plans with entry points `"A"` and `"B"`
+//! and one sink per query, so the experiment harness can drive every strategy
+//! identically.
+
+pub mod broadcast;
+pub mod partition_pushdown;
+pub mod pullup;
+pub mod unshared;
+
+pub use broadcast::BroadcastOp;
+pub use partition_pushdown::PushDownPlanBuilder;
+pub use pullup::PullUpPlanBuilder;
+pub use unshared::UnsharedPlanBuilder;
+
+/// Name of the stream-A entry point of every baseline plan.
+pub const ENTRY_A: &str = "A";
+/// Name of the stream-B entry point of every baseline plan.
+pub const ENTRY_B: &str = "B";
+
+/// A built baseline plan: the operator DAG plus its per-query sink names.
+#[derive(Debug)]
+pub struct BaselinePlan {
+    /// The operator DAG, ready for an [`Executor`](streamkit::Executor).
+    pub plan: streamkit::Plan,
+    /// Sink names (one per query, ascending window order).
+    pub sink_names: Vec<String>,
+}

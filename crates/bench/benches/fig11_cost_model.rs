@@ -1,0 +1,22 @@
+//! Criterion benchmark for the Figure 11 analytical sweep: evaluating the
+//! full saving surfaces (memory + CPU vs both alternatives) over a grid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ss_bench::fig11_rows;
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_cost_model");
+    for steps in [10usize, 20, 40] {
+        group.bench_with_input(BenchmarkId::new("grid", steps), &steps, |b, &steps| {
+            b.iter(|| {
+                let rows = fig11_rows(steps);
+                assert!(!rows.is_empty());
+                rows.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

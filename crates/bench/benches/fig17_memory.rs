@@ -1,0 +1,39 @@
+//! Criterion benchmark behind Figure 17: run the three sharing strategies on
+//! a scaled-down Section 7.2 scenario; the returned measurement is dominated
+//! by join-state maintenance, the quantity Figure 17 plots.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ss_bench::{run_strategy, Strategy};
+use ss_workload::{Scenario, WindowDistribution};
+
+fn scenario(rate: f64) -> Scenario {
+    Scenario {
+        rate,
+        duration_secs: 6.0,
+        num_queries: 3,
+        distribution: WindowDistribution::Uniform,
+        sel_filter: 0.5,
+        sel_join: 0.1,
+        seed: 7,
+    }
+}
+
+fn bench_fig17(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig17_state_memory");
+    group.sample_size(10);
+    for rate in [20.0, 80.0] {
+        for strategy in Strategy::FIGURE_17_18 {
+            let id = BenchmarkId::new(strategy.label(), rate as u64);
+            group.bench_with_input(id, &rate, |b, &rate| {
+                b.iter(|| {
+                    let metrics = run_strategy(&scenario(rate), strategy).expect("run");
+                    metrics.avg_state_tuples
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig17);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benchmark behind Figure 18: time one full execution of each
+//! sharing strategy on the Section 7.2 workload.  The wall time per run is
+//! the inverse of the service rate the figure plots (fixed total input), so
+//! a faster benchmark time is a higher service rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ss_bench::{run_strategy, Strategy};
+use ss_workload::{Scenario, WindowDistribution};
+
+fn scenario(rate: f64, sel_join: f64) -> Scenario {
+    Scenario {
+        rate,
+        duration_secs: 6.0,
+        num_queries: 3,
+        distribution: WindowDistribution::Uniform,
+        sel_filter: 0.8,
+        sel_join,
+        seed: 7,
+    }
+}
+
+fn bench_fig18(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig18_service_rate");
+    group.sample_size(10);
+    for sel_join in [0.025, 0.1] {
+        for strategy in Strategy::FIGURE_17_18 {
+            let id = BenchmarkId::new(strategy.label(), format!("S1={sel_join}"));
+            group.bench_with_input(id, &sel_join, |b, &sel_join| {
+                b.iter(|| {
+                    let metrics = run_strategy(&scenario(60.0, sel_join), strategy).expect("run");
+                    metrics.total_outputs
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig18);
+criterion_main!(benches);

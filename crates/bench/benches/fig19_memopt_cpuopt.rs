@@ -1,0 +1,47 @@
+//! Criterion benchmark behind Figure 19: Mem-Opt vs CPU-Opt chains on
+//! many-query workloads with skewed window distributions (no selections,
+//! S⋈ = 0.025).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ss_bench::{run_strategy, Strategy};
+use ss_workload::{Scenario, WindowDistribution};
+
+fn scenario(num_queries: usize, distribution: WindowDistribution) -> Scenario {
+    Scenario {
+        rate: 40.0,
+        duration_secs: 5.0,
+        num_queries,
+        distribution,
+        sel_filter: 1.0,
+        sel_join: 0.025,
+        seed: 7,
+    }
+}
+
+fn bench_fig19(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig19_memopt_vs_cpuopt");
+    group.sample_size(10);
+    for (num_queries, dist) in [
+        (12usize, WindowDistribution::Uniform),
+        (12, WindowDistribution::SmallLarge),
+        (24, WindowDistribution::SmallLarge),
+    ] {
+        for strategy in [Strategy::StateSliceMemOpt, Strategy::StateSliceCpuOpt] {
+            let id = BenchmarkId::new(
+                strategy.label(),
+                format!("{}q-{}", num_queries, dist.name()),
+            );
+            group.bench_function(id, |b| {
+                b.iter(|| {
+                    let metrics =
+                        run_strategy(&scenario(num_queries, dist), strategy).expect("run");
+                    metrics.total_outputs
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig19);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Reproduce Figure 11: analytical memory / CPU saving surfaces of
+//! state-slicing over selection pull-up and selection push-down.
+//!
+//! Usage: `cargo run --release -p ss-bench --bin fig11 [grid_steps]`
+
+use ss_bench::fig11_rows;
+
+fn main() {
+    let steps: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    let rows = fig11_rows(steps);
+
+    println!("# Figure 11(a): memory saving (%) of State-Slice");
+    println!(
+        "{:<8} {:<8} {:>24} {:>26}",
+        "rho", "Ssigma", "vs Selection-PullUp", "vs Selection-PushDown"
+    );
+    for row in rows.iter().filter(|r| r.sel_join == 0.1) {
+        println!(
+            "{:<8.2} {:<8.2} {:>24.1} {:>26.1}",
+            row.point.rho,
+            row.point.sel_filter,
+            100.0 * row.point.mem_vs_pullup,
+            100.0 * row.point.mem_vs_pushdown
+        );
+    }
+
+    println!("\n# Figure 11(b): CPU saving (%) vs Selection-PullUp");
+    println!("{:<8} {:<8} {:>10} {:>10} {:>10}", "rho", "Ssigma", "S1=0.4", "S1=0.1", "S1=0.025");
+    print_cpu_surface(&rows, |p| p.cpu_vs_pullup);
+
+    println!("\n# Figure 11(c): CPU saving (%) vs Selection-PushDown");
+    println!("{:<8} {:<8} {:>10} {:>10} {:>10}", "rho", "Ssigma", "S1=0.4", "S1=0.1", "S1=0.025");
+    print_cpu_surface(&rows, |p| p.cpu_vs_pushdown);
+}
+
+fn print_cpu_surface(
+    rows: &[ss_bench::Fig11Row],
+    value: impl Fn(&ss_cost_model::SavingsPoint) -> f64,
+) {
+    // Group by (rho, Ssigma) across the three join selectivities.
+    let mut keys: Vec<(u64, u64)> = rows
+        .iter()
+        .map(|r| (to_key(r.point.rho), to_key(r.point.sel_filter)))
+        .collect();
+    keys.sort_unstable();
+    keys.dedup();
+    for (rho_k, s_k) in keys {
+        let mut cols = Vec::new();
+        for sel_join in [0.4, 0.1, 0.025] {
+            let v = rows
+                .iter()
+                .find(|r| {
+                    r.sel_join == sel_join
+                        && to_key(r.point.rho) == rho_k
+                        && to_key(r.point.sel_filter) == s_k
+                })
+                .map(|r| 100.0 * value(&r.point))
+                .unwrap_or(f64::NAN);
+            cols.push(v);
+        }
+        println!(
+            "{:<8.2} {:<8.2} {:>10.1} {:>10.1} {:>10.1}",
+            rho_k as f64 / 1000.0,
+            s_k as f64 / 1000.0,
+            cols[0],
+            cols[1],
+            cols[2]
+        );
+    }
+}
+
+fn to_key(v: f64) -> u64 {
+    (v * 1000.0).round() as u64
+}

@@ -1,0 +1,27 @@
+//! Reproduce Figure 18: service rate (tuples/second) of the three sharing
+//! strategies across input rates, window distributions and selectivities.
+//!
+//! Usage: `cargo run --release -p ss-bench --bin fig18`
+//! Set `SS_DURATION_SECS=90` to run the paper's full 90-second streams.
+
+use ss_bench::{
+    default_duration_secs, figure_17_18_panels, figure_18_extra_panels, format_rows,
+    measure_panels,
+};
+use ss_workload::Scenario;
+
+fn main() {
+    let duration = default_duration_secs();
+    println!("# Figure 18: service rate (tuples/s); stream duration {duration} s");
+    let mut panels = figure_17_18_panels();
+    panels.truncate(3); // 18(a)-(c): the window-distribution panels
+    panels.extend(figure_18_extra_panels()); // 18(d)-(f): increasing S1 at Ssigma=0.8
+    let rows =
+        measure_panels(&panels, &Scenario::PAPER_RATES, duration, 7).expect("figure 18 sweep");
+    print!("{}", format_rows(&rows, |m| m.service_rate, "service(t/s)"));
+    println!("\n# Cross-check: comparison counts (lower is better)");
+    print!(
+        "{}",
+        format_rows(&rows, |m| m.total_comparisons as f64, "comparisons")
+    );
+}

@@ -1,0 +1,21 @@
+//! Reproduce Figure 19: service rate of the Mem-Opt chain vs the CPU-Opt
+//! chain for 12 / 24 / 36 queries and skewed window distributions.
+//!
+//! Usage: `cargo run --release -p ss-bench --bin fig19`
+//! Set `SS_DURATION_SECS=90` to run the paper's full 90-second streams.
+
+use ss_bench::{default_duration_secs, figure_19_panels, format_rows, measure_fig19};
+use ss_workload::Scenario;
+
+fn main() {
+    let duration = default_duration_secs();
+    println!("# Figure 19: service rate (tuples/s), Mem-Opt vs CPU-Opt; duration {duration} s");
+    let rows = measure_fig19(&figure_19_panels(), &Scenario::PAPER_RATES, duration, 7)
+        .expect("figure 19 sweep");
+    print!("{}", format_rows(&rows, |m| m.service_rate, "service(t/s)"));
+    println!("\n# Cross-check: operators in each executed plan");
+    print!(
+        "{}",
+        format_rows(&rows, |m| m.num_operators as f64, "operators")
+    );
+}

@@ -1,0 +1,12 @@
+//! Reproduce Table 2: the step-by-step execution trace of a chain of two
+//! sliced one-way window joins.
+//!
+//! Usage: `cargo run -p ss-bench --bin table2`
+
+use ss_bench::{format_table2, table2_trace};
+
+fn main() {
+    println!("# Table 2: execution of the chain J1 = A[0,2) x B, J2 = A[2,4) x B");
+    println!("# (half-open slices per Definition 1; see EXPERIMENTS.md)");
+    print!("{}", format_table2(&table2_trace()));
+}

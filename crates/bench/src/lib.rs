@@ -1,0 +1,42 @@
+//! Experiment harness for the State-Slice reproduction.
+//!
+//! * [`runner`] — run one scenario under one sharing strategy and collect
+//!   the metrics the paper reports (state memory, service rate, comparisons),
+//! * [`figures`] — the sweeps behind Figures 11, 17, 18 and 19,
+//! * [`table2`] — the execution trace of Table 2.
+//!
+//! The binaries `fig11`, `fig17`, `fig18`, `fig19` and `table2` print the
+//! corresponding rows; the criterion benches under `benches/` time
+//! scaled-down versions of the same sweeps.  `EXPERIMENTS.md` records the
+//! paper-vs-measured comparison.
+
+pub mod figures;
+pub mod runner;
+pub mod table2;
+
+pub use figures::{
+    fig11_rows, figure_17_18_panels, figure_18_extra_panels, figure_19_panels, format_rows,
+    measure_fig19, measure_panels, Fig11Row, MeasuredRow,
+};
+pub use runner::{build_workload, cost_config, run_strategies, run_strategy, RunMetrics, Strategy};
+pub use table2::{format_table2, table2_trace, TraceRow};
+
+/// Stream duration (seconds) used by the figure binaries unless overridden by
+/// the `SS_DURATION_SECS` environment variable.  The paper runs 90-second
+/// streams; 30 seconds keeps a full sweep tractable on a laptop while
+/// preserving every qualitative trend.
+pub fn default_duration_secs() -> f64 {
+    std::env::var("SS_DURATION_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|v: &f64| *v > 0.0)
+        .unwrap_or(30.0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn default_duration_is_positive() {
+        assert!(super::default_duration_secs() > 0.0);
+    }
+}

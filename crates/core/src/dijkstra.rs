@@ -1,0 +1,213 @@
+//! Single-source shortest path over the slice-merge DAG (Figure 14).
+//!
+//! The CPU-Opt chain buildup (Section 5.2) reduces the optimal slicing
+//! problem to a shortest path from `v_0` to `v_N` in an acyclic directed
+//! graph whose edge `(i, j)` is the CPU cost of the merged slice covering
+//! `(w_i, w_j]`.  Lemma 2 (edge costs are independent) justifies the
+//! principle of optimality; the paper then applies Dijkstra's algorithm,
+//! which we implement here for arbitrary non-negative edge costs.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Heap entry for Dijkstra: ordered by cost (min-heap via reversed compare).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so the BinaryHeap (a max-heap) pops the cheapest entry.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Result of a shortest-path computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShortestPath {
+    /// Total cost of the best path.
+    pub cost: f64,
+    /// Visited nodes, starting at `0` and ending at `n`.
+    pub path: Vec<usize>,
+}
+
+/// Shortest path from node `0` to node `n` in the complete forward DAG over
+/// nodes `0..=n`, with `edge_cost(i, j)` giving the cost of edge `i -> j`
+/// (`i < j`).  Costs must be non-negative.
+///
+/// Runs in `O(n^2 log n)` including the `n(n+1)/2` edge-cost evaluations,
+/// matching the `O(N^2)` bound the paper states for the chain buildup.
+pub fn shortest_path<F>(n: usize, mut edge_cost: F) -> ShortestPath
+where
+    F: FnMut(usize, usize) -> f64,
+{
+    if n == 0 {
+        return ShortestPath {
+            cost: 0.0,
+            path: vec![0],
+        };
+    }
+    let mut dist = vec![f64::INFINITY; n + 1];
+    let mut prev = vec![usize::MAX; n + 1];
+    let mut done = vec![false; n + 1];
+    dist[0] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry { cost: 0.0, node: 0 });
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if done[node] || cost > dist[node] {
+            continue;
+        }
+        done[node] = true;
+        if node == n {
+            break;
+        }
+        for next in (node + 1)..=n {
+            let c = edge_cost(node, next);
+            debug_assert!(c >= 0.0, "edge costs must be non-negative");
+            let candidate = cost + c;
+            if candidate < dist[next] {
+                dist[next] = candidate;
+                prev[next] = node;
+                heap.push(HeapEntry {
+                    cost: candidate,
+                    node: next,
+                });
+            }
+        }
+    }
+    // Reconstruct the path.
+    let mut path = vec![n];
+    let mut cur = n;
+    while cur != 0 {
+        cur = prev[cur];
+        path.push(cur);
+    }
+    path.reverse();
+    ShortestPath {
+        cost: dist[n],
+        path,
+    }
+}
+
+/// Exhaustively enumerate every path from `0` to `n` and return the cheapest.
+/// Exponential; used in tests to certify [`shortest_path`]'s optimality.
+pub fn brute_force_shortest_path<F>(n: usize, mut edge_cost: F) -> ShortestPath
+where
+    F: FnMut(usize, usize) -> f64,
+{
+    assert!(n <= 16, "brute force is only meant for small n");
+    let mut best = ShortestPath {
+        cost: f64::INFINITY,
+        path: vec![],
+    };
+    // Each subset of intermediate boundaries {1..n-1} is one path.
+    let intermediates = n.saturating_sub(1);
+    for mask in 0..(1u32 << intermediates) {
+        let mut path = vec![0];
+        for b in 0..intermediates {
+            if mask & (1 << b) != 0 {
+                path.push(b + 1);
+            }
+        }
+        path.push(n);
+        let cost: f64 = path.windows(2).map(|w| edge_cost(w[0], w[1])).sum();
+        if cost < best.cost {
+            best = ShortestPath { cost, path };
+        }
+    }
+    if n == 0 {
+        best = ShortestPath {
+            cost: 0.0,
+            path: vec![0],
+        };
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_graphs() {
+        let sp = shortest_path(0, |_, _| 1.0);
+        assert_eq!(sp.cost, 0.0);
+        assert_eq!(sp.path, vec![0]);
+        let sp = shortest_path(1, |_, _| 2.5);
+        assert_eq!(sp.cost, 2.5);
+        assert_eq!(sp.path, vec![0, 1]);
+    }
+
+    #[test]
+    fn prefers_cheap_direct_edge() {
+        // Direct edge 0->3 costs 1, everything else costs 10.
+        let sp = shortest_path(3, |i, j| if i == 0 && j == 3 { 1.0 } else { 10.0 });
+        assert_eq!(sp.path, vec![0, 3]);
+        assert_eq!(sp.cost, 1.0);
+    }
+
+    #[test]
+    fn prefers_many_small_edges_when_cheaper() {
+        // Unit-step edges cost 1, longer edges cost 10.
+        let sp = shortest_path(4, |i, j| if j - i == 1 { 1.0 } else { 10.0 });
+        assert_eq!(sp.path, vec![0, 1, 2, 3, 4]);
+        assert_eq!(sp.cost, 4.0);
+    }
+
+    #[test]
+    fn mixed_costs_pick_the_true_optimum() {
+        // Edge cost favours merging [1..3] but keeping boundaries 1 and 3.
+        let cost = |i: usize, j: usize| -> f64 {
+            match (i, j) {
+                (0, 1) => 1.0,
+                (1, 3) => 1.0,
+                (3, 4) => 1.0,
+                _ => 4.0,
+            }
+        };
+        let sp = shortest_path(4, cost);
+        assert_eq!(sp.path, vec![0, 1, 3, 4]);
+        assert!((sp.cost - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_like_costs() {
+        // Deterministic pseudo-random cost matrix.
+        let cost = |i: usize, j: usize| -> f64 {
+            let x = (i * 31 + j * 17) % 13;
+            1.0 + x as f64 + 0.5 * ((j - i) as f64)
+        };
+        for n in 1..=9 {
+            let fast = shortest_path(n, cost);
+            let slow = brute_force_shortest_path(n, cost);
+            assert!(
+                (fast.cost - slow.cost).abs() < 1e-9,
+                "n={n}: {} vs {}",
+                fast.cost,
+                slow.cost
+            );
+        }
+    }
+
+    #[test]
+    fn path_always_starts_at_zero_and_ends_at_n() {
+        let sp = shortest_path(7, |i, j| ((i + j) % 3) as f64 + 0.25);
+        assert_eq!(*sp.path.first().unwrap(), 0);
+        assert_eq!(*sp.path.last().unwrap(), 7);
+        assert!(sp.path.windows(2).all(|w| w[1] > w[0]));
+    }
+}

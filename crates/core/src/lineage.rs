@@ -1,0 +1,275 @@
+//! Selection push-down support: lineage annotation and lineage gates.
+//!
+//! Section 6.1 of the paper pushes the per-query selections `σ_1 .. σ_N` into
+//! the slice chain as disjunctions `σ'_i = cond_i ∨ ... ∨ cond_N` and avoids
+//! re-evaluating them by annotating each tuple with a *lineage* level: the
+//! predicates are evaluated in decreasing order of `i`, and as soon as some
+//! `cond_k` is satisfied the tuple is tagged with `k`, meaning it "can survive
+//! until the k-th sliced join and no further".
+//!
+//! [`LineageAnnotatorOp`] performs that one-time evaluation on the filtered
+//! stream (stream A in the paper's running example).  [`LineageGateOp`] sits
+//! on the chain between slice `i-1` and slice `i` and drops tuples of the
+//! filtered stream whose lineage is below `i` — a zero-comparison check, which
+//! is exactly the saving the lineage trick buys.
+
+use std::any::Any;
+
+use streamkit::operator::{OpContext, Operator, PortId};
+use streamkit::queue::StreamItem;
+use streamkit::tuple::StreamId;
+use streamkit::Predicate;
+
+/// Annotates tuples of one stream with their selection-push-down lineage
+/// level; tuples that satisfy no predicate are dropped.
+#[derive(Debug)]
+pub struct LineageAnnotatorOp {
+    name: String,
+    /// `predicates[k]` is the selection of query `Q_{k+1}` on the annotated
+    /// stream (1-based query index `k+1` = lineage level `k+1`).
+    predicates: Vec<Predicate>,
+    /// Stream the predicates apply to; tuples of other streams pass through.
+    stream: StreamId,
+    dropped: u64,
+    annotated: u64,
+}
+
+impl LineageAnnotatorOp {
+    /// Build an annotator for the given per-query predicates (index 0 is the
+    /// query with the smallest window).
+    pub fn new(name: impl Into<String>, predicates: Vec<Predicate>, stream: StreamId) -> Self {
+        LineageAnnotatorOp {
+            name: name.into(),
+            predicates,
+            stream,
+            dropped: 0,
+            annotated: 0,
+        }
+    }
+
+    /// Number of tuples dropped because they satisfied no predicate.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of tuples annotated (or passed through).
+    pub fn annotated(&self) -> u64 {
+        self.annotated
+    }
+}
+
+impl Operator for LineageAnnotatorOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, _port: PortId, item: StreamItem, ctx: &mut OpContext) {
+        match item {
+            StreamItem::Tuple(t) => {
+                ctx.counters.tuples_processed += 1;
+                if t.stream != self.stream {
+                    self.annotated += 1;
+                    ctx.emit(0, t);
+                    return;
+                }
+                // Evaluate cond_N, cond_{N-1}, ... and stop at the first hit.
+                let mut level = 0u32;
+                for (idx, pred) in self.predicates.iter().enumerate().rev() {
+                    if pred.eval_counted(&t, &mut ctx.counters.filter_comparisons) {
+                        level = (idx + 1) as u32;
+                        break;
+                    }
+                }
+                if level == 0 {
+                    self.dropped += 1;
+                } else {
+                    self.annotated += 1;
+                    ctx.emit(0, t.with_lineage(level));
+                }
+            }
+            p @ StreamItem::Punctuation(_) => ctx.emit(0, p),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Drops tuples of the filtered stream whose lineage level is below
+/// `min_level`; everything else passes through untouched.
+#[derive(Debug)]
+pub struct LineageGateOp {
+    name: String,
+    min_level: u32,
+    stream: StreamId,
+    dropped: u64,
+}
+
+impl LineageGateOp {
+    /// Build a gate requiring lineage `>= min_level` for tuples of `stream`.
+    pub fn new(name: impl Into<String>, min_level: u32, stream: StreamId) -> Self {
+        LineageGateOp {
+            name: name.into(),
+            min_level,
+            stream,
+            dropped: 0,
+        }
+    }
+
+    /// Number of tuples dropped by this gate.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The gate's minimum lineage level.
+    pub fn min_level(&self) -> u32 {
+        self.min_level
+    }
+}
+
+impl Operator for LineageGateOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, _port: PortId, item: StreamItem, ctx: &mut OpContext) {
+        match item {
+            StreamItem::Tuple(t) => {
+                ctx.counters.tuples_processed += 1;
+                if t.stream == self.stream && t.lineage < self.min_level {
+                    self.dropped += 1;
+                } else {
+                    ctx.emit(0, t);
+                }
+            }
+            p @ StreamItem::Punctuation(_) => ctx.emit(0, p),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamkit::tuple::{Tuple, LINEAGE_ALL};
+    use streamkit::Timestamp;
+
+    fn a(v: i64) -> Tuple {
+        Tuple::of_ints(Timestamp::from_secs(1), StreamId::A, &[v])
+    }
+
+    fn b(v: i64) -> Tuple {
+        Tuple::of_ints(Timestamp::from_secs(1), StreamId::B, &[v])
+    }
+
+    fn out_lineages(ctx: &mut OpContext) -> Vec<u32> {
+        ctx.take_outputs()
+            .into_iter()
+            .filter_map(|(_, i)| i.into_tuple())
+            .map(|t| t.lineage)
+            .collect()
+    }
+
+    #[test]
+    fn annotates_with_highest_satisfied_query_index() {
+        // Q1: value > 0 (everything), Q2: value > 10, Q3: value > 100.
+        let mut op = LineageAnnotatorOp::new(
+            "lineage",
+            vec![
+                Predicate::gt(0, 0i64),
+                Predicate::gt(0, 10i64),
+                Predicate::gt(0, 100i64),
+            ],
+            StreamId::A,
+        );
+        let mut ctx = OpContext::new();
+        op.process(0, a(5).into(), &mut ctx);
+        op.process(0, a(50).into(), &mut ctx);
+        op.process(0, a(500).into(), &mut ctx);
+        assert_eq!(out_lineages(&mut ctx), vec![1, 2, 3]);
+        assert_eq!(op.annotated(), 3);
+        assert_eq!(op.dropped(), 0);
+    }
+
+    #[test]
+    fn evaluation_stops_at_the_first_hit_from_the_top() {
+        let mut op = LineageAnnotatorOp::new(
+            "lineage",
+            vec![
+                Predicate::gt(0, 0i64),
+                Predicate::gt(0, 10i64),
+                Predicate::gt(0, 100i64),
+            ],
+            StreamId::A,
+        );
+        let mut ctx = OpContext::new();
+        // Satisfies cond_3 immediately: exactly one comparison.
+        op.process(0, a(500).into(), &mut ctx);
+        assert_eq!(ctx.counters.filter_comparisons, 1);
+        // Satisfies only cond_1: three comparisons (3, then 2, then 1).
+        let mut ctx = OpContext::new();
+        op.process(0, a(5).into(), &mut ctx);
+        assert_eq!(ctx.counters.filter_comparisons, 3);
+    }
+
+    #[test]
+    fn tuples_matching_no_predicate_are_dropped() {
+        let mut op = LineageAnnotatorOp::new(
+            "lineage",
+            vec![Predicate::gt(0, 10i64), Predicate::gt(0, 100i64)],
+            StreamId::A,
+        );
+        let mut ctx = OpContext::new();
+        op.process(0, a(1).into(), &mut ctx);
+        assert!(out_lineages(&mut ctx).is_empty());
+        assert_eq!(op.dropped(), 1);
+    }
+
+    #[test]
+    fn other_streams_pass_through_untouched() {
+        let mut op =
+            LineageAnnotatorOp::new("lineage", vec![Predicate::gt(0, 10i64)], StreamId::A);
+        let mut ctx = OpContext::new();
+        op.process(0, b(1).into(), &mut ctx);
+        assert_eq!(out_lineages(&mut ctx), vec![LINEAGE_ALL]);
+        assert_eq!(ctx.counters.filter_comparisons, 0);
+    }
+
+    #[test]
+    fn gate_drops_below_level_without_comparisons() {
+        let mut gate = LineageGateOp::new("gate2", 2, StreamId::A);
+        assert_eq!(gate.min_level(), 2);
+        let mut ctx = OpContext::new();
+        gate.process(0, a(5).with_lineage(1).into(), &mut ctx);
+        gate.process(0, a(50).with_lineage(2).into(), &mut ctx);
+        gate.process(0, a(500).with_lineage(3).into(), &mut ctx);
+        gate.process(0, b(1).into(), &mut ctx);
+        let out = ctx.take_outputs();
+        assert_eq!(out.len(), 3);
+        assert_eq!(gate.dropped(), 1);
+        assert_eq!(ctx.counters.filter_comparisons, 0);
+    }
+
+    #[test]
+    fn punctuations_pass_both_operators() {
+        let mut ann = LineageAnnotatorOp::new("lineage", vec![Predicate::True], StreamId::A);
+        let mut gate = LineageGateOp::new("gate", 1, StreamId::A);
+        let mut ctx = OpContext::new();
+        let p = streamkit::Punctuation::new(Timestamp::from_secs(3));
+        ann.process(0, p.into(), &mut ctx);
+        gate.process(0, p.into(), &mut ctx);
+        assert_eq!(ctx.take_outputs().len(), 2);
+    }
+}

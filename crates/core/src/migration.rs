@@ -1,0 +1,352 @@
+//! Online migration of the state-slicing chain (Section 5.3).
+//!
+//! The chain needs maintenance when queries enter or leave the system, when
+//! window constraints change, or when runtime statistics suggest a different
+//! slicing (e.g. migrating from the Mem-Opt towards the CPU-Opt chain).  The
+//! paper defines two primitive operations, both implemented here:
+//!
+//! * **merging** two adjacent sliced joins — requires the queue between them
+//!   to be drained, then concatenates their states and widens the window,
+//! * **splitting** one sliced join — shrinks its end window and inserts a new
+//!   empty sliced join to its right; subsequent purging migrates the affected
+//!   state lazily ("the execution of Ji will purge tuples, due to its new
+//!   smaller window, into the queue ... and eventually fill up the states of
+//!   J'_i correctly").
+//!
+//! Both primitives are exposed at two levels: on [`ChainSpec`]s (planning
+//! level) and on [`SlicedBinaryJoinOp`] operators (runtime level).
+
+use streamkit::error::{Result, StreamError};
+use streamkit::TimeDelta;
+
+use crate::chain::ChainSpec;
+use crate::query::QueryWorkload;
+use crate::sliced_binary::SlicedBinaryJoinOp;
+
+/// Merge slices `slice_idx` and `slice_idx + 1` of a chain spec.
+pub fn merge_spec_slices(
+    workload: &QueryWorkload,
+    spec: &ChainSpec,
+    slice_idx: usize,
+) -> Result<ChainSpec> {
+    if slice_idx + 1 >= spec.num_slices() {
+        return Err(StreamError::InvalidConfig(format!(
+            "cannot merge slice {slice_idx}: the chain has only {} slices",
+            spec.num_slices()
+        )));
+    }
+    // Drop the boundary between the two slices from the path.
+    let mut path = spec.path().to_vec();
+    path.remove(slice_idx + 1);
+    ChainSpec::from_path(workload, &path)
+}
+
+/// Split slice `slice_idx` of a chain spec at the workload boundary with
+/// index `boundary_idx` (which must fall strictly inside the slice).
+pub fn split_spec_slice(
+    workload: &QueryWorkload,
+    spec: &ChainSpec,
+    slice_idx: usize,
+    boundary_idx: usize,
+) -> Result<ChainSpec> {
+    if slice_idx >= spec.num_slices() {
+        return Err(StreamError::InvalidConfig(format!(
+            "slice {slice_idx} does not exist"
+        )));
+    }
+    let mut path = spec.path().to_vec();
+    let lo = path[slice_idx];
+    let hi = path[slice_idx + 1];
+    if boundary_idx <= lo || boundary_idx >= hi {
+        return Err(StreamError::InvalidConfig(format!(
+            "boundary index {boundary_idx} does not fall strictly inside slice {slice_idx} ({lo}..{hi})"
+        )));
+    }
+    path.insert(slice_idx + 1, boundary_idx);
+    ChainSpec::from_path(workload, &path)
+}
+
+/// Merge two adjacent sliced join operators into one (runtime primitive).
+///
+/// `left` is the slice closer to the head of the chain (smaller window
+/// offsets, younger tuples); `right` is the next slice (older tuples).  The
+/// queue between them must have been drained by the scheduler before calling
+/// this, which the caller asserts by passing both operators by value.
+pub fn merge_slice_operators(
+    name: impl Into<String>,
+    mut left: SlicedBinaryJoinOp,
+    mut right: SlicedBinaryJoinOp,
+) -> Result<SlicedBinaryJoinOp> {
+    if left.window().end != right.window().start {
+        return Err(StreamError::InvalidConfig(format!(
+            "slices {} and {} are not adjacent",
+            left.window(),
+            right.window()
+        )));
+    }
+    if left.condition() != right.condition() || left.streams() != right.streams() {
+        return Err(StreamError::InvalidConfig(
+            "cannot merge sliced joins with different conditions or streams".to_string(),
+        ));
+    }
+    let merged_window = left.window().merge(&right.window());
+    let (left_a, left_b) = left.drain_states();
+    let (right_a, right_b) = right.drain_states();
+    let (stream_a, stream_b) = left.streams();
+    let mut merged = SlicedBinaryJoinOp::new(
+        name,
+        merged_window,
+        left.condition().clone(),
+        stream_a,
+        stream_b,
+    );
+    merged.set_chain_head(left.is_chain_head());
+    merged.set_has_next(right.has_next());
+    // Oldest tuples first: the right (older) slice's state precedes the left's.
+    let mut state_a = right_a;
+    state_a.extend(left_a);
+    let mut state_b = right_b;
+    state_b.extend(left_b);
+    merged.load_states(state_a, state_b);
+    Ok(merged)
+}
+
+/// Split one sliced join operator at window offset `at` (runtime primitive).
+///
+/// Follows the paper's lazy protocol: the left half keeps the entire state
+/// and simply shrinks its end window; the right half starts empty and is
+/// filled by subsequent cross-purging.  Returns `(left, right)`.
+pub fn split_slice_operator(
+    op: SlicedBinaryJoinOp,
+    at: TimeDelta,
+    left_name: impl Into<String>,
+    right_name: impl Into<String>,
+) -> Result<(SlicedBinaryJoinOp, SlicedBinaryJoinOp)> {
+    let window = op.window();
+    let Some((left_window, right_window)) = window.split_at(at) else {
+        return Err(StreamError::InvalidConfig(format!(
+            "split point {at} is not strictly inside {window}"
+        )));
+    };
+    let mut left = op;
+    let (stream_a, stream_b) = left.streams();
+    let mut right = SlicedBinaryJoinOp::new(
+        right_name,
+        right_window,
+        left.condition().clone(),
+        stream_a,
+        stream_b,
+    );
+    right.set_has_next(left.has_next());
+    right.set_chain_head(false);
+    left.set_window(left_window);
+    left.set_has_next(true);
+    let _ = left_name; // the left operator keeps its identity (and state)
+    Ok((left, right))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::JoinQuery;
+    use crate::sliced_binary::{PORT_NEXT_SLICE, PORT_RESULTS};
+    use streamkit::operator::{OpContext, Operator};
+    use streamkit::tuple::{StreamId, Tuple, TupleRole};
+    use streamkit::window::SliceWindow;
+    use streamkit::{JoinCondition, Timestamp};
+
+    fn workload() -> QueryWorkload {
+        QueryWorkload::new(
+            vec![
+                JoinQuery::new("Q1", TimeDelta::from_secs(5)),
+                JoinQuery::new("Q2", TimeDelta::from_secs(10)),
+                JoinQuery::new("Q3", TimeDelta::from_secs(30)),
+            ],
+            JoinCondition::equi(0),
+        )
+        .unwrap()
+    }
+
+    fn a(secs: u64) -> Tuple {
+        Tuple::of_ints(Timestamp::from_secs(secs), StreamId::A, &[0])
+    }
+
+    fn b(secs: u64) -> Tuple {
+        Tuple::of_ints(Timestamp::from_secs(secs), StreamId::B, &[0])
+    }
+
+    #[test]
+    fn spec_merge_and_split_round_trip() {
+        let w = workload();
+        let memopt = ChainSpec::memory_optimal(&w);
+        let merged = merge_spec_slices(&w, &memopt, 1).unwrap();
+        assert_eq!(merged.num_slices(), 2);
+        assert_eq!(merged.path(), &[0, 1, 3]);
+        let back = split_spec_slice(&w, &merged, 1, 2).unwrap();
+        assert_eq!(back, memopt);
+    }
+
+    #[test]
+    fn spec_merge_rejects_out_of_range() {
+        let w = workload();
+        let memopt = ChainSpec::memory_optimal(&w);
+        assert!(merge_spec_slices(&w, &memopt, 2).is_err());
+        assert!(split_spec_slice(&w, &memopt, 0, 2).is_err());
+        assert!(split_spec_slice(&w, &memopt, 9, 1).is_err());
+    }
+
+    #[test]
+    fn operator_merge_concatenates_states_oldest_first() {
+        let cond = JoinCondition::Cross;
+        let mut left =
+            SlicedBinaryJoinOp::for_ab("J1", SliceWindow::from_secs(0, 5), cond.clone());
+        let mut right =
+            SlicedBinaryJoinOp::for_ab("J2", SliceWindow::from_secs(5, 10), cond.clone());
+        // Young female in the left slice, old female in the right slice.
+        left.load_states(vec![a(8)], vec![]);
+        right.load_states(vec![a(2)], vec![b(3)]);
+        let merged = merge_slice_operators("J12", left, right).unwrap();
+        assert_eq!(merged.window(), SliceWindow::from_secs(0, 10));
+        assert_eq!(merged.state_a_len(), 2);
+        assert_eq!(merged.state_b_len(), 1);
+        assert_eq!(merged.state_len(), 3);
+    }
+
+    #[test]
+    fn operator_merge_rejects_non_adjacent_slices() {
+        let cond = JoinCondition::Cross;
+        let left = SlicedBinaryJoinOp::for_ab("J1", SliceWindow::from_secs(0, 5), cond.clone());
+        let right = SlicedBinaryJoinOp::for_ab("J3", SliceWindow::from_secs(10, 20), cond);
+        assert!(merge_slice_operators("bad", left, right).is_err());
+    }
+
+    #[test]
+    fn operator_merge_preserves_results() {
+        // Results after merging equal the results the two slices would have
+        // produced together: probe a merged join and compare counts.
+        let cond = JoinCondition::Cross;
+        let mut left =
+            SlicedBinaryJoinOp::for_ab("J1", SliceWindow::from_secs(0, 5), cond.clone())
+                .chain_head();
+        let mut right = SlicedBinaryJoinOp::for_ab("J2", SliceWindow::from_secs(5, 10), cond)
+            .last_in_chain();
+        // Prime the two-slice chain with A females at ts 1 and 7.
+        let mut ctx = OpContext::new();
+        left.process(0, a(1).into(), &mut ctx);
+        left.process(0, a(7).into(), &mut ctx);
+        // Push a male B at ts 8: purges a@1 (age 7 >= 5) to the right slice.
+        left.process(0, b(8).into(), &mut ctx);
+        for (port, item) in ctx.take_outputs() {
+            if port == PORT_NEXT_SLICE {
+                right.process(0, item, &mut ctx);
+            }
+        }
+        let _ = ctx.take_outputs();
+        let produced_before = left.results() + right.results();
+        assert!(produced_before > 0);
+        // Queue between them is drained; merge.
+        let mut merged = merge_slice_operators("J12", left, right).unwrap();
+        merged.set_has_next(false);
+        // A later male B joins against both stored females through the merged state.
+        let mut ctx = OpContext::new();
+        merged.process(0, b(9).with_role(TupleRole::Male).into(), &mut ctx);
+        let results: Vec<_> = ctx
+            .take_outputs()
+            .into_iter()
+            .filter(|(p, item)| *p == PORT_RESULTS && !item.is_punctuation())
+            .collect();
+        // a@1 (age 8) and a@7 (age 2) are both inside [0, 10).
+        assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn operator_split_is_lazy_and_correct() {
+        let cond = JoinCondition::Cross;
+        let mut op = SlicedBinaryJoinOp::for_ab("J", SliceWindow::from_secs(0, 10), cond)
+            .chain_head()
+            .last_in_chain();
+        let mut ctx = OpContext::new();
+        op.process(0, a(1).into(), &mut ctx);
+        op.process(0, a(6).into(), &mut ctx);
+        let _ = ctx.take_outputs();
+        // Split at offset 5: left keeps all state (lazy), right starts empty.
+        let (mut left, mut right) =
+            split_slice_operator(op, TimeDelta::from_secs(5), "J_left", "J_right").unwrap();
+        assert_eq!(left.window(), SliceWindow::from_secs(0, 5));
+        assert_eq!(right.window(), SliceWindow::from_secs(5, 10));
+        assert_eq!(left.state_len(), 2);
+        assert_eq!(right.state_len(), 0);
+        assert!(left.has_next());
+        assert!(!right.has_next());
+        // A male B at ts 8 purges a@1 (age 7 >= 5) into the queue towards the
+        // right slice, probes a@6 in the left slice, and then probes the right
+        // slice after the purged tuple arrived — exactly one result per slice.
+        let mut ctx = OpContext::new();
+        left.process(0, b(8).into(), &mut ctx);
+        let mut left_results = 0;
+        let mut forwarded = Vec::new();
+        for (port, item) in ctx.take_outputs() {
+            match port {
+                PORT_RESULTS if !item.is_punctuation() => left_results += 1,
+                PORT_NEXT_SLICE => forwarded.push(item),
+                _ => {}
+            }
+        }
+        assert_eq!(left_results, 1);
+        let mut right_results = 0;
+        let mut ctx = OpContext::new();
+        for item in forwarded {
+            right.process(0, item, &mut ctx);
+        }
+        for (port, item) in ctx.take_outputs() {
+            if port == PORT_RESULTS && !item.is_punctuation() {
+                right_results += 1;
+            }
+        }
+        assert_eq!(right_results, 1);
+        // Together: both pairs, as the unsplit join would have produced.
+    }
+
+    #[test]
+    fn operator_split_rejects_out_of_range_points() {
+        let op = SlicedBinaryJoinOp::for_ab(
+            "J",
+            SliceWindow::from_secs(0, 10),
+            JoinCondition::Cross,
+        );
+        assert!(split_slice_operator(op, TimeDelta::from_secs(10), "l", "r").is_err());
+    }
+
+    #[test]
+    fn migrating_memopt_to_cpuopt_path_is_a_sequence_of_merges() {
+        // A CPU-Opt chain is always reachable from the Mem-Opt chain by
+        // merging (never splitting), because its boundary set is a subset.
+        let w = workload();
+        let memopt = ChainSpec::memory_optimal(&w);
+        let target = ChainSpec::from_path(&w, &[0, 1, 3]).unwrap();
+        let mut current = memopt;
+        let mut merges = 0;
+        while current != target && merges < 10 {
+            // Find a boundary present in `current` but not in `target`.
+            let extra = current
+                .path()
+                .iter()
+                .find(|b| !target.path().contains(b))
+                .copied();
+            match extra {
+                Some(boundary) => {
+                    let idx = current
+                        .path()
+                        .iter()
+                        .position(|&b| b == boundary)
+                        .expect("boundary in path");
+                    current = merge_spec_slices(&w, &current, idx - 1).unwrap();
+                    merges += 1;
+                }
+                None => break,
+            }
+        }
+        assert_eq!(current, target);
+        assert_eq!(merges, 1);
+    }
+}

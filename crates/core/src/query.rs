@@ -1,0 +1,203 @@
+//! Registered continuous queries and query workloads.
+//!
+//! Each query is a sliding-window equi-join `σ(A[w]) ⋈ B[w]` with its own
+//! window size and an optional selection on stream A, as in the paper's
+//! running example (Section 1) and experimental workloads (Section 7).
+
+use streamkit::error::{Result, StreamError};
+use streamkit::{JoinCondition, Predicate, TimeDelta};
+
+/// One registered continuous window-join query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinQuery {
+    /// Query name; also used as the sink / result-receiver name.
+    pub name: String,
+    /// Sliding-window size (same on both streams, as in the paper).
+    pub window: TimeDelta,
+    /// Selection on stream A (`Predicate::True` when the query has none).
+    pub filter_a: Predicate,
+}
+
+impl JoinQuery {
+    /// A query without a selection.
+    pub fn new(name: impl Into<String>, window: TimeDelta) -> Self {
+        JoinQuery {
+            name: name.into(),
+            window,
+            filter_a: Predicate::True,
+        }
+    }
+
+    /// A query with a selection on stream A.
+    pub fn with_filter(name: impl Into<String>, window: TimeDelta, filter_a: Predicate) -> Self {
+        JoinQuery {
+            name: name.into(),
+            window,
+            filter_a,
+        }
+    }
+
+    /// `true` if this query carries a non-trivial selection.
+    pub fn has_filter(&self) -> bool {
+        !self.filter_a.is_true()
+    }
+}
+
+/// A set of continuous queries sharing the same join over streams A and B.
+///
+/// Queries are kept sorted by ascending window size, the order the chain is
+/// built in (Section 5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryWorkload {
+    queries: Vec<JoinQuery>,
+    join_condition: JoinCondition,
+}
+
+impl QueryWorkload {
+    /// Build a workload.  Windows must be positive and pairwise distinct
+    /// (queries with identical windows should be grouped before registration,
+    /// as in the similar-query grouping of NiagaraCQ that the paper cites).
+    pub fn new(mut queries: Vec<JoinQuery>, join_condition: JoinCondition) -> Result<Self> {
+        if queries.is_empty() {
+            return Err(StreamError::InvalidConfig(
+                "a query workload needs at least one query".to_string(),
+            ));
+        }
+        queries.sort_by_key(|q| q.window);
+        for pair in queries.windows(2) {
+            if pair[0].window == pair[1].window {
+                return Err(StreamError::InvalidConfig(format!(
+                    "queries '{}' and '{}' have identical windows; group them into one query",
+                    pair[0].name, pair[1].name
+                )));
+            }
+        }
+        if queries[0].window.is_zero() {
+            return Err(StreamError::InvalidConfig(
+                "query windows must be positive".to_string(),
+            ));
+        }
+        Ok(QueryWorkload {
+            queries,
+            join_condition,
+        })
+    }
+
+    /// The queries, sorted by ascending window.
+    pub fn queries(&self) -> &[JoinQuery] {
+        &self.queries
+    }
+
+    /// Number of registered queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// `true` if the workload has no queries (never true for a constructed
+    /// workload; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The shared join condition.
+    pub fn join_condition(&self) -> &JoinCondition {
+        &self.join_condition
+    }
+
+    /// Query by 0-based index (ascending window order).
+    pub fn query(&self, idx: usize) -> &JoinQuery {
+        &self.queries[idx]
+    }
+
+    /// The window sizes in ascending order.
+    pub fn windows(&self) -> Vec<TimeDelta> {
+        self.queries.iter().map(|q| q.window).collect()
+    }
+
+    /// Window boundaries `w_0 = 0, w_1, ..., w_N`.
+    pub fn boundaries(&self) -> Vec<TimeDelta> {
+        let mut b = Vec::with_capacity(self.queries.len() + 1);
+        b.push(TimeDelta::ZERO);
+        b.extend(self.queries.iter().map(|q| q.window));
+        b
+    }
+
+    /// The largest window in the workload.
+    pub fn max_window(&self) -> TimeDelta {
+        self.queries.last().map(|q| q.window).unwrap_or(TimeDelta::ZERO)
+    }
+
+    /// `true` if any query carries a non-trivial selection.
+    pub fn has_selections(&self) -> bool {
+        self.queries.iter().any(|q| q.has_filter())
+    }
+
+    /// The per-query selections, in ascending window order (used by the
+    /// lineage annotator).
+    pub fn filters(&self) -> Vec<Predicate> {
+        self.queries.iter().map(|q| q.filter_a.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(name: &str, secs: u64) -> JoinQuery {
+        JoinQuery::new(name, TimeDelta::from_secs(secs))
+    }
+
+    #[test]
+    fn workload_sorts_queries_by_window() {
+        let w = QueryWorkload::new(
+            vec![q("Q3", 30), q("Q1", 5), q("Q2", 10)],
+            JoinCondition::equi(0),
+        )
+        .unwrap();
+        assert_eq!(w.len(), 3);
+        assert!(!w.is_empty());
+        assert_eq!(w.query(0).name, "Q1");
+        assert_eq!(w.query(2).name, "Q3");
+        assert_eq!(
+            w.windows(),
+            vec![
+                TimeDelta::from_secs(5),
+                TimeDelta::from_secs(10),
+                TimeDelta::from_secs(30)
+            ]
+        );
+        assert_eq!(w.boundaries().len(), 4);
+        assert_eq!(w.boundaries()[0], TimeDelta::ZERO);
+        assert_eq!(w.max_window(), TimeDelta::from_secs(30));
+        assert!(!w.has_selections());
+        assert_eq!(w.join_condition(), &JoinCondition::equi(0));
+    }
+
+    #[test]
+    fn duplicate_windows_are_rejected() {
+        let err = QueryWorkload::new(vec![q("Q1", 10), q("Q2", 10)], JoinCondition::equi(0));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn empty_and_zero_window_workloads_are_rejected() {
+        assert!(QueryWorkload::new(vec![], JoinCondition::equi(0)).is_err());
+        assert!(QueryWorkload::new(vec![q("Q1", 0)], JoinCondition::equi(0)).is_err());
+    }
+
+    #[test]
+    fn selections_are_detected() {
+        let w = QueryWorkload::new(
+            vec![
+                JoinQuery::new("Q1", TimeDelta::from_secs(1)),
+                JoinQuery::with_filter("Q2", TimeDelta::from_secs(60), Predicate::gt(1, 10i64)),
+            ],
+            JoinCondition::equi(0),
+        )
+        .unwrap();
+        assert!(w.has_selections());
+        assert!(!w.query(0).has_filter());
+        assert!(w.query(1).has_filter());
+        assert_eq!(w.filters().len(), 2);
+    }
+}

@@ -1,0 +1,527 @@
+//! State-sliced binary window join (Definition 3, Figures 8–9).
+//!
+//! `A[W_start, W_end] ⋈ˢ B[W_start, W_end]` keeps one sliced state per
+//! stream.  Execution uses the paper's reference-copy scheme: every arriving
+//! tuple is split (by the head of the chain) into a *male* copy — which
+//! cross-purges and probes the opposite state and is then propagated to the
+//! next slice — and a *female* copy — which is inserted into this slice's
+//! state and travels to the next slice only when purged.  The two copies
+//! share their payload (`Arc`), so no payload is duplicated.
+//!
+//! The operator has a single input port carrying the chain's logical queue
+//! (both streams, both roles, in emission order) and three output ports:
+//!
+//! * [`PORT_RESULTS`] — joined results plus one punctuation per male tuple
+//!   processed (the paper's Section 4.3 observation that male tuples act as
+//!   punctuations for the order-preserving union),
+//! * [`PORT_NEXT_SLICE`] — the logical queue feeding the next slice,
+//! * the operator is usually built via
+//!   [`SharedChainPlan`](crate::planner::SharedChainPlan), which wires these
+//!   ports up for a whole chain.
+
+use std::any::Any;
+use std::collections::VecDeque;
+
+use streamkit::operator::{OpContext, Operator, PortId};
+use streamkit::punctuation::Punctuation;
+use streamkit::queue::StreamItem;
+use streamkit::tuple::{StreamId, Tuple, TupleRole};
+use streamkit::window::SliceWindow;
+use streamkit::JoinCondition;
+
+/// Output port carrying joined results and punctuations.
+pub const PORT_RESULTS: PortId = 0;
+/// Output port carrying the logical queue towards the next slice.
+pub const PORT_NEXT_SLICE: PortId = 1;
+
+/// Stream id of joined result tuples produced by sliced binary joins.
+pub const SLICED_JOIN_OUTPUT: StreamId = StreamId(101);
+
+/// One state-sliced binary window join.
+#[derive(Debug)]
+pub struct SlicedBinaryJoinOp {
+    name: String,
+    window: SliceWindow,
+    condition: JoinCondition,
+    stream_a: StreamId,
+    stream_b: StreamId,
+    state_a: VecDeque<Tuple>,
+    state_b: VecDeque<Tuple>,
+    peak_state: usize,
+    results: u64,
+    /// First join of a chain: splits regular tuples into male/female copies.
+    chain_head: bool,
+    /// Last join of a chain: discards instead of forwarding to a next slice.
+    has_next: bool,
+}
+
+impl SlicedBinaryJoinOp {
+    /// Build a sliced binary join over the window slice `window` for streams
+    /// `stream_a` / `stream_b` under the given join condition.
+    pub fn new(
+        name: impl Into<String>,
+        window: SliceWindow,
+        condition: JoinCondition,
+        stream_a: StreamId,
+        stream_b: StreamId,
+    ) -> Self {
+        SlicedBinaryJoinOp {
+            name: name.into(),
+            window,
+            condition,
+            stream_a,
+            stream_b,
+            state_a: VecDeque::new(),
+            state_b: VecDeque::new(),
+            peak_state: 0,
+            results: 0,
+            chain_head: false,
+            has_next: true,
+        }
+    }
+
+    /// Convenience constructor for the conventional `A`/`B` streams.
+    pub fn for_ab(name: impl Into<String>, window: SliceWindow, condition: JoinCondition) -> Self {
+        SlicedBinaryJoinOp::new(name, window, condition, StreamId::A, StreamId::B)
+    }
+
+    /// Mark this as the head of its chain: incoming `Regular` tuples are
+    /// split into male and female reference copies here.
+    pub fn chain_head(mut self) -> Self {
+        self.chain_head = true;
+        self
+    }
+
+    /// Mark this as the last slice: nothing is forwarded to a next slice.
+    pub fn last_in_chain(mut self) -> Self {
+        self.has_next = false;
+        self
+    }
+
+    /// The window slice `[W_start, W_end)` of this join.
+    pub fn window(&self) -> SliceWindow {
+        self.window
+    }
+
+    /// Replace the window slice (used by online chain migration).
+    pub fn set_window(&mut self, window: SliceWindow) {
+        self.window = window;
+    }
+
+    /// The join condition.
+    pub fn condition(&self) -> &JoinCondition {
+        &self.condition
+    }
+
+    /// The `(A, B)` stream identifiers this join operates on.
+    pub fn streams(&self) -> (StreamId, StreamId) {
+        (self.stream_a, self.stream_b)
+    }
+
+    /// `true` if this join forwards purged / propagated tuples to a next slice.
+    pub fn has_next(&self) -> bool {
+        self.has_next
+    }
+
+    /// Change whether this join forwards to a next slice (used by migration
+    /// when a slice stops or starts being the last one of its chain).
+    pub fn set_has_next(&mut self, has_next: bool) {
+        self.has_next = has_next;
+    }
+
+    /// `true` if this join splits regular tuples into reference copies.
+    pub fn is_chain_head(&self) -> bool {
+        self.chain_head
+    }
+
+    /// Change whether this join is the head of its chain.
+    pub fn set_chain_head(&mut self, chain_head: bool) {
+        self.chain_head = chain_head;
+    }
+
+    /// Number of joined results produced so far.
+    pub fn results(&self) -> u64 {
+        self.results
+    }
+
+    /// Current state size (both streams), in tuples.
+    pub fn state_len(&self) -> usize {
+        self.state_a.len() + self.state_b.len()
+    }
+
+    /// Current state size of the A side.
+    pub fn state_a_len(&self) -> usize {
+        self.state_a.len()
+    }
+
+    /// Current state size of the B side.
+    pub fn state_b_len(&self) -> usize {
+        self.state_b.len()
+    }
+
+    /// Peak combined state size.
+    pub fn peak_state(&self) -> usize {
+        self.peak_state
+    }
+
+    /// Drain both states (oldest first), used by online migration to move
+    /// state into a merged join.
+    pub fn drain_states(&mut self) -> (Vec<Tuple>, Vec<Tuple>) {
+        (
+            self.state_a.drain(..).collect(),
+            self.state_b.drain(..).collect(),
+        )
+    }
+
+    /// Load state tuples (assumed timestamp-ordered), used by online
+    /// migration when merging or splitting slices.
+    pub fn load_states(&mut self, state_a: Vec<Tuple>, state_b: Vec<Tuple>) {
+        self.state_a = state_a.into();
+        self.state_b = state_b.into();
+        self.peak_state = self.peak_state.max(self.state_len());
+    }
+
+    fn track_peak(&mut self) {
+        let total = self.state_a.len() + self.state_b.len();
+        if total > self.peak_state {
+            self.peak_state = total;
+        }
+    }
+
+    /// Cross-purge the given state with the male tuple's timestamp, forwarding
+    /// expired females to the next slice.
+    fn purge_state(
+        state: &mut VecDeque<Tuple>,
+        window: SliceWindow,
+        male_ts: streamkit::Timestamp,
+        has_next: bool,
+        ctx: &mut OpContext,
+    ) {
+        while let Some(front) = state.front() {
+            ctx.counters.purge_comparisons += 1;
+            if !window.expired(male_ts, front.ts) {
+                break;
+            }
+            let expired = state.pop_front().expect("front exists");
+            if has_next {
+                ctx.emit(PORT_NEXT_SLICE, expired);
+            }
+        }
+    }
+
+    /// Process a male tuple: purge + probe the opposite state, emit results,
+    /// then propagate the male to the next slice.
+    fn process_male(&mut self, male: Tuple, ctx: &mut OpContext) {
+        let male_is_a = male.stream == self.stream_a;
+        let opposite = if male_is_a {
+            &mut self.state_b
+        } else {
+            &mut self.state_a
+        };
+        Self::purge_state(opposite, self.window, male.ts, self.has_next, ctx);
+        for stored in opposite.iter() {
+            let matched = if male_is_a {
+                self.condition
+                    .eval_counted(&male, stored, &mut ctx.counters.probe_comparisons)
+            } else {
+                self.condition
+                    .eval_counted(stored, &male, &mut ctx.counters.probe_comparisons)
+            };
+            if matched {
+                self.results += 1;
+                let joined = if male_is_a {
+                    Tuple::join(&male, stored, SLICED_JOIN_OUTPUT)
+                } else {
+                    Tuple::join(stored, &male, SLICED_JOIN_OUTPUT)
+                };
+                ctx.emit(PORT_RESULTS, joined);
+            }
+        }
+        // The male tuple acts as a punctuation for the union (Section 4.3).
+        ctx.emit(
+            PORT_RESULTS,
+            Punctuation::from_stream(male.ts, male.stream),
+        );
+        if self.has_next {
+            ctx.emit(PORT_NEXT_SLICE, male);
+        }
+    }
+
+    /// Process a female tuple: insert into this slice's state.
+    fn process_female(&mut self, female: Tuple) {
+        if female.stream == self.stream_a {
+            self.state_a.push_back(female);
+        } else {
+            self.state_b.push_back(female);
+        }
+        self.track_peak();
+    }
+}
+
+impl Operator for SlicedBinaryJoinOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_input_ports(&self) -> usize {
+        1
+    }
+
+    fn num_output_ports(&self) -> usize {
+        2
+    }
+
+    fn process(&mut self, _port: PortId, item: StreamItem, ctx: &mut OpContext) {
+        match item {
+            StreamItem::Tuple(t) => {
+                ctx.counters.tuples_processed += 1;
+                match t.role {
+                    TupleRole::Regular => {
+                        if self.chain_head {
+                            // Split into reference copies: the male purges and
+                            // probes first, then the female fills the state —
+                            // this matches Fig. 9, where an arriving tuple
+                            // never joins with itself.
+                            let male = t.with_role(TupleRole::Male);
+                            let female = t.with_role(TupleRole::Female);
+                            self.process_male(male, ctx);
+                            self.process_female(female);
+                        } else {
+                            // Mid-chain slices should only ever see tagged
+                            // copies; treat an untagged tuple as a male+female
+                            // pair as well so standalone use works.
+                            let male = t.with_role(TupleRole::Male);
+                            let female = t.with_role(TupleRole::Female);
+                            self.process_male(male, ctx);
+                            self.process_female(female);
+                        }
+                    }
+                    TupleRole::Male => self.process_male(t, ctx),
+                    TupleRole::Female => self.process_female(t),
+                }
+            }
+            StreamItem::Punctuation(p) => {
+                ctx.emit(PORT_RESULTS, p);
+                if self.has_next {
+                    ctx.emit(PORT_NEXT_SLICE, p);
+                }
+            }
+        }
+    }
+
+    fn state_size(&self) -> usize {
+        self.state_len()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamkit::Timestamp;
+
+    fn a(secs: u64, key: i64) -> Tuple {
+        Tuple::of_ints(Timestamp::from_secs(secs), StreamId::A, &[key])
+    }
+
+    fn b(secs: u64, key: i64) -> Tuple {
+        Tuple::of_ints(Timestamp::from_secs(secs), StreamId::B, &[key])
+    }
+
+    fn results_of(ctx: &mut OpContext) -> Vec<(u64, u64)> {
+        ctx.take_outputs()
+            .into_iter()
+            .filter(|(port, item)| *port == PORT_RESULTS && !item.is_punctuation())
+            .filter_map(|(_, item)| item.into_tuple())
+            .map(|t| {
+                (
+                    t.ts.as_micros() / 1_000_000,
+                    t.origin_span.as_micros() / 1_000_000,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn head_slice_splits_into_reference_copies_and_joins_both_directions() {
+        let mut op = SlicedBinaryJoinOp::for_ab(
+            "J1",
+            SliceWindow::from_secs(0, 10),
+            JoinCondition::equi(0),
+        )
+        .chain_head()
+        .last_in_chain();
+        let mut ctx = OpContext::new();
+        op.process(0, a(1, 7).into(), &mut ctx);
+        assert!(results_of(&mut ctx).is_empty());
+        assert_eq!(op.state_a_len(), 1);
+        // A B tuple with the same key joins against the stored A female.
+        op.process(0, b(2, 7).into(), &mut ctx);
+        assert_eq!(results_of(&mut ctx), vec![(2, 1)]);
+        // A later A tuple joins against the stored B female (other direction).
+        op.process(0, a(3, 7).into(), &mut ctx);
+        assert_eq!(results_of(&mut ctx), vec![(3, 1)]);
+        assert_eq!(op.results(), 2);
+        assert_eq!(op.state_len(), 3);
+        assert!(op.peak_state() >= 3);
+    }
+
+    #[test]
+    fn an_arrival_never_joins_with_itself() {
+        let mut op = SlicedBinaryJoinOp::for_ab(
+            "J1",
+            SliceWindow::from_secs(0, 10),
+            JoinCondition::Cross,
+        )
+        .chain_head()
+        .last_in_chain();
+        let mut ctx = OpContext::new();
+        op.process(0, a(1, 1).into(), &mut ctx);
+        // Only one tuple has arrived; the male copy must not see its own
+        // female copy in the state.
+        assert!(results_of(&mut ctx).is_empty());
+    }
+
+    #[test]
+    fn purged_females_and_propagated_males_feed_the_next_slice() {
+        let mut op = SlicedBinaryJoinOp::for_ab(
+            "J1",
+            SliceWindow::from_secs(0, 2),
+            JoinCondition::Cross,
+        )
+        .chain_head();
+        let mut ctx = OpContext::new();
+        op.process(0, a(1, 0).into(), &mut ctx);
+        let forwarded: Vec<(TupleRole, u64)> = ctx
+            .take_outputs()
+            .into_iter()
+            .filter(|(port, _)| *port == PORT_NEXT_SLICE)
+            .filter_map(|(_, item)| item.into_tuple())
+            .map(|t| (t.role, t.ts.as_micros() / 1_000_000))
+            .collect();
+        // The male copy is propagated immediately.
+        assert_eq!(forwarded, vec![(TupleRole::Male, 1)]);
+        // A much later B tuple purges the A female into the next slice.
+        op.process(0, b(10, 0).into(), &mut ctx);
+        let forwarded: Vec<(TupleRole, u64, StreamId)> = ctx
+            .take_outputs()
+            .into_iter()
+            .filter(|(port, _)| *port == PORT_NEXT_SLICE)
+            .filter_map(|(_, item)| item.into_tuple())
+            .map(|t| (t.role, t.ts.as_micros() / 1_000_000, t.stream))
+            .collect();
+        assert_eq!(
+            forwarded,
+            vec![
+                (TupleRole::Female, 1, StreamId::A),
+                (TupleRole::Male, 10, StreamId::B),
+            ]
+        );
+        assert_eq!(op.state_a_len(), 0);
+        assert_eq!(op.state_b_len(), 1);
+    }
+
+    #[test]
+    fn male_tuples_emit_punctuations_for_the_union() {
+        let mut op = SlicedBinaryJoinOp::for_ab(
+            "J1",
+            SliceWindow::from_secs(0, 5),
+            JoinCondition::Cross,
+        )
+        .chain_head()
+        .last_in_chain();
+        let mut ctx = OpContext::new();
+        op.process(0, a(3, 0).into(), &mut ctx);
+        let puncts: Vec<Punctuation> = ctx
+            .take_outputs()
+            .into_iter()
+            .filter(|(port, _)| *port == PORT_RESULTS)
+            .filter_map(|(_, item)| match item {
+                StreamItem::Punctuation(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts.len(), 1);
+        assert_eq!(puncts[0].watermark, Timestamp::from_secs(3));
+        assert_eq!(puncts[0].stream, Some(StreamId::A));
+    }
+
+    #[test]
+    fn only_females_occupy_state_memory() {
+        // Fig. 9 note (2): the state of the binary sliced window join only
+        // holds the female tuples.
+        let mut op = SlicedBinaryJoinOp::for_ab(
+            "J1",
+            SliceWindow::from_secs(0, 100),
+            JoinCondition::Cross,
+        )
+        .chain_head()
+        .last_in_chain();
+        let mut ctx = OpContext::new();
+        for s in 1..=10 {
+            op.process(0, a(s, 0).into(), &mut ctx);
+            op.process(0, b(s, 0).into(), &mut ctx);
+        }
+        // 10 A females + 10 B females, no male is ever stored.
+        assert_eq!(op.state_len(), 20);
+    }
+
+    #[test]
+    fn migration_helpers_round_trip_state() {
+        let mut op = SlicedBinaryJoinOp::for_ab(
+            "J1",
+            SliceWindow::from_secs(0, 100),
+            JoinCondition::Cross,
+        )
+        .chain_head()
+        .last_in_chain();
+        let mut ctx = OpContext::new();
+        op.process(0, a(1, 0).into(), &mut ctx);
+        op.process(0, b(2, 0).into(), &mut ctx);
+        let (sa, sb) = op.drain_states();
+        assert_eq!(sa.len(), 1);
+        assert_eq!(sb.len(), 1);
+        assert_eq!(op.state_len(), 0);
+        op.load_states(sa, sb);
+        assert_eq!(op.state_len(), 2);
+        op.set_window(SliceWindow::from_secs(0, 50));
+        assert_eq!(op.window(), SliceWindow::from_secs(0, 50));
+    }
+
+    #[test]
+    fn mid_chain_slices_respect_roles() {
+        let mut op = SlicedBinaryJoinOp::for_ab(
+            "J2",
+            SliceWindow::from_secs(2, 4),
+            JoinCondition::Cross,
+        )
+        .last_in_chain();
+        let mut ctx = OpContext::new();
+        // A purged female from the previous slice fills the state…
+        op.process(0, a(1, 0).with_role(TupleRole::Female).into(), &mut ctx);
+        assert_eq!(op.state_a_len(), 1);
+        // …and a propagated male from the previous slice probes it.
+        op.process(0, b(4, 0).with_role(TupleRole::Male).into(), &mut ctx);
+        assert_eq!(results_of(&mut ctx), vec![(4, 3)]);
+    }
+
+    #[test]
+    fn punctuations_flow_through_both_ports() {
+        let mut op = SlicedBinaryJoinOp::for_ab(
+            "J1",
+            SliceWindow::from_secs(0, 2),
+            JoinCondition::Cross,
+        );
+        let mut ctx = OpContext::new();
+        op.process(0, Punctuation::new(Timestamp::from_secs(7)).into(), &mut ctx);
+        let ports: Vec<PortId> = ctx.take_outputs().into_iter().map(|(p, _)| p).collect();
+        assert_eq!(ports, vec![PORT_RESULTS, PORT_NEXT_SLICE]);
+    }
+}

@@ -1,0 +1,273 @@
+//! Cost of arbitrary N-query slice chains (Sections 5.1–5.2).
+//!
+//! For `N` registered queries with windows `w_1 < w_2 < ... < w_N`, a chain
+//! configuration is a path through the slice-merge DAG of Figure 14: nodes
+//! `v_0 .. v_N` represent the window boundaries (with `w_0 = 0`), and an edge
+//! `v_i -> v_j` represents one sliced join with window range `(w_i, w_j]`
+//! that serves queries `Q_{i+1} .. Q_j` through a router.
+//!
+//! [`edge_cost`] is the CPU cost of one such (possibly merged) sliced join.
+//! Summed along a path it gives the CPU cost of the whole chain; the Mem-Opt
+//! chain is the path using every node, and the CPU-Opt chain is the shortest
+//! path (found with Dijkstra's algorithm in the `state_slice_core` crate).
+
+/// Parameters for chain cost estimation over `N` queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainParams {
+    /// Arrival rate of stream A (tuples/second).
+    pub lambda_a: f64,
+    /// Arrival rate of stream B (tuples/second).
+    pub lambda_b: f64,
+    /// Query windows in seconds, strictly increasing.
+    pub windows: Vec<f64>,
+    /// Join selectivity S⋈.
+    pub sel_join: f64,
+    /// Per-operator system overhead factor `C_sys` (comparisons-equivalent
+    /// cost per input tuple per operator: queue moves, scheduling).
+    pub csys: f64,
+}
+
+impl ChainParams {
+    /// Convenience constructor with symmetric arrival rates.
+    pub fn symmetric(lambda: f64, windows: Vec<f64>, sel_join: f64, csys: f64) -> Self {
+        ChainParams {
+            lambda_a: lambda,
+            lambda_b: lambda,
+            windows,
+            sel_join,
+            csys,
+        }
+    }
+
+    /// Number of registered queries (= number of distinct windows).
+    pub fn num_queries(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Combined arrival rate `λ_A + λ_B`.
+    pub fn total_rate(&self) -> f64 {
+        self.lambda_a + self.lambda_b
+    }
+
+    /// Window boundary `w_i` with `w_0 = 0`.
+    pub fn boundary(&self, i: usize) -> f64 {
+        if i == 0 {
+            0.0
+        } else {
+            self.windows[i - 1]
+        }
+    }
+
+    /// Validate monotonicity of the window list.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.windows.is_empty() {
+            return Err("at least one query window is required".to_string());
+        }
+        let mut prev = 0.0;
+        for (i, &w) in self.windows.iter().enumerate() {
+            if w <= prev {
+                return Err(format!(
+                    "windows must be strictly increasing and positive; window {i} = {w} after {prev}"
+                ));
+            }
+            prev = w;
+        }
+        Ok(())
+    }
+}
+
+/// Per-component CPU cost of a chain configuration (comparisons / second).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ChainCostBreakdown {
+    /// Join probing cost (identical for every slicing of the same `w_N`).
+    pub probe: f64,
+    /// Cross-purge cost (one pass per input tuple per sliced join).
+    pub purge: f64,
+    /// Routing cost of merged joins serving more than one query.
+    pub routing: f64,
+    /// System overhead for the operators in the chain.
+    pub system: f64,
+    /// Union merge cost (one comparison per joined result delivered).
+    pub union: f64,
+}
+
+impl ChainCostBreakdown {
+    /// Total CPU cost.
+    pub fn total(&self) -> f64 {
+        self.probe + self.purge + self.routing + self.system + self.union
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &ChainCostBreakdown) -> ChainCostBreakdown {
+        ChainCostBreakdown {
+            probe: self.probe + other.probe,
+            purge: self.purge + other.purge,
+            routing: self.routing + other.routing,
+            system: self.system + other.system,
+            union: self.union + other.union,
+        }
+    }
+}
+
+/// CPU cost of the sliced join represented by edge `v_i -> v_j` of the
+/// slice-merge DAG (`0 <= i < j <= N`).
+///
+/// The edge covers window range `(w_i, w_j]` and serves `m = j - i` queries:
+///
+/// * probing: `2 λ_A λ_B (w_j - w_i)` — constant across slicings (it always
+///   sums to the probing cost of the full window `w_N`),
+/// * purging: `λ_A + λ_B` — one pass per input tuple for this join,
+/// * routing: `2 λ_A λ_B (w_j - w_i) S⋈ (m - 1)` — a merged join must route
+///   its results among the `m` queries it serves (no router when `m = 1`),
+/// * system overhead: `C_sys (λ_A + λ_B)` per sliced join (queue moves and
+///   scheduling), so merging saves the overhead of the merged-away joins,
+/// * union: `2 λ_A λ_B (w_j - w_i) S⋈` — each result is merged once by the
+///   per-query unions (constant across slicings).
+pub fn edge_cost(params: &ChainParams, i: usize, j: usize) -> ChainCostBreakdown {
+    assert!(i < j && j <= params.num_queries(), "invalid edge ({i}, {j})");
+    let range = params.boundary(j) - params.boundary(i);
+    let m = (j - i) as f64;
+    let rate_product = 2.0 * params.lambda_a * params.lambda_b;
+    let total_rate = params.total_rate();
+    let probe = rate_product * range;
+    let purge = total_rate;
+    let result_rate = rate_product * range * params.sel_join;
+    let routing = result_rate * (m - 1.0);
+    // One schedulable operator per sliced join; the router of a merged join
+    // is folded into its output handling (Fig. 13(b)), so merging m slices
+    // saves (m - 1) operators' worth of per-tuple system overhead.
+    let system = params.csys * total_rate;
+    let union = result_rate;
+    ChainCostBreakdown {
+        probe,
+        purge,
+        routing,
+        system,
+        union,
+    }
+}
+
+/// CPU cost of an arbitrary chain configuration given as a path of window
+/// boundary indexes `0 = p_0 < p_1 < ... < p_k = N`.
+pub fn chain_cost(params: &ChainParams, path: &[usize]) -> ChainCostBreakdown {
+    assert!(
+        path.len() >= 2 && path[0] == 0 && *path.last().unwrap() == params.num_queries(),
+        "path must start at 0 and end at N"
+    );
+    let mut total = ChainCostBreakdown::default();
+    for w in path.windows(2) {
+        total = total.add(&edge_cost(params, w[0], w[1]));
+    }
+    total
+}
+
+/// CPU cost of the Mem-Opt chain (one slice per distinct query window).
+pub fn mem_opt_cost(params: &ChainParams) -> ChainCostBreakdown {
+    let path: Vec<usize> = (0..=params.num_queries()).collect();
+    chain_cost(params, &path)
+}
+
+/// State memory (in tuples) of any chain over windows up to `w_N`: the slices
+/// partition `[0, w_N)`, so the total equals the single-join state for `w_N`
+/// (Theorem 3).  Only meaningful when no selections are pushed into the chain.
+pub fn chain_state_tuples(params: &ChainParams) -> f64 {
+    params.total_rate() * params.windows.last().copied().unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ChainParams {
+        ChainParams::symmetric(10.0, vec![5.0, 10.0, 30.0], 0.1, 0.5)
+    }
+
+    #[test]
+    fn validation_accepts_increasing_and_rejects_others() {
+        assert!(params().validate().is_ok());
+        let bad = ChainParams::symmetric(10.0, vec![5.0, 5.0], 0.1, 0.5);
+        assert!(bad.validate().is_err());
+        let bad = ChainParams::symmetric(10.0, vec![], 0.1, 0.5);
+        assert!(bad.validate().is_err());
+        let bad = ChainParams::symmetric(10.0, vec![3.0, 2.0], 0.1, 0.5);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn boundaries_include_zero() {
+        let p = params();
+        assert_eq!(p.boundary(0), 0.0);
+        assert_eq!(p.boundary(1), 5.0);
+        assert_eq!(p.boundary(3), 30.0);
+        assert_eq!(p.num_queries(), 3);
+        assert_eq!(p.total_rate(), 20.0);
+    }
+
+    #[test]
+    fn probe_and_union_costs_are_constant_across_slicings() {
+        let p = params();
+        let memopt = mem_opt_cost(&p);
+        let merged_all = chain_cost(&p, &[0, 3]);
+        let partial = chain_cost(&p, &[0, 2, 3]);
+        assert!((memopt.probe - merged_all.probe).abs() < 1e-9);
+        assert!((memopt.probe - partial.probe).abs() < 1e-9);
+        assert!((memopt.union - merged_all.union).abs() < 1e-9);
+        assert!((memopt.union - partial.union).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merging_trades_routing_for_purge_and_overhead() {
+        let p = params();
+        let memopt = mem_opt_cost(&p);
+        let merged = chain_cost(&p, &[0, 3]);
+        // The fully merged plan purges once per tuple instead of three times.
+        assert!(merged.purge < memopt.purge);
+        // But it pays routing cost proportional to the result rate and fanout.
+        assert!(merged.routing > memopt.routing);
+        assert_eq!(memopt.routing, 0.0);
+    }
+
+    #[test]
+    fn low_join_selectivity_favours_merging() {
+        // With a tiny join selectivity the routing cost is negligible, so the
+        // merged chain (selection pull-up shape) has lower total CPU cost —
+        // exactly the scenario where Mem-Opt is not CPU-optimal (Section 5.1).
+        let p = ChainParams::symmetric(10.0, vec![1.0, 2.0, 3.0, 4.0], 0.001, 2.0);
+        assert!(chain_cost(&p, &[0, 4]).total() < mem_opt_cost(&p).total());
+        // With a large join selectivity the routing dominates and Mem-Opt wins.
+        let p = ChainParams::symmetric(10.0, vec![1.0, 2.0, 3.0, 4.0], 0.5, 0.1);
+        assert!(mem_opt_cost(&p).total() < chain_cost(&p, &[0, 4]).total());
+    }
+
+    #[test]
+    fn edge_cost_matches_hand_computation() {
+        let p = params();
+        // Edge (1, 3): range = 30 - 5 = 25, serves 2 queries.
+        let e = edge_cost(&p, 1, 3);
+        assert!((e.probe - 2.0 * 100.0 * 25.0).abs() < 1e-9);
+        assert!((e.purge - 20.0).abs() < 1e-9);
+        assert!((e.routing - 2.0 * 100.0 * 25.0 * 0.1).abs() < 1e-9);
+        assert!((e.system - 0.5 * 20.0).abs() < 1e-9);
+        assert!((e.union - 2.0 * 100.0 * 25.0 * 0.1).abs() < 1e-9);
+        let total = e.probe + e.purge + e.routing + e.system + e.union;
+        assert!((e.total() - total).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid edge")]
+    fn edge_cost_rejects_bad_indexes() {
+        let _ = edge_cost(&params(), 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "path must start at 0")]
+    fn chain_cost_rejects_bad_paths() {
+        let _ = chain_cost(&params(), &[0, 1]);
+    }
+
+    #[test]
+    fn state_memory_matches_theorem_three() {
+        let p = params();
+        assert!((chain_state_tuples(&p) - 20.0 * 30.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,34 @@
+//! Analytical memory / CPU cost model for shared window joins.
+//!
+//! This crate transcribes the cost analysis of the State-Slice paper:
+//!
+//! * [`pullup`] — Equation 1: naive sharing with selection pull-up,
+//! * [`pushdown`] — Equation 2: stream partition with selection push-down,
+//! * [`state_slice`] — Equation 3: the state-slice chain,
+//! * [`savings`] — Equation 4: relative memory / CPU savings (the surfaces of
+//!   Figure 11),
+//! * [`chain`] — per-slice and per-merged-slice costs for arbitrary N-query
+//!   chains; these are the edge lengths of the slice-merge DAG that the
+//!   CPU-Opt algorithm (Section 5.2) runs Dijkstra over.
+//!
+//! Units: arrival rates are tuples/second, windows are seconds, tuple sizes
+//! are KB, CPU costs are comparisons/second and memory costs are KB — the
+//! same units as Table 1 of the paper.
+
+pub mod chain;
+pub mod params;
+pub mod pullup;
+pub mod pushdown;
+pub mod savings;
+pub mod state_slice;
+
+pub use chain::{chain_cost, edge_cost, mem_opt_cost, ChainCostBreakdown, ChainParams};
+pub use params::{CostEstimate, SystemParams};
+pub use pullup::pullup_cost;
+pub use pushdown::pushdown_cost;
+pub use savings::{
+    cpu_saving_vs_pullup, cpu_saving_vs_pullup_closed_form, cpu_saving_vs_pushdown,
+    cpu_saving_vs_pushdown_closed_form, mem_saving_vs_pullup, mem_saving_vs_pullup_closed_form,
+    mem_saving_vs_pushdown, mem_saving_vs_pushdown_closed_form, SavingsPoint,
+};
+pub use state_slice::state_slice_cost;

@@ -1,0 +1,169 @@
+//! System parameters (Table 1 of the paper) and cost estimates.
+
+/// Parameters of the two-query sharing scenario analysed in Section 3 of the
+/// paper (queries Q1 and Q2 with windows `W1 < W2`, a selection on stream A
+/// in Q2 only).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemParams {
+    /// Arrival rate of stream A in tuples/second (λ_A).
+    pub lambda_a: f64,
+    /// Arrival rate of stream B in tuples/second (λ_B).
+    pub lambda_b: f64,
+    /// Window size of Q1 in seconds (W1).
+    pub w1: f64,
+    /// Window size of Q2 in seconds (W2), with `w1 <= w2`.
+    pub w2: f64,
+    /// Tuple size in KB (M_t).
+    pub tuple_kb: f64,
+    /// Selectivity of the selection σ_A (S_σ), in `[0, 1]`.
+    pub sel_filter: f64,
+    /// Join selectivity (S_⋈), output / Cartesian-product output.
+    pub sel_join: f64,
+}
+
+impl SystemParams {
+    /// Symmetric-rate constructor matching the paper's simplification
+    /// `λ_A = λ_B = λ`.
+    pub fn symmetric(lambda: f64, w1: f64, w2: f64, sel_filter: f64, sel_join: f64) -> Self {
+        SystemParams {
+            lambda_a: lambda,
+            lambda_b: lambda,
+            w1,
+            w2,
+            tuple_kb: 1.0,
+            sel_filter,
+            sel_join,
+        }
+    }
+
+    /// The common arrival rate λ (average of the two rates).
+    pub fn lambda(&self) -> f64 {
+        0.5 * (self.lambda_a + self.lambda_b)
+    }
+
+    /// The window ratio ρ = W1 / W2 used throughout Equation 4.
+    pub fn rho(&self) -> f64 {
+        if self.w2 <= 0.0 {
+            0.0
+        } else {
+            self.w1 / self.w2
+        }
+    }
+
+    /// Validate that the parameters are physically meaningful.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.lambda_a < 0.0 || self.lambda_b < 0.0 {
+            return Err("arrival rates must be non-negative".to_string());
+        }
+        if self.w1 < 0.0 || self.w2 < self.w1 {
+            return Err("windows must satisfy 0 <= W1 <= W2".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.sel_filter) {
+            return Err("filter selectivity must be in [0, 1]".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.sel_join) {
+            return Err("join selectivity must be in [0, 1]".to_string());
+        }
+        if self.tuple_kb < 0.0 {
+            return Err("tuple size must be non-negative".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Default for SystemParams {
+    fn default() -> Self {
+        // The paper's running example: W1 = 1 min, W2 = 60 min, Sσ = 1 %.
+        SystemParams {
+            lambda_a: 10.0,
+            lambda_b: 10.0,
+            w1: 60.0,
+            w2: 3600.0,
+            tuple_kb: 1.0,
+            sel_filter: 0.01,
+            sel_join: 0.1,
+        }
+    }
+}
+
+/// An analytical cost estimate for one shared query plan.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostEstimate {
+    /// State-memory consumption `C_m` in KB.
+    pub memory_kb: f64,
+    /// CPU cost `C_p` in comparisons per second.
+    pub cpu_per_sec: f64,
+}
+
+impl CostEstimate {
+    /// Build an estimate from its two components.
+    pub fn new(memory_kb: f64, cpu_per_sec: f64) -> Self {
+        CostEstimate {
+            memory_kb,
+            cpu_per_sec,
+        }
+    }
+
+    /// Memory expressed in tuples rather than KB.
+    pub fn memory_tuples(&self, tuple_kb: f64) -> f64 {
+        if tuple_kb <= 0.0 {
+            0.0
+        } else {
+            self.memory_kb / tuple_kb
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rho_and_lambda() {
+        let p = SystemParams::symmetric(20.0, 10.0, 30.0, 0.5, 0.1);
+        assert!((p.rho() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(p.lambda(), 20.0);
+        assert_eq!(p.tuple_kb, 1.0);
+    }
+
+    #[test]
+    fn zero_w2_gives_zero_rho() {
+        let p = SystemParams::symmetric(1.0, 0.0, 0.0, 0.5, 0.1);
+        assert_eq!(p.rho(), 0.0);
+    }
+
+    #[test]
+    fn default_matches_running_example() {
+        let p = SystemParams::default();
+        assert_eq!(p.w1, 60.0);
+        assert_eq!(p.w2, 3600.0);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_parameters() {
+        let mut p = SystemParams::default();
+        p.sel_filter = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = SystemParams::default();
+        p.w1 = 100.0;
+        p.w2 = 50.0;
+        assert!(p.validate().is_err());
+        let mut p = SystemParams::default();
+        p.lambda_a = -1.0;
+        assert!(p.validate().is_err());
+        let mut p = SystemParams::default();
+        p.sel_join = -0.1;
+        assert!(p.validate().is_err());
+        let mut p = SystemParams::default();
+        p.tuple_kb = -2.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn cost_estimate_memory_tuples() {
+        let c = CostEstimate::new(100.0, 5.0);
+        assert_eq!(c.memory_tuples(2.0), 50.0);
+        assert_eq!(c.memory_tuples(0.0), 0.0);
+    }
+}

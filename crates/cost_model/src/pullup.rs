@@ -1,0 +1,56 @@
+//! Equation 1: naive sharing with selection pull-up (Section 3.1).
+//!
+//! The shared plan performs one sliding-window join with the larger window
+//! `W2`, then routes every joined result to the registered queries and applies
+//! the pulled-up selection of Q2 on the routed results.
+
+use crate::params::{CostEstimate, SystemParams};
+
+/// State memory `C_m` and CPU cost `C_p` of the selection pull-up plan.
+///
+/// ```text
+/// C_m = 2 λ W2 M_t
+/// C_p = 2 λ² W2  +  2 λ  +  2 λ² W2 S⋈  +  2 λ² W2 S⋈
+///       (probe)    (purge)  (routing)      (selection)
+/// ```
+pub fn pullup_cost(p: &SystemParams) -> CostEstimate {
+    let lambda = p.lambda();
+    let memory_kb = 2.0 * lambda * p.w2 * p.tuple_kb;
+    let probe = 2.0 * lambda * lambda * p.w2;
+    let purge = 2.0 * lambda;
+    let routing = 2.0 * lambda * lambda * p.w2 * p.sel_join;
+    let selection = 2.0 * lambda * lambda * p.w2 * p.sel_join;
+    CostEstimate::new(memory_kb, probe + purge + routing + selection)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_equation_one_by_hand() {
+        // λ = 10, W2 = 100, Mt = 1, S⋈ = 0.1
+        let p = SystemParams::symmetric(10.0, 10.0, 100.0, 0.5, 0.1);
+        let c = pullup_cost(&p);
+        assert!((c.memory_kb - 2.0 * 10.0 * 100.0).abs() < 1e-9);
+        let expected_cpu = 2.0 * 100.0 * 100.0 + 2.0 * 10.0 + 2.0 * 100.0 * 100.0 * 0.1 * 2.0;
+        assert!((c.cpu_per_sec - expected_cpu).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_is_independent_of_selectivities() {
+        let a = pullup_cost(&SystemParams::symmetric(10.0, 10.0, 100.0, 0.1, 0.4));
+        let b = pullup_cost(&SystemParams::symmetric(10.0, 10.0, 100.0, 0.9, 0.01));
+        assert_eq!(a.memory_kb, b.memory_kb);
+        assert!(a.cpu_per_sec > b.cpu_per_sec);
+    }
+
+    #[test]
+    fn motivation_example_state_blowup() {
+        // The intro example: W1 = 1 min, W2 = 60 min.  The naive shared plan
+        // holds a state ~60x larger than Q1 alone would need.
+        let shared = pullup_cost(&SystemParams::symmetric(10.0, 60.0, 3600.0, 0.01, 0.1));
+        let q1_alone = 2.0 * 10.0 * 60.0; // 2 λ W1 Mt
+        assert!(shared.memory_kb / q1_alone >= 59.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Equation 2: stream partition with selection push-down (Section 3.2).
+//!
+//! Stream A is partitioned by the selection predicate; two joins process the
+//! disjoint partitions and an order-preserving union merges their results
+//! before a router dispatches them to the queries.
+
+use crate::params::{CostEstimate, SystemParams};
+
+/// State memory `C_m` and CPU cost `C_p` of the selection push-down plan.
+///
+/// ```text
+/// C_m = (2 - Sσ) λ W1 M_t + (1 + Sσ) λ W2 M_t
+/// C_p = λ                    (split)
+///     + 2 (1 - Sσ) λ² W1     (probe of ⋈1)
+///     + 2 Sσ λ² W2           (probe of ⋈2)
+///     + 3 λ                  (cross-purge)
+///     + 2 Sσ λ² W2 S⋈        (routing)
+///     + 2 λ² W1 S⋈           (union)
+/// ```
+pub fn pushdown_cost(p: &SystemParams) -> CostEstimate {
+    let lambda = p.lambda();
+    let memory_kb = (2.0 - p.sel_filter) * lambda * p.w1 * p.tuple_kb
+        + (1.0 + p.sel_filter) * lambda * p.w2 * p.tuple_kb;
+    let split = lambda;
+    let probe1 = 2.0 * (1.0 - p.sel_filter) * lambda * lambda * p.w1;
+    let probe2 = 2.0 * p.sel_filter * lambda * lambda * p.w2;
+    let purge = 3.0 * lambda;
+    let routing = 2.0 * p.sel_filter * lambda * lambda * p.w2 * p.sel_join;
+    let union = 2.0 * lambda * lambda * p.w1 * p.sel_join;
+    CostEstimate::new(memory_kb, split + probe1 + probe2 + purge + routing + union)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pullup::pullup_cost;
+
+    #[test]
+    fn matches_equation_two_by_hand() {
+        let p = SystemParams::symmetric(10.0, 10.0, 100.0, 0.5, 0.1);
+        let c = pushdown_cost(&p);
+        let expected_mem = (2.0 - 0.5) * 10.0 * 10.0 + (1.0 + 0.5) * 10.0 * 100.0;
+        assert!((c.memory_kb - expected_mem).abs() < 1e-9);
+        let expected_cpu = 10.0
+            + 2.0 * 0.5 * 100.0 * 10.0
+            + 2.0 * 0.5 * 100.0 * 100.0
+            + 30.0
+            + 2.0 * 0.5 * 100.0 * 100.0 * 0.1
+            + 2.0 * 100.0 * 10.0 * 0.1;
+        assert!((c.cpu_per_sec - expected_cpu).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pushdown_uses_less_cpu_than_pullup_with_selective_filters() {
+        let p = SystemParams::symmetric(50.0, 10.0, 60.0, 0.2, 0.1);
+        assert!(pushdown_cost(&p).cpu_per_sec < pullup_cost(&p).cpu_per_sec);
+    }
+
+    #[test]
+    fn pushdown_can_use_more_memory_than_pullup_when_filter_is_weak() {
+        // With Sσ -> 1 the partitioned plan stores B twice (B1 and B2 states
+        // cannot be shared), so its memory exceeds the pull-up plan's.
+        let p = SystemParams::symmetric(10.0, 30.0, 40.0, 0.95, 0.1);
+        assert!(pushdown_cost(&p).memory_kb > pullup_cost(&p).memory_kb);
+    }
+}

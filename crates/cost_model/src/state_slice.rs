@@ -1,0 +1,100 @@
+//! Equation 3: the state-slice chain (Section 4.3).
+//!
+//! The shared plan is a chain of two sliced binary window joins
+//! `⋈ˢ1 = A[0,W1] ⋈ˢ B[0,W1]` and `⋈ˢ2 = A[W1,W2] ⋈ˢ B[W1,W2]`, with the
+//! selection σ_A pushed between them and σ'_A applied to ⋈ˢ1's output for Q2.
+
+use crate::params::{CostEstimate, SystemParams};
+
+/// State memory `C_m` and CPU cost `C_p` of the state-slice chain plan.
+///
+/// ```text
+/// C_m = 2 λ W1 M_t + (1 + Sσ) λ (W2 - W1) M_t
+/// C_p = 2 λ² W1              (probe of ⋈ˢ1)
+///     + λ                    (filter σ_A)
+///     + 2 λ² Sσ (W2 - W1)    (probe of ⋈ˢ2)
+///     + 4 λ                  (cross-purge, both slices)
+///     + 2 λ                  (union)
+///     + 2 λ² S⋈ W1           (filter σ'_A on ⋈ˢ1 results)
+/// ```
+pub fn state_slice_cost(p: &SystemParams) -> CostEstimate {
+    let lambda = p.lambda();
+    let dw = (p.w2 - p.w1).max(0.0);
+    let memory_kb =
+        2.0 * lambda * p.w1 * p.tuple_kb + (1.0 + p.sel_filter) * lambda * dw * p.tuple_kb;
+    let probe1 = 2.0 * lambda * lambda * p.w1;
+    let filter = lambda;
+    let probe2 = 2.0 * lambda * lambda * p.sel_filter * dw;
+    let purge = 4.0 * lambda;
+    let union = 2.0 * lambda;
+    let residual_filter = 2.0 * lambda * lambda * p.sel_join * p.w1;
+    CostEstimate::new(
+        memory_kb,
+        probe1 + filter + probe2 + purge + union + residual_filter,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pullup::pullup_cost;
+    use crate::pushdown::pushdown_cost;
+
+    #[test]
+    fn matches_equation_three_by_hand() {
+        let p = SystemParams::symmetric(10.0, 10.0, 100.0, 0.5, 0.1);
+        let c = state_slice_cost(&p);
+        let expected_mem = 2.0 * 10.0 * 10.0 + 1.5 * 10.0 * 90.0;
+        assert!((c.memory_kb - expected_mem).abs() < 1e-9);
+        let expected_cpu = 2.0 * 100.0 * 10.0
+            + 10.0
+            + 2.0 * 100.0 * 0.5 * 90.0
+            + 40.0
+            + 20.0
+            + 2.0 * 100.0 * 0.1 * 10.0;
+        assert!((c.cpu_per_sec - expected_cpu).abs() < 1e-9);
+    }
+
+    #[test]
+    fn state_slice_never_uses_more_memory_than_alternatives() {
+        // Sweep a grid of parameters; Equation 4 shows all savings are
+        // non-negative.
+        for &rho in &[0.1, 0.3, 0.5, 0.9] {
+            for &s_sigma in &[0.0, 0.2, 0.5, 0.8, 1.0] {
+                for &s_join in &[0.025, 0.1, 0.4] {
+                    let w2 = 60.0;
+                    let p = SystemParams::symmetric(20.0, rho * w2, w2, s_sigma, s_join);
+                    let ss = state_slice_cost(&p);
+                    assert!(ss.memory_kb <= pullup_cost(&p).memory_kb + 1e-9);
+                    assert!(ss.memory_kb <= pushdown_cost(&p).memory_kb + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn state_slice_never_uses_more_cpu_than_alternatives() {
+        for &rho in &[0.1, 0.3, 0.5, 0.9] {
+            for &s_sigma in &[0.05, 0.2, 0.5, 0.8, 1.0] {
+                for &s_join in &[0.025, 0.1, 0.4] {
+                    let w2 = 60.0;
+                    let p = SystemParams::symmetric(20.0, rho * w2, w2, s_sigma, s_join);
+                    let ss = state_slice_cost(&p);
+                    assert!(ss.cpu_per_sec <= pullup_cost(&p).cpu_per_sec + 1e-9);
+                    assert!(ss.cpu_per_sec <= pushdown_cost(&p).cpu_per_sec + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_selection_means_same_memory_as_pullup() {
+        // Base case from Section 4.3: Sσ = 1 gives equal memory and a CPU
+        // saving proportional to S⋈.
+        let p = SystemParams::symmetric(30.0, 15.0, 45.0, 1.0, 0.2);
+        let ss = state_slice_cost(&p);
+        let pu = pullup_cost(&p);
+        assert!((ss.memory_kb - pu.memory_kb).abs() < 1e-9);
+        assert!(ss.cpu_per_sec < pu.cpu_per_sec);
+    }
+}

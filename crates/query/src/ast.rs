@@ -1,0 +1,149 @@
+//! Abstract syntax tree for the window-extended SQL-like query language.
+//!
+//! The grammar covers the query shape the paper works with (Section 1):
+//!
+//! ```sql
+//! SELECT A.* FROM Temperature A, Humidity B
+//! WHERE A.LocationId = B.LocationId AND A.Value > 100
+//! WINDOW 60 min
+//! ```
+
+use streamkit::{CmpOp, TimeDelta, Value};
+
+/// A reference to a column of one of the two input streams, `alias.column`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// The stream alias (`A`, `B`, ...).
+    pub stream: String,
+    /// The column name, or `*` for a whole-stream projection.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Convenience constructor.
+    pub fn new(stream: &str, column: &str) -> Self {
+        ColumnRef {
+            stream: stream.to_string(),
+            column: column.to_string(),
+        }
+    }
+}
+
+/// The projection list of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// `SELECT alias.*`
+    Star(String),
+    /// `SELECT a.x, b.y, ...`
+    Columns(Vec<ColumnRef>),
+}
+
+/// One stream in the `FROM` clause: `StreamName Alias`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamRef {
+    /// The registered stream name (`Temperature`).
+    pub name: String,
+    /// The alias used in the rest of the query (`A`).
+    pub alias: String,
+}
+
+/// One conjunct of the `WHERE` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// An equi-join predicate between two streams: `A.x = B.y`.
+    Join {
+        /// Left column.
+        left: ColumnRef,
+        /// Right column.
+        right: ColumnRef,
+    },
+    /// A selection on one stream: `A.x > 10`.
+    Filter {
+        /// Filtered column.
+        column: ColumnRef,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Constant operand.
+        value: Value,
+    },
+}
+
+/// A parsed continuous query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// Projection list.
+    pub projection: Projection,
+    /// The two input streams.
+    pub streams: Vec<StreamRef>,
+    /// `WHERE` conjuncts (joins and selections).
+    pub conditions: Vec<Condition>,
+    /// The sliding-window size from the `WINDOW` clause.
+    pub window: TimeDelta,
+}
+
+impl QuerySpec {
+    /// The join conjuncts.
+    pub fn join_conditions(&self) -> Vec<&Condition> {
+        self.conditions
+            .iter()
+            .filter(|c| matches!(c, Condition::Join { .. }))
+            .collect()
+    }
+
+    /// The selection conjuncts restricted to the given stream alias.
+    pub fn filters_on(&self, alias: &str) -> Vec<&Condition> {
+        self.conditions
+            .iter()
+            .filter(|c| matches!(c, Condition::Filter { column, .. } if column.stream == alias))
+            .collect()
+    }
+
+    /// Resolve a stream alias to its position in the `FROM` clause.
+    pub fn alias_position(&self, alias: &str) -> Option<usize> {
+        self.streams.iter().position(|s| s.alias == alias)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> QuerySpec {
+        QuerySpec {
+            projection: Projection::Star("A".into()),
+            streams: vec![
+                StreamRef {
+                    name: "Temperature".into(),
+                    alias: "A".into(),
+                },
+                StreamRef {
+                    name: "Humidity".into(),
+                    alias: "B".into(),
+                },
+            ],
+            conditions: vec![
+                Condition::Join {
+                    left: ColumnRef::new("A", "LocationId"),
+                    right: ColumnRef::new("B", "LocationId"),
+                },
+                Condition::Filter {
+                    column: ColumnRef::new("A", "Value"),
+                    op: CmpOp::Gt,
+                    value: Value::Int(100),
+                },
+            ],
+            window: TimeDelta::from_secs(60),
+        }
+    }
+
+    #[test]
+    fn accessors_partition_conditions() {
+        let q = spec();
+        assert_eq!(q.join_conditions().len(), 1);
+        assert_eq!(q.filters_on("A").len(), 1);
+        assert_eq!(q.filters_on("B").len(), 0);
+        assert_eq!(q.alias_position("A"), Some(0));
+        assert_eq!(q.alias_position("B"), Some(1));
+        assert_eq!(q.alias_position("C"), None);
+    }
+}

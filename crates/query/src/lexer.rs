@@ -1,0 +1,178 @@
+//! Tokenizer for the SQL-like continuous query language.
+
+use streamkit::error::{Result, StreamError};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (case preserved for identifiers).
+    Ident(String),
+    /// Numeric literal (integer or decimal).
+    Number(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Token {
+    /// `true` if this token is the given keyword (case-insensitive).
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize query text.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                tokens.push(Token::Ne);
+                i += 2;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut end = start;
+                while end < chars.len() && chars[end] != '\'' {
+                    end += 1;
+                }
+                if end >= chars.len() {
+                    return Err(StreamError::Parse("unterminated string literal".into()));
+                }
+                tokens.push(Token::Str(chars[start..end].iter().collect()));
+                i = end + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| StreamError::Parse(format!("invalid number '{text}'")))?;
+                tokens.push(Token::Number(value));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            other => {
+                return Err(StreamError::Parse(format!(
+                    "unexpected character '{other}' at offset {i}"
+                )))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_the_paper_example() {
+        let toks = tokenize(
+            "SELECT A.* FROM Temperature A, Humidity B \
+             WHERE A.LocationId=B.LocationId AND A.Value>100 WINDOW 60 min",
+        )
+        .unwrap();
+        assert!(toks[0].is_keyword("select"));
+        assert!(toks.contains(&Token::Star));
+        assert!(toks.contains(&Token::Gt));
+        assert!(toks.contains(&Token::Number(100.0)));
+        assert!(toks.iter().any(|t| t.is_keyword("window")));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = tokenize("a >= 1 b <= 2 c != 3 d <> 4 e < 5 f > 6 g = 7").unwrap();
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Le));
+        assert_eq!(toks.iter().filter(|t| **t == Token::Ne).count(), 2);
+        assert!(toks.contains(&Token::Lt));
+        assert!(toks.contains(&Token::Gt));
+        assert!(toks.contains(&Token::Eq));
+    }
+
+    #[test]
+    fn string_literals_and_decimals() {
+        let toks = tokenize("x = 'hello world' AND y > 2.5").unwrap();
+        assert!(toks.contains(&Token::Str("hello world".into())));
+        assert!(toks.contains(&Token::Number(2.5)));
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(tokenize("a = 'unterminated").is_err());
+        assert!(tokenize("a # b").is_err());
+        assert!(tokenize("1.2.3").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_token_stream() {
+        assert!(tokenize("   ").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! SQL-like continuous query language with a `WINDOW` clause.
+//!
+//! The paper's running example (Section 1) writes continuous queries as
+//!
+//! ```sql
+//! SELECT A.* FROM Temperature A, Humidity B
+//! WHERE A.LocationId = B.LocationId AND A.Value > 100
+//! WINDOW 60 min
+//! ```
+//!
+//! This crate provides the [`lexer`], [`parser`] and [`ast`] for that
+//! language, plus a [`translate`] step that resolves column names against
+//! registered stream [`Schema`](streamkit::Schema)s and produces the
+//! [`JoinCondition`](streamkit::JoinCondition) / [`Predicate`](streamkit::Predicate)
+//! / window triple the plan builders consume.
+//!
+//! ```
+//! use ss_query::{parse_query, translate, SchemaRegistry};
+//! use streamkit::{Schema, TimeDelta};
+//! use streamkit::tuple::{DataType, Field};
+//!
+//! let mut schemas = SchemaRegistry::new();
+//! schemas.register("Temperature", Schema::new(vec![
+//!     Field::new("LocationId", DataType::Int),
+//!     Field::new("Value", DataType::Float),
+//! ]));
+//! schemas.register("Humidity", Schema::new(vec![
+//!     Field::new("LocationId", DataType::Int),
+//! ]));
+//!
+//! let spec = parse_query(
+//!     "SELECT A.* FROM Temperature A, Humidity B \
+//!      WHERE A.LocationId = B.LocationId WINDOW 1 min",
+//! ).unwrap();
+//! let q = translate(&spec, &schemas).unwrap();
+//! assert_eq!(q.window, TimeDelta::from_secs(60));
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod translate;
+
+pub use ast::{ColumnRef, Condition, Projection, QuerySpec, StreamRef};
+pub use lexer::{tokenize, Token};
+pub use parser::parse_query;
+pub use translate::{translate, SchemaRegistry, TranslatedQuery};

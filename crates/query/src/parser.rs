@@ -1,0 +1,307 @@
+//! Recursive-descent parser for the SQL-like continuous query language.
+
+use streamkit::error::{Result, StreamError};
+use streamkit::{CmpOp, TimeDelta, Value};
+
+use crate::ast::{ColumnRef, Condition, Projection, QuerySpec, StreamRef};
+use crate::lexer::{tokenize, Token};
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.next() {
+            Some(t) if t.is_keyword(kw) => Ok(()),
+            other => Err(StreamError::Parse(format!(
+                "expected keyword '{kw}', found {other:?}"
+            ))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(StreamError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn expect(&mut self, token: Token) -> Result<()> {
+        match self.next() {
+            Some(t) if t == token => Ok(()),
+            other => Err(StreamError::Parse(format!(
+                "expected {token:?}, found {other:?}"
+            ))),
+        }
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef> {
+        let stream = self.expect_ident()?;
+        self.expect(Token::Dot)?;
+        let column = match self.next() {
+            Some(Token::Ident(c)) => c,
+            Some(Token::Star) => "*".to_string(),
+            other => {
+                return Err(StreamError::Parse(format!(
+                    "expected column name, found {other:?}"
+                )))
+            }
+        };
+        Ok(ColumnRef { stream, column })
+    }
+
+    fn projection(&mut self) -> Result<Projection> {
+        let first = self.column_ref()?;
+        if first.column == "*" {
+            return Ok(Projection::Star(first.stream));
+        }
+        let mut cols = vec![first];
+        while self.peek() == Some(&Token::Comma) {
+            // Lookahead: the FROM clause also starts after a comma-free list,
+            // so only consume the comma if a column reference follows.
+            let save = self.pos;
+            self.next();
+            match self.column_ref() {
+                Ok(c) if c.column != "*" => cols.push(c),
+                _ => {
+                    self.pos = save;
+                    break;
+                }
+            }
+        }
+        Ok(Projection::Columns(cols))
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp> {
+        match self.next() {
+            Some(Token::Eq) => Ok(CmpOp::Eq),
+            Some(Token::Ne) => Ok(CmpOp::Ne),
+            Some(Token::Lt) => Ok(CmpOp::Lt),
+            Some(Token::Le) => Ok(CmpOp::Le),
+            Some(Token::Gt) => Ok(CmpOp::Gt),
+            Some(Token::Ge) => Ok(CmpOp::Ge),
+            other => Err(StreamError::Parse(format!(
+                "expected a comparison operator, found {other:?}"
+            ))),
+        }
+    }
+
+    fn condition(&mut self) -> Result<Condition> {
+        let left = self.column_ref()?;
+        let op = self.cmp_op()?;
+        match self.peek().cloned() {
+            Some(Token::Ident(_)) => {
+                // Column on the right side: a join predicate (must be `=`).
+                let right = self.column_ref()?;
+                if op != CmpOp::Eq {
+                    return Err(StreamError::Parse(
+                        "join predicates must use '=' (equi-join)".to_string(),
+                    ));
+                }
+                Ok(Condition::Join { left, right })
+            }
+            Some(Token::Number(n)) => {
+                self.next();
+                let value = if n.fract() == 0.0 {
+                    Value::Int(n as i64)
+                } else {
+                    Value::Float(n)
+                };
+                Ok(Condition::Filter {
+                    column: left,
+                    op,
+                    value,
+                })
+            }
+            Some(Token::Str(s)) => {
+                self.next();
+                Ok(Condition::Filter {
+                    column: left,
+                    op,
+                    value: Value::str(&s),
+                })
+            }
+            other => Err(StreamError::Parse(format!(
+                "expected a column, number or string on the right-hand side, found {other:?}"
+            ))),
+        }
+    }
+
+    fn window(&mut self) -> Result<TimeDelta> {
+        let amount = match self.next() {
+            Some(Token::Number(n)) if n > 0.0 => n,
+            other => {
+                return Err(StreamError::Parse(format!(
+                    "expected a positive window length, found {other:?}"
+                )))
+            }
+        };
+        let unit = match self.next() {
+            Some(Token::Ident(u)) => u.to_ascii_lowercase(),
+            None => "sec".to_string(),
+            other => {
+                return Err(StreamError::Parse(format!(
+                    "expected a time unit, found {other:?}"
+                )))
+            }
+        };
+        let seconds = match unit.as_str() {
+            "ms" | "msec" | "millisecond" | "milliseconds" => amount / 1000.0,
+            "s" | "sec" | "secs" | "second" | "seconds" => amount,
+            "min" | "mins" | "minute" | "minutes" => amount * 60.0,
+            "h" | "hour" | "hours" => amount * 3600.0,
+            other => {
+                return Err(StreamError::Parse(format!(
+                    "unknown time unit '{other}'"
+                )))
+            }
+        };
+        Ok(TimeDelta::from_secs_f64(seconds))
+    }
+}
+
+/// Parse one continuous query.
+pub fn parse_query(text: &str) -> Result<QuerySpec> {
+    let mut p = Parser {
+        tokens: tokenize(text)?,
+        pos: 0,
+    };
+    p.expect_keyword("SELECT")?;
+    let projection = p.projection()?;
+    p.expect_keyword("FROM")?;
+    let mut streams = Vec::new();
+    loop {
+        let name = p.expect_ident()?;
+        let alias = p.expect_ident()?;
+        streams.push(StreamRef { name, alias });
+        if p.peek() == Some(&Token::Comma) {
+            p.next();
+        } else {
+            break;
+        }
+    }
+    if streams.len() != 2 {
+        return Err(StreamError::Parse(format!(
+            "expected exactly two streams in the FROM clause, found {}",
+            streams.len()
+        )));
+    }
+    let mut conditions = Vec::new();
+    if p.peek().map(|t| t.is_keyword("WHERE")).unwrap_or(false) {
+        p.next();
+        loop {
+            conditions.push(p.condition()?);
+            if p.peek().map(|t| t.is_keyword("AND")).unwrap_or(false) {
+                p.next();
+            } else {
+                break;
+            }
+        }
+    }
+    p.expect_keyword("WINDOW")?;
+    let window = p.window()?;
+    if p.peek().is_some() {
+        return Err(StreamError::Parse(format!(
+            "unexpected trailing tokens starting at {:?}",
+            p.peek()
+        )));
+    }
+    Ok(QuerySpec {
+        projection,
+        streams,
+        conditions,
+        window,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q2: &str = "SELECT A.* FROM Temperature A, Humidity B \
+                      WHERE A.LocationId=B.LocationId AND A.Value>100 WINDOW 60 min";
+
+    #[test]
+    fn parses_the_paper_example() {
+        let q = parse_query(Q2).unwrap();
+        assert_eq!(q.projection, Projection::Star("A".into()));
+        assert_eq!(q.streams.len(), 2);
+        assert_eq!(q.streams[0].name, "Temperature");
+        assert_eq!(q.streams[1].alias, "B");
+        assert_eq!(q.conditions.len(), 2);
+        assert_eq!(q.window, TimeDelta::from_secs(3600));
+        assert_eq!(q.join_conditions().len(), 1);
+        assert_eq!(q.filters_on("A").len(), 1);
+    }
+
+    #[test]
+    fn parses_without_selection_and_with_seconds() {
+        let q = parse_query(
+            "SELECT A.* FROM T A, H B WHERE A.LocationId = B.LocationId WINDOW 1 sec",
+        )
+        .unwrap();
+        assert_eq!(q.conditions.len(), 1);
+        assert_eq!(q.window, TimeDelta::from_secs(1));
+    }
+
+    #[test]
+    fn parses_explicit_column_projection_and_float_filter() {
+        let q = parse_query(
+            "SELECT A.temp, B.humidity FROM T A, H B \
+             WHERE A.id = B.id AND B.humidity >= 0.75 WINDOW 500 ms",
+        )
+        .unwrap();
+        match &q.projection {
+            Projection::Columns(cols) => assert_eq!(cols.len(), 2),
+            other => panic!("unexpected projection {other:?}"),
+        }
+        assert_eq!(q.filters_on("B").len(), 1);
+        assert_eq!(q.window, TimeDelta::from_millis(500));
+    }
+
+    #[test]
+    fn window_units() {
+        for (text, secs) in [("2 hour", 7200.0), ("90 seconds", 90.0), ("3 min", 180.0)] {
+            let q = parse_query(&format!(
+                "SELECT A.* FROM T A, H B WHERE A.x = B.x WINDOW {text}"
+            ))
+            .unwrap();
+            assert_eq!(q.window, TimeDelta::from_secs_f64(secs));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse_query("SELECT FROM T A, H B WINDOW 1 sec").is_err());
+        assert!(parse_query("SELECT A.* FROM T A WINDOW 1 sec").is_err());
+        assert!(parse_query("SELECT A.* FROM T A, H B WHERE A.x > B.y WINDOW 1 sec").is_err());
+        assert!(parse_query("SELECT A.* FROM T A, H B WINDOW 0 sec").is_err());
+        assert!(parse_query("SELECT A.* FROM T A, H B WINDOW 5 lightyears").is_err());
+        assert!(parse_query("SELECT A.* FROM T A, H B WINDOW 5 sec trailing junk").is_err());
+    }
+
+    #[test]
+    fn string_filters_are_supported() {
+        let q = parse_query(
+            "SELECT A.* FROM T A, H B WHERE A.id = B.id AND A.city = 'Seoul' WINDOW 10 sec",
+        )
+        .unwrap();
+        assert_eq!(q.filters_on("A").len(), 1);
+    }
+}

@@ -1,0 +1,256 @@
+//! Translate parsed queries into executable join / selection specifications.
+//!
+//! Column names are resolved against registered stream schemas, producing the
+//! [`JoinCondition`] and per-stream [`Predicate`]s that the chain planner and
+//! the baseline plan builders consume.
+
+use std::collections::HashMap;
+
+use streamkit::error::{Result, StreamError};
+use streamkit::{JoinCondition, Predicate, Schema, TimeDelta};
+
+use crate::ast::{Condition, Projection, QuerySpec};
+
+/// Registered stream schemas, keyed by stream name.
+#[derive(Debug, Default, Clone)]
+pub struct SchemaRegistry {
+    schemas: HashMap<String, Schema>,
+}
+
+impl SchemaRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        SchemaRegistry::default()
+    }
+
+    /// Register (or replace) a stream schema.
+    pub fn register(&mut self, stream: &str, schema: Schema) -> &mut Self {
+        self.schemas.insert(stream.to_string(), schema);
+        self
+    }
+
+    /// Look up a stream schema.
+    pub fn get(&self, stream: &str) -> Option<&Schema> {
+        self.schemas.get(stream)
+    }
+}
+
+/// The executable form of one continuous query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TranslatedQuery {
+    /// Sliding-window size.
+    pub window: TimeDelta,
+    /// The join condition between the first (A) and second (B) stream.
+    pub join_condition: JoinCondition,
+    /// Conjunction of the selections on the first stream.
+    pub filter_a: Predicate,
+    /// Conjunction of the selections on the second stream.
+    pub filter_b: Predicate,
+    /// Projected column indexes of the joined tuple, or `None` for `*`.
+    pub projection: Option<Vec<usize>>,
+}
+
+/// Translate a parsed query against the registered schemas.
+pub fn translate(spec: &QuerySpec, registry: &SchemaRegistry) -> Result<TranslatedQuery> {
+    let a = &spec.streams[0];
+    let b = &spec.streams[1];
+    let schema_a = registry
+        .get(&a.name)
+        .ok_or_else(|| StreamError::SchemaMismatch(format!("unknown stream '{}'", a.name)))?;
+    let schema_b = registry
+        .get(&b.name)
+        .ok_or_else(|| StreamError::SchemaMismatch(format!("unknown stream '{}'", b.name)))?;
+
+    let resolve = |alias: &str, column: &str| -> Result<(usize, bool)> {
+        // Returns (column index, is_stream_a).
+        if alias == a.alias {
+            schema_a
+                .index_of(column)
+                .map(|i| (i, true))
+                .ok_or_else(|| column_error(&a.name, column))
+        } else if alias == b.alias {
+            schema_b
+                .index_of(column)
+                .map(|i| (i, false))
+                .ok_or_else(|| column_error(&b.name, column))
+        } else {
+            Err(StreamError::SchemaMismatch(format!(
+                "unknown stream alias '{alias}'"
+            )))
+        }
+    };
+
+    let mut join_condition: Option<JoinCondition> = None;
+    let mut filter_a = Predicate::True;
+    let mut filter_b = Predicate::True;
+    for cond in &spec.conditions {
+        match cond {
+            Condition::Join { left, right } => {
+                let (l_idx, l_is_a) = resolve(&left.stream, &left.column)?;
+                let (r_idx, r_is_a) = resolve(&right.stream, &right.column)?;
+                if l_is_a == r_is_a {
+                    return Err(StreamError::SchemaMismatch(
+                        "join predicates must reference both streams".to_string(),
+                    ));
+                }
+                let (left_field, right_field) = if l_is_a { (l_idx, r_idx) } else { (r_idx, l_idx) };
+                let this = JoinCondition::Equi {
+                    left_field,
+                    right_field,
+                };
+                join_condition = Some(match join_condition.take() {
+                    None => this,
+                    Some(existing) => JoinCondition::And(Box::new(existing), Box::new(this)),
+                });
+            }
+            Condition::Filter { column, op, value } => {
+                let (idx, is_a) = resolve(&column.stream, &column.column)?;
+                let pred = Predicate::cmp(idx, *op, value.clone());
+                if is_a {
+                    filter_a = filter_a.and(pred);
+                } else {
+                    filter_b = filter_b.and(pred);
+                }
+            }
+        }
+    }
+    let join_condition = join_condition.ok_or_else(|| {
+        StreamError::SchemaMismatch("the query has no join predicate".to_string())
+    })?;
+
+    let projection = match &spec.projection {
+        Projection::Star(_) => None,
+        Projection::Columns(cols) => {
+            let mut indexes = Vec::with_capacity(cols.len());
+            for c in cols {
+                let (idx, is_a) = resolve(&c.stream, &c.column)?;
+                // Joined tuples concatenate A's columns before B's.
+                indexes.push(if is_a { idx } else { schema_a.len() + idx });
+            }
+            Some(indexes)
+        }
+    };
+
+    Ok(TranslatedQuery {
+        window: spec.window,
+        join_condition,
+        filter_a,
+        filter_b,
+        projection,
+    })
+}
+
+fn column_error(stream: &str, column: &str) -> StreamError {
+    StreamError::SchemaMismatch(format!("stream '{stream}' has no column '{column}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use streamkit::tuple::{DataType, Field};
+
+    fn registry() -> SchemaRegistry {
+        let mut r = SchemaRegistry::new();
+        r.register(
+            "Temperature",
+            Schema::new(vec![
+                Field::new("LocationId", DataType::Int),
+                Field::new("Value", DataType::Float),
+            ]),
+        );
+        r.register(
+            "Humidity",
+            Schema::new(vec![
+                Field::new("LocationId", DataType::Int),
+                Field::new("Humidity", DataType::Float),
+            ]),
+        );
+        r
+    }
+
+    #[test]
+    fn translates_the_paper_example() {
+        let q = parse_query(
+            "SELECT A.* FROM Temperature A, Humidity B \
+             WHERE A.LocationId=B.LocationId AND A.Value>100 WINDOW 60 min",
+        )
+        .unwrap();
+        let t = translate(&q, &registry()).unwrap();
+        assert_eq!(t.window, TimeDelta::from_secs(3600));
+        assert_eq!(
+            t.join_condition,
+            JoinCondition::Equi {
+                left_field: 0,
+                right_field: 0
+            }
+        );
+        assert_ne!(t.filter_a, Predicate::True);
+        assert_eq!(t.filter_b, Predicate::True);
+        assert_eq!(t.projection, None);
+    }
+
+    #[test]
+    fn projection_indexes_span_both_streams() {
+        let q = parse_query(
+            "SELECT A.Value, B.Humidity FROM Temperature A, Humidity B \
+             WHERE A.LocationId=B.LocationId WINDOW 10 sec",
+        )
+        .unwrap();
+        let t = translate(&q, &registry()).unwrap();
+        assert_eq!(t.projection, Some(vec![1, 3]));
+    }
+
+    #[test]
+    fn filters_on_stream_b_are_separated() {
+        let q = parse_query(
+            "SELECT A.* FROM Temperature A, Humidity B \
+             WHERE A.LocationId=B.LocationId AND B.Humidity >= 0.8 WINDOW 10 sec",
+        )
+        .unwrap();
+        let t = translate(&q, &registry()).unwrap();
+        assert_eq!(t.filter_a, Predicate::True);
+        assert_ne!(t.filter_b, Predicate::True);
+    }
+
+    #[test]
+    fn errors_cover_unknown_entities_and_missing_joins() {
+        let r = registry();
+        let q = parse_query(
+            "SELECT A.* FROM Nowhere A, Humidity B WHERE A.x=B.LocationId WINDOW 1 sec",
+        )
+        .unwrap();
+        assert!(translate(&q, &r).is_err());
+        let q = parse_query(
+            "SELECT A.* FROM Temperature A, Humidity B WHERE A.Bogus=B.LocationId WINDOW 1 sec",
+        )
+        .unwrap();
+        assert!(translate(&q, &r).is_err());
+        let q = parse_query(
+            "SELECT A.* FROM Temperature A, Humidity B WHERE A.Value > 10 WINDOW 1 sec",
+        )
+        .unwrap();
+        assert!(translate(&q, &r).is_err());
+        let q = parse_query(
+            "SELECT A.* FROM Temperature A, Humidity B WHERE A.Value = A.LocationId WINDOW 1 sec",
+        )
+        .unwrap();
+        assert!(translate(&q, &r).is_err());
+        let q = parse_query(
+            "SELECT C.* FROM Temperature A, Humidity B WHERE C.x = B.LocationId WINDOW 1 sec",
+        )
+        .unwrap();
+        assert!(translate(&q, &r).is_err());
+    }
+
+    #[test]
+    fn multiple_join_conjuncts_compose() {
+        let q = parse_query(
+            "SELECT A.* FROM Temperature A, Humidity B \
+             WHERE A.LocationId=B.LocationId AND A.Value=B.Humidity WINDOW 1 sec",
+        )
+        .unwrap();
+        let t = translate(&q, &registry()).unwrap();
+        assert!(matches!(t.join_condition, JoinCondition::And(_, _)));
+    }
+}

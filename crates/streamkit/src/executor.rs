@@ -1,0 +1,513 @@
+//! Plan execution with statistics collection.
+//!
+//! The [`Executor`] owns a [`Plan`], one queue per operator input port and the
+//! statistics the paper's evaluation reports: state memory (tuples), the
+//! comparison-count breakdown, per-query sink throughput and wall-clock
+//! service rate (total throughput / running time, Section 7.1).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crate::error::{Result, StreamError};
+use crate::operator::{OpContext, PortId};
+use crate::plan::Plan;
+use crate::queue::{Queue, StreamItem};
+use crate::scheduler::{RoundRobinScheduler, Scheduler};
+use crate::stats::{CostCounters, MemoryStats, NodeStats};
+
+/// Executor tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Maximum items an operator consumes per scheduler visit.
+    pub batch_per_visit: usize,
+    /// Sample the total state size every this many processed items.
+    pub memory_sample_every: u64,
+    /// Safety bound on scheduler rounds (guards against runaway plans).
+    pub max_rounds: u64,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        // A small per-visit batch keeps the round-robin interleaving close to
+        // the paper's CAPE setup (no operator races far ahead of the rest of
+        // the plan, so state sizes stay representative) while amortising the
+        // per-round scheduling overhead across a few tuples.
+        ExecutorConfig {
+            batch_per_visit: 64,
+            memory_sample_every: 256,
+            max_rounds: u64::MAX,
+        }
+    }
+}
+
+/// Result of running a plan to quiescence.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// Global comparison counters summed over all operators.
+    pub totals: CostCounters,
+    /// Per-operator statistics, in node-id order.
+    pub node_stats: Vec<NodeStats>,
+    /// State-memory statistics sampled during the run.
+    pub memory: MemoryStats,
+    /// Tuples delivered to each sink, keyed by sink (query) name.
+    pub sink_counts: HashMap<String, u64>,
+    /// Number of external items ingested.
+    pub ingested: u64,
+    /// Wall-clock running time in seconds.
+    pub elapsed_secs: f64,
+    /// Scheduler rounds executed.
+    pub rounds: u64,
+}
+
+impl ExecutionReport {
+    /// Total tuples delivered to all sinks.
+    pub fn total_output(&self) -> u64 {
+        self.sink_counts.values().sum()
+    }
+
+    /// The paper's service-rate metric: total throughput / running time.
+    ///
+    /// "Throughput" counts every tuple delivered to a query result receiver
+    /// plus every ingested input tuple, so that a plan that filters
+    /// everything still has a finite, comparable service rate.
+    pub fn service_rate(&self) -> f64 {
+        if self.elapsed_secs <= 0.0 {
+            return 0.0;
+        }
+        (self.total_output() + self.ingested) as f64 / self.elapsed_secs
+    }
+
+    /// Output count for a specific sink.
+    pub fn sink_count(&self, name: &str) -> u64 {
+        self.sink_counts.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Runs a [`Plan`] to quiescence over externally ingested input.
+pub struct Executor {
+    plan: Plan,
+    config: ExecutorConfig,
+    /// `queues[node][port]` is the input queue of that port.
+    queues: Vec<Vec<Queue>>,
+    /// Precomputed routing table: `routing[node][out_port]` lists the
+    /// destination `(node index, input port)` pairs.
+    routing: Vec<Vec<Vec<(usize, PortId)>>>,
+    node_counters: Vec<CostCounters>,
+    peak_state: Vec<usize>,
+    memory: MemoryStats,
+    ingested: u64,
+    processed_since_sample: u64,
+    /// Reusable operator context (output buffer + counters) for the hot loop.
+    scratch_ctx: OpContext,
+    /// Reusable output staging buffer.
+    scratch_out: Vec<(PortId, StreamItem)>,
+    /// Reusable per-round buffers.
+    backlog_buf: Vec<usize>,
+    order_buf: Vec<usize>,
+}
+
+impl Executor {
+    /// Wrap a plan with default configuration.
+    pub fn new(plan: Plan) -> Self {
+        Executor::with_config(plan, ExecutorConfig::default())
+    }
+
+    /// Wrap a plan with an explicit configuration.
+    pub fn with_config(plan: Plan, config: ExecutorConfig) -> Self {
+        let queues: Vec<Vec<Queue>> = plan
+            .nodes()
+            .iter()
+            .map(|n| {
+                (0..n.operator.num_input_ports())
+                    .map(|_| Queue::new())
+                    .collect()
+            })
+            .collect();
+        let routing: Vec<Vec<Vec<(usize, PortId)>>> = plan
+            .nodes()
+            .iter()
+            .map(|n| {
+                (0..n.operator.num_output_ports())
+                    .map(|port| {
+                        plan.downstream(n.id, port)
+                            .into_iter()
+                            .map(|(to, to_port)| (to.0, to_port))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let n = plan.num_nodes();
+        Executor {
+            plan,
+            config,
+            queues,
+            routing,
+            node_counters: vec![CostCounters::default(); n],
+            peak_state: vec![0; n],
+            memory: MemoryStats::default(),
+            ingested: 0,
+            processed_since_sample: 0,
+            scratch_ctx: OpContext::new(),
+            scratch_out: Vec::new(),
+            backlog_buf: Vec::new(),
+            order_buf: Vec::new(),
+        }
+    }
+
+    /// The wrapped plan.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Mutable access to the wrapped plan (used by online chain migration).
+    pub fn plan_mut(&mut self) -> &mut Plan {
+        &mut self.plan
+    }
+
+    /// Push an item into a named entry point.
+    pub fn ingest(&mut self, entry: &str, item: impl Into<StreamItem>) -> Result<()> {
+        let (node, port) = self.plan.entry(entry)?;
+        self.queues[node.0][port].push(item.into());
+        self.ingested += 1;
+        Ok(())
+    }
+
+    /// Push a batch of items into a named entry point.
+    pub fn ingest_all<I>(&mut self, entry: &str, items: I) -> Result<()>
+    where
+        I: IntoIterator,
+        I::Item: Into<StreamItem>,
+    {
+        let (node, port) = self.plan.entry(entry)?;
+        for item in items {
+            self.queues[node.0][port].push(item.into());
+            self.ingested += 1;
+        }
+        Ok(())
+    }
+
+    fn refresh_backlog(&mut self) -> usize {
+        self.backlog_buf.clear();
+        let mut total = 0;
+        for ports in &self.queues {
+            let n: usize = ports.iter().map(|q| q.len()).sum();
+            total += n;
+            self.backlog_buf.push(n);
+        }
+        total
+    }
+
+    fn total_queue_items(&self) -> usize {
+        self.queues
+            .iter()
+            .map(|ports| ports.iter().map(|q| q.len()).sum::<usize>())
+            .sum()
+    }
+
+    fn sample_memory(&mut self) {
+        let mut state = 0usize;
+        let mut buffers = 0usize;
+        for node in self.plan.nodes() {
+            if node.operator.is_transient_buffer() {
+                buffers += node.operator.state_size();
+            } else {
+                state += node.operator.state_size();
+            }
+        }
+        let queued = self.total_queue_items() + buffers;
+        self.memory.record(state, queued);
+        for (i, node) in self.plan.nodes().iter().enumerate() {
+            self.peak_state[i] = self.peak_state[i].max(node.operator.state_size());
+        }
+    }
+
+    /// Pop the next item for a node: the oldest head across its input ports,
+    /// preserving the global timestamp order the paper assumes.
+    fn pop_oldest(queues: &mut [Queue]) -> Option<(PortId, StreamItem)> {
+        let mut best: Option<(PortId, crate::time::Timestamp)> = None;
+        for (port, q) in queues.iter().enumerate() {
+            if let Some(ts) = q.peek_timestamp() {
+                match best {
+                    Some((_, best_ts)) if best_ts <= ts => {}
+                    _ => best = Some((port, ts)),
+                }
+            }
+        }
+        let (port, _) = best?;
+        queues[port].pop().map(|item| (port, item))
+    }
+
+    fn dispatch_outputs(
+        routing: &[Vec<Vec<(usize, PortId)>>],
+        queues: &mut [Vec<Queue>],
+        node: usize,
+        outputs: &mut Vec<(PortId, StreamItem)>,
+    ) {
+        for (out_port, item) in outputs.drain(..) {
+            let destinations = &routing[node][out_port];
+            match destinations.len() {
+                0 => {} // dangling port: results intentionally discarded
+                1 => {
+                    let (to, to_port) = destinations[0];
+                    queues[to][to_port].push(item);
+                }
+                _ => {
+                    for &(to, to_port) in destinations {
+                        queues[to][to_port].push(item.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run one visit of the given node, consuming at most `batch` items.
+    /// Returns the number of items consumed.
+    fn visit_node(&mut self, idx: usize, batch: usize) -> usize {
+        let mut consumed = 0;
+        self.scratch_ctx.reset_counters();
+        while consumed < batch {
+            let Some((port, item)) = Self::pop_oldest(&mut self.queues[idx]) else {
+                break;
+            };
+            let node = &mut self.plan.nodes_mut_internal()[idx];
+            node.operator.process(port, item, &mut self.scratch_ctx);
+            consumed += 1;
+            self.scratch_ctx.swap_outputs(&mut self.scratch_out);
+            Self::dispatch_outputs(
+                &self.routing,
+                &mut self.queues,
+                idx,
+                &mut self.scratch_out,
+            );
+        }
+        self.node_counters[idx].add(&self.scratch_ctx.counters);
+        self.processed_since_sample += consumed as u64;
+        if self.processed_since_sample >= self.config.memory_sample_every {
+            self.processed_since_sample = 0;
+            self.sample_memory();
+        }
+        consumed
+    }
+
+    /// Run until every queue is empty, then flush all operators (in
+    /// topological order) and drain again, using the given scheduler.
+    pub fn run_with_scheduler<S: Scheduler>(&mut self, scheduler: &mut S) -> Result<ExecutionReport> {
+        let start = Instant::now();
+        let mut rounds = 0u64;
+        self.sample_memory();
+        loop {
+            if self.refresh_backlog() == 0 {
+                break;
+            }
+            if rounds >= self.config.max_rounds {
+                return Err(StreamError::Execution(format!(
+                    "exceeded the configured maximum of {} scheduler rounds",
+                    self.config.max_rounds
+                )));
+            }
+            rounds += 1;
+            let mut order = std::mem::take(&mut self.order_buf);
+            order.clear();
+            scheduler.next_round(&self.backlog_buf, &mut order);
+            let mut any = false;
+            for &idx in &order {
+                if idx >= self.plan.num_nodes() {
+                    continue;
+                }
+                if self.visit_node(idx, self.config.batch_per_visit) > 0 {
+                    any = true;
+                }
+            }
+            self.order_buf = order;
+            if !any {
+                // Defensive: queues are non-empty but nothing was consumable.
+                return Err(StreamError::Execution(
+                    "scheduler made no progress with non-empty queues".to_string(),
+                ));
+            }
+        }
+        // Flush operators so buffered results (e.g. union reorder buffers)
+        // are emitted, then drain any output that produced.
+        let order = self.plan.topological_order()?;
+        for id in order {
+            self.scratch_ctx.reset_counters();
+            self.plan.nodes_mut_internal()[id.0]
+                .operator
+                .flush(&mut self.scratch_ctx);
+            self.node_counters[id.0].add(&self.scratch_ctx.counters);
+            self.scratch_ctx.swap_outputs(&mut self.scratch_out);
+            Self::dispatch_outputs(&self.routing, &mut self.queues, id.0, &mut self.scratch_out);
+            // Drain downstream work created by this flush before moving on.
+            while self.refresh_backlog() > 0 {
+                for idx in 0..self.plan.num_nodes() {
+                    self.visit_node(idx, self.config.batch_per_visit);
+                }
+            }
+        }
+        self.sample_memory();
+        let elapsed_secs = start.elapsed().as_secs_f64();
+
+        let mut sink_counts = HashMap::new();
+        for (name, id) in self.plan.sinks() {
+            if let Some(sink) = self.plan.node(id)?.operator.as_any().downcast_ref::<crate::ops::SinkOp>() {
+                sink_counts.insert(name, sink.count());
+            }
+        }
+        let mut totals = CostCounters::default();
+        let mut node_stats = Vec::with_capacity(self.plan.num_nodes());
+        for (i, node) in self.plan.nodes().iter().enumerate() {
+            totals.add(&self.node_counters[i]);
+            node_stats.push(NodeStats {
+                name: node.operator.name().to_string(),
+                counters: self.node_counters[i],
+                state_tuples: node.operator.state_size(),
+                peak_state_tuples: self.peak_state[i].max(node.operator.state_size()),
+            });
+        }
+        Ok(ExecutionReport {
+            totals,
+            node_stats,
+            memory: self.memory,
+            sink_counts,
+            ingested: self.ingested,
+            elapsed_secs,
+            rounds,
+        })
+    }
+
+    /// Run to quiescence with the default round-robin scheduler.
+    pub fn run(&mut self) -> Result<ExecutionReport> {
+        let mut scheduler = RoundRobinScheduler;
+        self.run_with_scheduler(&mut scheduler)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{SelectOp, SinkOp, UnionOp, WindowJoinOp};
+    use crate::predicate::{JoinCondition, Predicate};
+    use crate::scheduler::{LongestQueueFirstScheduler, ReverseScheduler};
+    use crate::time::Timestamp;
+    use crate::tuple::{StreamId, Tuple};
+    use crate::window::WindowSpec;
+
+    fn a(secs: u64, key: i64) -> Tuple {
+        Tuple::of_ints(Timestamp::from_secs(secs), StreamId::A, &[key])
+    }
+
+    fn b(secs: u64, key: i64) -> Tuple {
+        Tuple::of_ints(Timestamp::from_secs(secs), StreamId::B, &[key])
+    }
+
+    fn join_plan() -> Plan {
+        let mut builder = Plan::builder();
+        let join = builder.add_op(WindowJoinOp::symmetric(
+            "join",
+            WindowSpec::from_secs(10),
+            JoinCondition::equi(0),
+        ));
+        let sink = builder.add_op(SinkOp::retaining("q1"));
+        builder.connect(join, 0, sink, 0);
+        builder.entry("A", join, 0);
+        builder.entry("B", join, 1);
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn executes_a_simple_join_plan() {
+        let mut exec = Executor::new(join_plan());
+        exec.ingest_all("A", vec![a(1, 7), a(2, 8)]).unwrap();
+        exec.ingest_all("B", vec![b(3, 7), b(4, 9)]).unwrap();
+        let report = exec.run().unwrap();
+        assert_eq!(report.sink_count("q1"), 1);
+        assert_eq!(report.total_output(), 1);
+        assert_eq!(report.ingested, 4);
+        assert!(report.service_rate() > 0.0);
+        assert!(report.totals.probe_comparisons > 0);
+        assert!(report.memory.peak_state_tuples >= 2);
+        assert!(report.rounds >= 1);
+        assert_eq!(report.node_stats.len(), 2);
+    }
+
+    #[test]
+    fn unknown_entry_is_an_error() {
+        let mut exec = Executor::new(join_plan());
+        assert!(exec.ingest("C", a(1, 1)).is_err());
+    }
+
+    #[test]
+    fn scheduler_choice_does_not_change_results() {
+        let inputs_a: Vec<Tuple> = (0..40).map(|i| a(i, (i % 5) as i64)).collect();
+        let inputs_b: Vec<Tuple> = (0..40).map(|i| b(i, (i % 5) as i64)).collect();
+        let mut counts = Vec::new();
+        // Round-robin.
+        let mut exec = Executor::new(join_plan());
+        exec.ingest_all("A", inputs_a.clone()).unwrap();
+        exec.ingest_all("B", inputs_b.clone()).unwrap();
+        counts.push(exec.run().unwrap().sink_count("q1"));
+        // Reverse order.
+        let mut exec = Executor::new(join_plan());
+        exec.ingest_all("A", inputs_a.clone()).unwrap();
+        exec.ingest_all("B", inputs_b.clone()).unwrap();
+        let mut sched = ReverseScheduler;
+        counts.push(exec.run_with_scheduler(&mut sched).unwrap().sink_count("q1"));
+        // Longest queue first.
+        let mut exec = Executor::new(join_plan());
+        exec.ingest_all("A", inputs_a).unwrap();
+        exec.ingest_all("B", inputs_b).unwrap();
+        let mut sched = LongestQueueFirstScheduler;
+        counts.push(exec.run_with_scheduler(&mut sched).unwrap().sink_count("q1"));
+        assert_eq!(counts[0], counts[1]);
+        assert_eq!(counts[1], counts[2]);
+        assert!(counts[0] > 0);
+    }
+
+    #[test]
+    fn flush_drains_union_buffers() {
+        let mut builder = Plan::builder();
+        let union = builder.add_op(UnionOp::new("union", 2));
+        let sink = builder.add_op(SinkOp::new("q"));
+        builder.connect(union, 0, sink, 0);
+        builder.entry("L", union, 0);
+        builder.entry("R", union, 1);
+        let mut exec = Executor::new(builder.build().unwrap());
+        exec.ingest("L", a(5, 0)).unwrap();
+        exec.ingest("R", a(9, 0)).unwrap();
+        let report = exec.run().unwrap();
+        // Without the flush the tuple at ts=9 would stay buffered forever.
+        assert_eq!(report.sink_count("q"), 2);
+    }
+
+    #[test]
+    fn select_plan_counts_filter_comparisons() {
+        let mut builder = Plan::builder();
+        let sel = builder.add_op(SelectOp::new("sigma", Predicate::gt(0, 3i64)));
+        let sink = builder.add_op(SinkOp::new("q"));
+        builder.connect(sel, 0, sink, 0);
+        builder.entry("A", sel, 0);
+        let mut exec = Executor::new(builder.build().unwrap());
+        exec.ingest_all("A", (0..10).map(|i| a(i, i as i64))).unwrap();
+        let report = exec.run().unwrap();
+        assert_eq!(report.sink_count("q"), 6);
+        assert_eq!(report.totals.filter_comparisons, 10);
+        let sel_stats = &report.node_stats[0];
+        assert_eq!(sel_stats.name, "sigma");
+        assert_eq!(sel_stats.counters.filter_comparisons, 10);
+    }
+
+    #[test]
+    fn max_rounds_guard_triggers() {
+        let mut exec = Executor::with_config(
+            join_plan(),
+            ExecutorConfig {
+                batch_per_visit: 1,
+                memory_sample_every: 1,
+                max_rounds: 0,
+            },
+        );
+        exec.ingest("A", a(1, 1)).unwrap();
+        assert!(exec.run().is_err());
+    }
+}

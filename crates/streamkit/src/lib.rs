@@ -1,0 +1,48 @@
+//! `streamkit` — a minimal, single-process data stream management substrate.
+//!
+//! The State-Slice paper ([Wang et al., VLDB 2006]) evaluates its sharing
+//! paradigm inside the CAPE data stream management system.  CAPE itself is not
+//! available, so this crate provides the substrate the paper's operators need:
+//!
+//! * typed [`Tuple`]s carrying timestamps, payload values, a slice *lineage*
+//!   level and a *role* tag used for reference-copy pipelining,
+//! * [`Predicate`]s and [`JoinCondition`]s with explicit comparison counting,
+//! * a multi-port [`Operator`](operator::Operator) abstraction,
+//! * the classic continuous-query operators (selection, projection, split,
+//!   router, order-preserving union, sliding-window joins, sinks),
+//! * an operator-DAG [`Plan`](plan::Plan) with per-port queues,
+//! * a round-robin [`Scheduler`](scheduler::RoundRobinScheduler) and an
+//!   [`Executor`](executor::Executor) with statistics collection (state
+//!   memory, comparison counts, throughput / service rate).
+//!
+//! The cost drivers the paper reasons about — join probing, cross-purging,
+//! routing, filtering and union merging — are all surfaced as explicit counter
+//! increments so that analytical and measured comparisons line up.
+//!
+//! [Wang et al., VLDB 2006]: https://dl.acm.org/doi/10.5555/1182635.1164186
+
+pub mod error;
+pub mod executor;
+pub mod operator;
+pub mod ops;
+pub mod plan;
+pub mod predicate;
+pub mod punctuation;
+pub mod queue;
+pub mod scheduler;
+pub mod stats;
+pub mod time;
+pub mod tuple;
+pub mod window;
+
+pub use error::{Result, StreamError};
+pub use executor::{ExecutionReport, Executor, ExecutorConfig};
+pub use operator::{OpContext, Operator, PortId};
+pub use plan::{NodeId, Plan, PlanBuilder};
+pub use predicate::{CmpOp, JoinCondition, Predicate};
+pub use punctuation::Punctuation;
+pub use queue::StreamItem;
+pub use stats::{CostCounters, MemoryStats, NodeStats};
+pub use time::{TimeDelta, Timestamp};
+pub use tuple::{Field, Schema, StreamId, Tuple, TupleRole, Value};
+pub use window::{SliceWindow, WindowSpec};

@@ -1,0 +1,21 @@
+//! The built-in continuous-query operators.
+//!
+//! These are the operators the paper's shared query plans are made of:
+//! selection, projection, stream split (partitioning), result routing,
+//! order-preserving union, sliding-window joins and result sinks.
+
+pub mod project;
+pub mod router;
+pub mod select;
+pub mod sink;
+pub mod split;
+pub mod union;
+pub mod window_join;
+
+pub use project::ProjectOp;
+pub use router::{RouteTarget, RouterOp};
+pub use select::SelectOp;
+pub use sink::SinkOp;
+pub use split::SplitOp;
+pub use union::UnionOp;
+pub use window_join::{OneWayWindowJoinOp, WindowJoinOp};

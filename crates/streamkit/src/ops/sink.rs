@@ -1,0 +1,137 @@
+//! Result sinks (the paper's "result receivers").
+
+use std::any::Any;
+
+use crate::operator::{OpContext, Operator, PortId};
+use crate::queue::StreamItem;
+use crate::time::Timestamp;
+use crate::tuple::Tuple;
+
+/// Collects the result tuples of one registered continuous query.
+///
+/// By default only counts and the last timestamp are kept; `retaining()`
+/// additionally stores every tuple, which tests and the equivalence oracle
+/// use to compare result sets.
+#[derive(Debug)]
+pub struct SinkOp {
+    name: String,
+    count: u64,
+    last_ts: Option<Timestamp>,
+    out_of_order: u64,
+    retain: bool,
+    collected: Vec<Tuple>,
+}
+
+impl SinkOp {
+    /// A counting sink.
+    pub fn new(name: impl Into<String>) -> Self {
+        SinkOp {
+            name: name.into(),
+            count: 0,
+            last_ts: None,
+            out_of_order: 0,
+            retain: false,
+            collected: Vec::new(),
+        }
+    }
+
+    /// A sink that also stores every received tuple.
+    pub fn retaining(name: impl Into<String>) -> Self {
+        let mut s = SinkOp::new(name);
+        s.retain = true;
+        s
+    }
+
+    /// Number of tuples received.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Timestamp of the last received tuple.
+    pub fn last_timestamp(&self) -> Option<Timestamp> {
+        self.last_ts
+    }
+
+    /// Number of tuples that arrived with a timestamp smaller than a
+    /// previously received tuple (should be zero for order-preserving plans).
+    pub fn out_of_order(&self) -> u64 {
+        self.out_of_order
+    }
+
+    /// The retained tuples (empty unless built with [`SinkOp::retaining`]).
+    pub fn collected(&self) -> &[Tuple] {
+        &self.collected
+    }
+}
+
+impl Operator for SinkOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_output_ports(&self) -> usize {
+        0
+    }
+
+    fn process(&mut self, _port: PortId, item: StreamItem, ctx: &mut OpContext) {
+        if let StreamItem::Tuple(t) = item {
+            ctx.counters.tuples_processed += 1;
+            self.count += 1;
+            if let Some(prev) = self.last_ts {
+                if t.ts < prev {
+                    self.out_of_order += 1;
+                }
+            }
+            if self.last_ts.map_or(true, |prev| t.ts >= prev) {
+                self.last_ts = Some(t.ts);
+            }
+            if self.retain {
+                self.collected.push(t);
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::punctuation::Punctuation;
+    use crate::tuple::StreamId;
+
+    fn tup(secs: u64) -> Tuple {
+        Tuple::of_ints(Timestamp::from_secs(secs), StreamId::A, &[0])
+    }
+
+    #[test]
+    fn counting_sink_tracks_order() {
+        let mut op = SinkOp::new("q1");
+        let mut ctx = OpContext::new();
+        op.process(0, tup(1).into(), &mut ctx);
+        op.process(0, tup(3).into(), &mut ctx);
+        op.process(0, tup(2).into(), &mut ctx);
+        op.process(0, Punctuation::new(Timestamp::from_secs(9)).into(), &mut ctx);
+        assert_eq!(op.count(), 3);
+        assert_eq!(op.out_of_order(), 1);
+        assert_eq!(op.last_timestamp(), Some(Timestamp::from_secs(3)));
+        assert!(op.collected().is_empty());
+        assert_eq!(op.num_output_ports(), 0);
+    }
+
+    #[test]
+    fn retaining_sink_stores_tuples() {
+        let mut op = SinkOp::retaining("q2");
+        let mut ctx = OpContext::new();
+        op.process(0, tup(1).into(), &mut ctx);
+        op.process(0, tup(2).into(), &mut ctx);
+        assert_eq!(op.collected().len(), 2);
+        assert_eq!(op.count(), 2);
+    }
+}

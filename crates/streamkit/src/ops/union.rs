@@ -1,0 +1,313 @@
+//! Order-preserving union.
+//!
+//! The union operator merges the joined results coming from multiple join
+//! operators into a single stream ordered by timestamp (the paper cites the
+//! Aurora order-preserving union [1]).  Progress is driven by punctuations:
+//! a tuple buffered from port `p` may only be released once every port has
+//! promised (via a punctuation or a later tuple) not to produce anything
+//! older.  The male tuples leaving the last sliced join act as exactly such
+//! punctuations (Section 4.3).
+//!
+//! Because every input port delivers tuples in timestamp order, the operator
+//! is a k-way streaming merge: one FIFO buffer per port, one watermark per
+//! port, and a release loop that repeatedly emits the globally oldest
+//! buffered tuple as long as it is covered by every port's watermark.  Each
+//! released tuple costs one merge comparison, matching the paper's union cost
+//! model ("a one-time merge sort on timestamps").
+//!
+//! [1]: Abadi et al., "Aurora: A new model and architecture for data stream
+//! management", VLDB Journal 2003.
+
+use std::any::Any;
+use std::collections::VecDeque;
+
+use crate::operator::{OpContext, Operator, PortId};
+use crate::punctuation::Punctuation;
+use crate::queue::StreamItem;
+use crate::time::Timestamp;
+use crate::tuple::Tuple;
+
+/// Order-preserving merge union over `n` input ports.
+#[derive(Debug)]
+pub struct UnionOp {
+    name: String,
+    inputs: usize,
+    /// Per-port FIFO buffers (each port delivers in timestamp order).
+    buffers: Vec<VecDeque<Tuple>>,
+    /// Monotone per-port progress watermarks.
+    watermarks: Vec<Timestamp>,
+    /// Last merged watermark forwarded downstream (when enabled).
+    emitted_watermark: Timestamp,
+    /// Emit punctuations downstream whenever the merged watermark advances.
+    forward_punctuations: bool,
+    buffered: usize,
+}
+
+impl UnionOp {
+    /// Build a union over `inputs` ports.
+    pub fn new(name: impl Into<String>, inputs: usize) -> Self {
+        let inputs = inputs.max(1);
+        UnionOp {
+            name: name.into(),
+            inputs,
+            buffers: (0..inputs).map(|_| VecDeque::new()).collect(),
+            watermarks: vec![Timestamp::ZERO; inputs],
+            emitted_watermark: Timestamp::ZERO,
+            forward_punctuations: false,
+            buffered: 0,
+        }
+    }
+
+    /// Also forward punctuations downstream when the merged watermark grows
+    /// (useful when unions feed further unions).
+    pub fn forwarding_punctuations(mut self) -> Self {
+        self.forward_punctuations = true;
+        self
+    }
+
+    fn merged_watermark(&self) -> Timestamp {
+        self.watermarks
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(Timestamp::ZERO)
+    }
+
+    /// Release every buffered tuple whose timestamp is covered by
+    /// `watermark`, in global timestamp order (ties: lowest port first).
+    fn release_up_to(&mut self, watermark: Timestamp, ctx: &mut OpContext) {
+        loop {
+            let mut best: Option<(usize, Timestamp)> = None;
+            for (port, buf) in self.buffers.iter().enumerate() {
+                if let Some(front) = buf.front() {
+                    match best {
+                        Some((_, best_ts)) if best_ts <= front.ts => {}
+                        _ => best = Some((port, front.ts)),
+                    }
+                }
+            }
+            let Some((port, ts)) = best else { break };
+            if ts > watermark {
+                break;
+            }
+            let tuple = self.buffers[port].pop_front().expect("front exists");
+            self.buffered -= 1;
+            // One merge comparison per released tuple (one-time merge sort on
+            // timestamps, as in the paper's union cost model).
+            ctx.counters.union_comparisons += 1;
+            ctx.emit(0, tuple);
+        }
+    }
+
+    /// Number of tuples currently buffered (waiting for watermarks).
+    pub fn buffered_len(&self) -> usize {
+        self.buffered
+    }
+}
+
+impl Operator for UnionOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_input_ports(&self) -> usize {
+        self.inputs
+    }
+
+    fn process(&mut self, port: PortId, item: StreamItem, ctx: &mut OpContext) {
+        let port = port.min(self.inputs - 1);
+        match item {
+            StreamItem::Tuple(t) => {
+                ctx.counters.tuples_processed += 1;
+                // A tuple on an in-order channel is itself a progress promise.
+                if t.ts > self.watermarks[port] {
+                    self.watermarks[port] = t.ts;
+                }
+                self.buffers[port].push_back(t);
+                self.buffered += 1;
+            }
+            StreamItem::Punctuation(p) => {
+                if p.watermark > self.watermarks[port] {
+                    self.watermarks[port] = p.watermark;
+                }
+            }
+        }
+        let wm = self.merged_watermark();
+        if wm > self.emitted_watermark {
+            self.emitted_watermark = wm;
+            self.release_up_to(wm, ctx);
+            if self.forward_punctuations {
+                ctx.emit(0, Punctuation::new(wm));
+            }
+        } else if self.buffered > 0 {
+            // Even without watermark progress, tuples at or below the current
+            // merged watermark (e.g. arriving late on a lagging port) can be
+            // released immediately.
+            self.release_up_to(self.emitted_watermark, ctx);
+        }
+    }
+
+    fn flush(&mut self, ctx: &mut OpContext) {
+        self.release_up_to(Timestamp::MAX, ctx);
+        if self.forward_punctuations {
+            ctx.emit(0, Punctuation::end_of_stream());
+        }
+    }
+
+    fn state_size(&self) -> usize {
+        self.buffered
+    }
+
+    fn is_transient_buffer(&self) -> bool {
+        true
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::StreamId;
+
+    fn tup(secs: u64, v: i64) -> Tuple {
+        Tuple::of_ints(Timestamp::from_secs(secs), StreamId::A, &[v])
+    }
+
+    fn collect_ts(out: Vec<(PortId, StreamItem)>) -> Vec<u64> {
+        out.into_iter()
+            .filter_map(|(_, i)| i.into_tuple())
+            .map(|t| t.ts.as_micros() / 1_000_000)
+            .collect()
+    }
+
+    #[test]
+    fn merges_two_ports_in_timestamp_order() {
+        let mut op = UnionOp::new("union", 2);
+        let mut ctx = OpContext::new();
+        op.process(0, tup(1, 0).into(), &mut ctx);
+        op.process(0, tup(5, 0).into(), &mut ctx);
+        // Port 1 has produced nothing yet, so nothing can be released.
+        assert!(collect_ts(ctx.take_outputs()).is_empty());
+        assert_eq!(op.buffered_len(), 2);
+        // Progress on port 1 releases everything up to the merged watermark.
+        op.process(1, tup(3, 0).into(), &mut ctx);
+        assert_eq!(collect_ts(ctx.take_outputs()), vec![1, 3]);
+        // A punctuation on port 0 alone does not advance the merged watermark
+        // past port 1's progress.
+        op.process(
+            0,
+            Punctuation::new(Timestamp::from_secs(10)).into(),
+            &mut ctx,
+        );
+        assert!(collect_ts(ctx.take_outputs()).is_empty());
+        op.process(
+            1,
+            Punctuation::new(Timestamp::from_secs(10)).into(),
+            &mut ctx,
+        );
+        assert_eq!(collect_ts(ctx.take_outputs()), vec![5]);
+        assert_eq!(op.state_size(), 0);
+        assert!(op.is_transient_buffer());
+    }
+
+    #[test]
+    fn flush_releases_everything_in_order() {
+        let mut op = UnionOp::new("union", 3);
+        let mut ctx = OpContext::new();
+        op.process(0, tup(7, 0).into(), &mut ctx);
+        op.process(1, tup(2, 0).into(), &mut ctx);
+        op.process(2, tup(4, 0).into(), &mut ctx);
+        let _ = ctx.take_outputs();
+        op.flush(&mut ctx);
+        let remaining = collect_ts(ctx.take_outputs());
+        let mut sorted = remaining.clone();
+        sorted.sort_unstable();
+        assert_eq!(remaining, sorted);
+        assert_eq!(op.buffered_len(), 0);
+    }
+
+    #[test]
+    fn counts_one_union_comparison_per_released_tuple() {
+        let mut op = UnionOp::new("union", 1);
+        let mut ctx = OpContext::new();
+        op.process(0, tup(1, 0).into(), &mut ctx);
+        op.process(0, tup(2, 0).into(), &mut ctx);
+        op.process(0, tup(3, 0).into(), &mut ctx);
+        op.flush(&mut ctx);
+        let out = ctx.take_outputs();
+        let tuples: Vec<_> = out.iter().filter(|(_, i)| !i.is_punctuation()).collect();
+        assert_eq!(tuples.len(), 3);
+        assert_eq!(ctx.counters.union_comparisons, 3);
+    }
+
+    #[test]
+    fn forwarding_punctuations_emits_watermarks() {
+        let mut op = UnionOp::new("union", 1).forwarding_punctuations();
+        let mut ctx = OpContext::new();
+        op.process(0, tup(2, 0).into(), &mut ctx);
+        let out = ctx.take_outputs();
+        assert!(out.iter().any(|(_, i)| i.is_punctuation()));
+        op.flush(&mut ctx);
+        let out = ctx.take_outputs();
+        assert!(out
+            .iter()
+            .any(|(_, i)| matches!(i, StreamItem::Punctuation(p) if p.is_end_of_stream())));
+    }
+
+    #[test]
+    fn equal_timestamps_preserve_arrival_order() {
+        let mut op = UnionOp::new("union", 1);
+        let mut ctx = OpContext::new();
+        op.process(0, tup(1, 10).into(), &mut ctx);
+        op.process(0, tup(1, 20).into(), &mut ctx);
+        op.flush(&mut ctx);
+        let vals: Vec<i64> = ctx
+            .take_outputs()
+            .into_iter()
+            .filter_map(|(_, i)| i.into_tuple())
+            .map(|t| t.value(0).unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(vals, vec![10, 20]);
+    }
+
+    #[test]
+    fn late_tuples_below_the_watermark_are_released_immediately() {
+        let mut op = UnionOp::new("union", 2);
+        let mut ctx = OpContext::new();
+        // Both ports have promised progress up to ts 10.
+        op.process(
+            0,
+            Punctuation::new(Timestamp::from_secs(10)).into(),
+            &mut ctx,
+        );
+        op.process(
+            1,
+            Punctuation::new(Timestamp::from_secs(10)).into(),
+            &mut ctx,
+        );
+        // A tuple at ts 4 on port 0 is already covered by the merged
+        // watermark and must not wait for further progress.
+        op.process(0, tup(4, 0).into(), &mut ctx);
+        assert_eq!(collect_ts(ctx.take_outputs()), vec![4]);
+        assert_eq!(op.buffered_len(), 0);
+    }
+
+    #[test]
+    fn single_input_union_is_a_pass_through_after_flush() {
+        let mut op = UnionOp::new("union", 0); // clamps to 1 port
+        assert_eq!(op.num_input_ports(), 1);
+        let mut ctx = OpContext::new();
+        for s in [3u64, 4, 9] {
+            op.process(0, tup(s, 0).into(), &mut ctx);
+        }
+        op.flush(&mut ctx);
+        assert_eq!(collect_ts(ctx.take_outputs()), vec![3, 4, 9]);
+    }
+}

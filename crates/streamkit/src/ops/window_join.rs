@@ -1,0 +1,523 @@
+//! Regular (un-sliced) sliding-window joins.
+//!
+//! [`WindowJoinOp`] is the classic binary sliding-window join of Figure 1 in
+//! the paper: on each arrival it cross-purges the opposite window state,
+//! probes it, and inserts the new tuple into its own state.  It is both the
+//! building block of the baseline sharing strategies (Section 3) and the
+//! reference oracle the state-sliced chain is verified against (Theorems 1–2).
+//!
+//! [`OneWayWindowJoinOp`] is the asymmetric variant `A[W] ⋉ B` where only
+//! stream A keeps state (Section 4.1).
+
+use std::any::Any;
+use std::collections::VecDeque;
+
+use crate::operator::{OpContext, Operator, PortId};
+use crate::predicate::JoinCondition;
+use crate::punctuation::Punctuation;
+use crate::queue::StreamItem;
+use crate::tuple::{StreamId, Tuple};
+use crate::window::WindowSpec;
+
+/// Stream id assigned to joined result tuples.
+pub const JOINED_STREAM: StreamId = StreamId(100);
+
+/// Binary sliding-window join `A[W_A] ⋈ B[W_B]`.
+///
+/// * input port 0: stream A, input port 1: stream B
+/// * output port 0: joined results (followed by a punctuation per probe when
+///   punctuation emission is enabled)
+#[derive(Debug)]
+pub struct WindowJoinOp {
+    name: String,
+    window_a: WindowSpec,
+    window_b: WindowSpec,
+    condition: JoinCondition,
+    state_a: VecDeque<Tuple>,
+    state_b: VecDeque<Tuple>,
+    peak_state: usize,
+    results: u64,
+    emit_punctuations: bool,
+}
+
+impl WindowJoinOp {
+    /// Build a join with per-stream windows and a join condition.
+    pub fn new(
+        name: impl Into<String>,
+        window_a: WindowSpec,
+        window_b: WindowSpec,
+        condition: JoinCondition,
+    ) -> Self {
+        WindowJoinOp {
+            name: name.into(),
+            window_a,
+            window_b,
+            condition,
+            state_a: VecDeque::new(),
+            state_b: VecDeque::new(),
+            peak_state: 0,
+            results: 0,
+            emit_punctuations: false,
+        }
+    }
+
+    /// Symmetric window on both inputs.
+    pub fn symmetric(
+        name: impl Into<String>,
+        window: WindowSpec,
+        condition: JoinCondition,
+    ) -> Self {
+        WindowJoinOp::new(name, window, window, condition)
+    }
+
+    /// Emit a punctuation on the result port after every probe, so that a
+    /// downstream order-preserving union can make progress.
+    pub fn with_punctuations(mut self) -> Self {
+        self.emit_punctuations = true;
+        self
+    }
+
+    /// Number of joined results produced so far.
+    pub fn results(&self) -> u64 {
+        self.results
+    }
+
+    /// Current state size of the A window, in tuples.
+    pub fn state_a_len(&self) -> usize {
+        self.state_a.len()
+    }
+
+    /// Current state size of the B window, in tuples.
+    pub fn state_b_len(&self) -> usize {
+        self.state_b.len()
+    }
+
+    /// Peak combined state size, in tuples.
+    pub fn peak_state(&self) -> usize {
+        self.peak_state
+    }
+
+    fn track_peak(&mut self) {
+        let total = self.state_a.len() + self.state_b.len();
+        if total > self.peak_state {
+            self.peak_state = total;
+        }
+    }
+
+    /// Purge expired tuples from the opposite state.  States are in arrival
+    /// (timestamp) order, so purging scans from the front until the first
+    /// still-valid tuple; each scanned tuple costs one timestamp comparison.
+    fn cross_purge(
+        state: &mut VecDeque<Tuple>,
+        window: WindowSpec,
+        arrival: &Tuple,
+        ctx: &mut OpContext,
+    ) {
+        while let Some(front) = state.front() {
+            ctx.counters.purge_comparisons += 1;
+            if window.contains(arrival.ts, front.ts) {
+                break;
+            }
+            state.pop_front();
+        }
+    }
+
+    /// Full window-validity check for a candidate pair `(a, b)`: the pair
+    /// joins iff `Tb - Ta < W_A` or `Ta - Tb < W_B` (Section 2 of the paper).
+    /// Checking both sides makes the operator robust to operators upstream
+    /// delaying one stream by a few scheduling steps.
+    fn pair_in_window(
+        window_a: WindowSpec,
+        window_b: WindowSpec,
+        a_ts: crate::time::Timestamp,
+        b_ts: crate::time::Timestamp,
+    ) -> bool {
+        if b_ts >= a_ts {
+            window_a.contains(b_ts, a_ts)
+        } else {
+            window_b.contains(a_ts, b_ts)
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn probe(
+        state: &VecDeque<Tuple>,
+        arrival: &Tuple,
+        condition: &JoinCondition,
+        arrival_is_left: bool,
+        window_a: WindowSpec,
+        window_b: WindowSpec,
+        ctx: &mut OpContext,
+        results: &mut u64,
+        emit: &mut Vec<Tuple>,
+    ) {
+        for stored in state {
+            let (a_ts, b_ts) = if arrival_is_left {
+                (arrival.ts, stored.ts)
+            } else {
+                (stored.ts, arrival.ts)
+            };
+            if !Self::pair_in_window(window_a, window_b, a_ts, b_ts) {
+                continue;
+            }
+            let matched = if arrival_is_left {
+                condition.eval_counted(arrival, stored, &mut ctx.counters.probe_comparisons)
+            } else {
+                condition.eval_counted(stored, arrival, &mut ctx.counters.probe_comparisons)
+            };
+            if matched {
+                *results += 1;
+                let joined = if arrival_is_left {
+                    Tuple::join(arrival, stored, JOINED_STREAM)
+                } else {
+                    Tuple::join(stored, arrival, JOINED_STREAM)
+                };
+                emit.push(joined);
+            }
+        }
+    }
+}
+
+impl Operator for WindowJoinOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_input_ports(&self) -> usize {
+        2
+    }
+
+    fn process(&mut self, port: PortId, item: StreamItem, ctx: &mut OpContext) {
+        let tuple = match item {
+            StreamItem::Tuple(t) => t,
+            StreamItem::Punctuation(p) => {
+                // Progress markers just pass through to the result port.
+                ctx.emit(0, p);
+                return;
+            }
+        };
+        ctx.counters.tuples_processed += 1;
+        let mut out = Vec::new();
+        if port == 0 {
+            // New A tuple: purge + probe B state, then insert into A state.
+            Self::cross_purge(&mut self.state_b, self.window_b, &tuple, ctx);
+            Self::probe(
+                &self.state_b,
+                &tuple,
+                &self.condition,
+                true,
+                self.window_a,
+                self.window_b,
+                ctx,
+                &mut self.results,
+                &mut out,
+            );
+            self.state_a.push_back(tuple.clone());
+        } else {
+            // New B tuple: purge + probe A state, then insert into B state.
+            Self::cross_purge(&mut self.state_a, self.window_a, &tuple, ctx);
+            Self::probe(
+                &self.state_a,
+                &tuple,
+                &self.condition,
+                false,
+                self.window_a,
+                self.window_b,
+                ctx,
+                &mut self.results,
+                &mut out,
+            );
+            self.state_b.push_back(tuple.clone());
+        }
+        self.track_peak();
+        for joined in out {
+            ctx.emit(0, joined);
+        }
+        if self.emit_punctuations {
+            ctx.emit(0, Punctuation::from_stream(tuple.ts, tuple.stream));
+        }
+    }
+
+    fn state_size(&self) -> usize {
+        self.state_a.len() + self.state_b.len()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// One-way sliding-window join `A[W] ⋉ B`: only stream A keeps state, only B
+/// tuples probe.
+///
+/// * input port 0: stream A (inserted into the window state)
+/// * input port 1: stream B (purges and probes the A state)
+/// * output port 0: joined results
+#[derive(Debug)]
+pub struct OneWayWindowJoinOp {
+    name: String,
+    window: WindowSpec,
+    condition: JoinCondition,
+    state_a: VecDeque<Tuple>,
+    peak_state: usize,
+    results: u64,
+}
+
+impl OneWayWindowJoinOp {
+    /// Build a one-way join with the given window on stream A.
+    pub fn new(name: impl Into<String>, window: WindowSpec, condition: JoinCondition) -> Self {
+        OneWayWindowJoinOp {
+            name: name.into(),
+            window,
+            condition,
+            state_a: VecDeque::new(),
+            peak_state: 0,
+            results: 0,
+        }
+    }
+
+    /// Number of joined results produced so far.
+    pub fn results(&self) -> u64 {
+        self.results
+    }
+
+    /// Current A-state size in tuples.
+    pub fn state_len(&self) -> usize {
+        self.state_a.len()
+    }
+
+    /// Peak A-state size in tuples.
+    pub fn peak_state(&self) -> usize {
+        self.peak_state
+    }
+}
+
+impl Operator for OneWayWindowJoinOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_input_ports(&self) -> usize {
+        2
+    }
+
+    fn process(&mut self, port: PortId, item: StreamItem, ctx: &mut OpContext) {
+        let tuple = match item {
+            StreamItem::Tuple(t) => t,
+            StreamItem::Punctuation(p) => {
+                ctx.emit(0, p);
+                return;
+            }
+        };
+        ctx.counters.tuples_processed += 1;
+        if port == 0 {
+            // Stream A: insert only.
+            self.state_a.push_back(tuple);
+            self.peak_state = self.peak_state.max(self.state_a.len());
+            return;
+        }
+        // Stream B: cross-purge then probe.
+        while let Some(front) = self.state_a.front() {
+            ctx.counters.purge_comparisons += 1;
+            if self.window.contains(tuple.ts, front.ts) {
+                break;
+            }
+            self.state_a.pop_front();
+        }
+        for stored in &self.state_a {
+            // One-way semantics: only pairs where the stored A tuple is not
+            // newer than the probing B tuple and still inside the window.
+            if tuple.ts < stored.ts || !self.window.contains(tuple.ts, stored.ts) {
+                continue;
+            }
+            if self
+                .condition
+                .eval_counted(stored, &tuple, &mut ctx.counters.probe_comparisons)
+            {
+                self.results += 1;
+                ctx.emit(0, Tuple::join(stored, &tuple, JOINED_STREAM));
+            }
+        }
+    }
+
+    fn state_size(&self) -> usize {
+        self.state_a.len()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Timestamp;
+
+    fn a(secs: u64, key: i64) -> Tuple {
+        Tuple::of_ints(Timestamp::from_secs(secs), StreamId::A, &[key])
+    }
+
+    fn b(secs: u64, key: i64) -> Tuple {
+        Tuple::of_ints(Timestamp::from_secs(secs), StreamId::B, &[key])
+    }
+
+    fn joined_pairs(ctx: &mut OpContext) -> Vec<(u64, u64)> {
+        ctx.take_outputs()
+            .into_iter()
+            .filter_map(|(_, i)| i.into_tuple())
+            .filter(|t| t.stream == JOINED_STREAM)
+            .map(|t| {
+                (
+                    t.ts.as_micros() / 1_000_000,
+                    t.origin_span.as_micros() / 1_000_000,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn binary_join_respects_windows_and_purges() {
+        let mut op = WindowJoinOp::symmetric(
+            "join",
+            WindowSpec::from_secs(10),
+            JoinCondition::equi(0),
+        );
+        let mut ctx = OpContext::new();
+        op.process(0, a(1, 7).into(), &mut ctx);
+        op.process(0, a(5, 7).into(), &mut ctx);
+        op.process(1, b(12, 7).into(), &mut ctx);
+        // a@1 is expired (12-1 >= 10); only a@5 joins.
+        let pairs = joined_pairs(&mut ctx);
+        assert_eq!(pairs, vec![(12, 7)]);
+        assert_eq!(op.state_a_len(), 1);
+        assert_eq!(op.state_b_len(), 1);
+        assert_eq!(op.results(), 1);
+        assert!(op.peak_state() >= 2);
+        assert!(ctx.counters.probe_comparisons >= 1);
+        assert!(ctx.counters.purge_comparisons >= 1);
+    }
+
+    #[test]
+    fn binary_join_is_symmetric_in_probe_direction() {
+        let mut op = WindowJoinOp::symmetric(
+            "join",
+            WindowSpec::from_secs(100),
+            JoinCondition::equi(0),
+        );
+        let mut ctx = OpContext::new();
+        op.process(1, b(1, 3).into(), &mut ctx);
+        op.process(0, a(2, 3).into(), &mut ctx);
+        let pairs = joined_pairs(&mut ctx);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0, 2); // ts = max(1, 2)
+        assert_eq!(pairs[0].1, 1); // |2 - 1|
+    }
+
+    #[test]
+    fn asymmetric_windows_purge_independently() {
+        // A keeps 2s of tuples, B keeps 100s.
+        let mut op = WindowJoinOp::new(
+            "join",
+            WindowSpec::from_secs(2),
+            WindowSpec::from_secs(100),
+            JoinCondition::Cross,
+        );
+        let mut ctx = OpContext::new();
+        op.process(0, a(1, 0).into(), &mut ctx);
+        op.process(0, a(2, 0).into(), &mut ctx);
+        op.process(1, b(5, 0).into(), &mut ctx);
+        // Window A = 2s: both a@1 (diff 4) and a@2 (diff 3) are expired.
+        assert_eq!(joined_pairs(&mut ctx).len(), 0);
+        assert_eq!(op.state_a_len(), 0);
+    }
+
+    #[test]
+    fn join_condition_filters_pairs() {
+        let mut op = WindowJoinOp::symmetric(
+            "join",
+            WindowSpec::from_secs(100),
+            JoinCondition::equi(0),
+        );
+        let mut ctx = OpContext::new();
+        op.process(0, a(1, 1).into(), &mut ctx);
+        op.process(0, a(2, 2).into(), &mut ctx);
+        op.process(1, b(3, 2).into(), &mut ctx);
+        assert_eq!(joined_pairs(&mut ctx).len(), 1);
+        // Probing the two stored A tuples costs two comparisons.
+        assert_eq!(ctx.counters.probe_comparisons, 2);
+    }
+
+    #[test]
+    fn punctuation_mode_emits_progress_after_each_probe() {
+        let mut op = WindowJoinOp::symmetric(
+            "join",
+            WindowSpec::from_secs(10),
+            JoinCondition::Cross,
+        )
+        .with_punctuations();
+        let mut ctx = OpContext::new();
+        op.process(0, a(1, 0).into(), &mut ctx);
+        let out = ctx.take_outputs();
+        assert!(out.iter().any(|(_, i)| i.is_punctuation()));
+    }
+
+    #[test]
+    fn punctuations_pass_through_join() {
+        let mut op = WindowJoinOp::symmetric(
+            "join",
+            WindowSpec::from_secs(10),
+            JoinCondition::Cross,
+        );
+        let mut ctx = OpContext::new();
+        op.process(
+            0,
+            Punctuation::new(Timestamp::from_secs(1)).into(),
+            &mut ctx,
+        );
+        assert!(ctx.take_outputs()[0].1.is_punctuation());
+    }
+
+    #[test]
+    fn one_way_join_only_keeps_a_state() {
+        let mut op =
+            OneWayWindowJoinOp::new("oneway", WindowSpec::from_secs(4), JoinCondition::Cross);
+        assert_eq!(op.num_input_ports(), 2);
+        let mut ctx = OpContext::new();
+        op.process(0, a(1, 0).into(), &mut ctx);
+        op.process(0, a(2, 0).into(), &mut ctx);
+        op.process(0, a(3, 0).into(), &mut ctx);
+        assert_eq!(op.state_len(), 3);
+        op.process(1, b(4, 0).into(), &mut ctx);
+        // a@1: diff 3 < 4 still valid; all three join.
+        assert_eq!(joined_pairs(&mut ctx).len(), 3);
+        op.process(1, b(6, 0).into(), &mut ctx);
+        // a@1 (diff 5) and a@2 (diff 4) expired, a@3 joins.
+        assert_eq!(joined_pairs(&mut ctx).len(), 1);
+        assert_eq!(op.state_len(), 1);
+        assert_eq!(op.results(), 4);
+        assert!(op.peak_state() >= 3);
+    }
+
+    #[test]
+    fn one_way_join_forwards_punctuations() {
+        let mut op =
+            OneWayWindowJoinOp::new("oneway", WindowSpec::from_secs(4), JoinCondition::Cross);
+        let mut ctx = OpContext::new();
+        op.process(
+            1,
+            Punctuation::new(Timestamp::from_secs(9)).into(),
+            &mut ctx,
+        );
+        assert!(ctx.take_outputs()[0].1.is_punctuation());
+        assert_eq!(op.state_size(), 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Punctuations: stream progress markers.
+//!
+//! The paper (Section 4.3) notes that the male copy of a tuple leaving the
+//! last sliced join acts as a punctuation for the order-preserving union: no
+//! joined tuple with a smaller timestamp will be produced afterwards.  We make
+//! this explicit with a [`Punctuation`] item that carries the watermark
+//! timestamp and, optionally, the originating stream.
+
+use crate::time::Timestamp;
+use crate::tuple::StreamId;
+
+/// A promise that no tuple with timestamp `< watermark` will follow on the
+/// channel this punctuation was emitted on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Punctuation {
+    /// All future tuples on this channel have `ts >= watermark`.
+    pub watermark: Timestamp,
+    /// Stream the punctuation originated from, if meaningful.
+    pub stream: Option<StreamId>,
+}
+
+impl Punctuation {
+    /// Punctuation with a watermark only.
+    pub fn new(watermark: Timestamp) -> Self {
+        Punctuation {
+            watermark,
+            stream: None,
+        }
+    }
+
+    /// Punctuation tagged with the originating stream.
+    pub fn from_stream(watermark: Timestamp, stream: StreamId) -> Self {
+        Punctuation {
+            watermark,
+            stream: Some(stream),
+        }
+    }
+
+    /// The end-of-stream punctuation: everything can be flushed.
+    pub fn end_of_stream() -> Self {
+        Punctuation {
+            watermark: Timestamp::MAX,
+            stream: None,
+        }
+    }
+
+    /// `true` if this is the end-of-stream marker.
+    pub fn is_end_of_stream(&self) -> bool {
+        self.watermark == Timestamp::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let p = Punctuation::new(Timestamp::from_secs(3));
+        assert_eq!(p.watermark, Timestamp::from_secs(3));
+        assert_eq!(p.stream, None);
+        assert!(!p.is_end_of_stream());
+
+        let p = Punctuation::from_stream(Timestamp::from_secs(1), StreamId::B);
+        assert_eq!(p.stream, Some(StreamId::B));
+
+        assert!(Punctuation::end_of_stream().is_end_of_stream());
+    }
+}

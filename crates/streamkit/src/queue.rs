@@ -1,0 +1,163 @@
+//! Inter-operator queues and the items they carry.
+
+use std::collections::VecDeque;
+
+use crate::punctuation::Punctuation;
+use crate::time::Timestamp;
+use crate::tuple::Tuple;
+
+/// An item travelling through a queue: either a data tuple or a punctuation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamItem {
+    /// A data tuple.
+    Tuple(Tuple),
+    /// A progress marker.
+    Punctuation(Punctuation),
+}
+
+impl StreamItem {
+    /// Timestamp used for ordering decisions: the tuple timestamp or the
+    /// punctuation watermark.
+    pub fn timestamp(&self) -> Timestamp {
+        match self {
+            StreamItem::Tuple(t) => t.ts,
+            StreamItem::Punctuation(p) => p.watermark,
+        }
+    }
+
+    /// The contained tuple, if any.
+    pub fn as_tuple(&self) -> Option<&Tuple> {
+        match self {
+            StreamItem::Tuple(t) => Some(t),
+            StreamItem::Punctuation(_) => None,
+        }
+    }
+
+    /// The contained tuple by value, if any.
+    pub fn into_tuple(self) -> Option<Tuple> {
+        match self {
+            StreamItem::Tuple(t) => Some(t),
+            StreamItem::Punctuation(_) => None,
+        }
+    }
+
+    /// `true` if this is a punctuation.
+    pub fn is_punctuation(&self) -> bool {
+        matches!(self, StreamItem::Punctuation(_))
+    }
+}
+
+impl From<Tuple> for StreamItem {
+    fn from(t: Tuple) -> Self {
+        StreamItem::Tuple(t)
+    }
+}
+
+impl From<Punctuation> for StreamItem {
+    fn from(p: Punctuation) -> Self {
+        StreamItem::Punctuation(p)
+    }
+}
+
+/// A FIFO queue between two operator ports.
+///
+/// Queue memory is tracked separately from operator state memory, matching the
+/// paper's distinction between state memory and queue memory (Section 2).
+#[derive(Debug, Default)]
+pub struct Queue {
+    items: VecDeque<StreamItem>,
+    /// Largest number of items ever held.
+    peak_len: usize,
+    /// Total number of items ever enqueued.
+    total_enqueued: u64,
+}
+
+impl Queue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Queue::default()
+    }
+
+    /// Append an item.
+    pub fn push(&mut self, item: StreamItem) {
+        self.items.push_back(item);
+        self.total_enqueued += 1;
+        if self.items.len() > self.peak_len {
+            self.peak_len = self.items.len();
+        }
+    }
+
+    /// Remove and return the oldest item.
+    pub fn pop(&mut self) -> Option<StreamItem> {
+        self.items.pop_front()
+    }
+
+    /// Timestamp of the oldest item without removing it.
+    pub fn peek_timestamp(&self) -> Option<Timestamp> {
+        self.items.front().map(|i| i.timestamp())
+    }
+
+    /// Current number of queued items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Largest number of items ever held.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// Total number of items ever enqueued.
+    pub fn total_enqueued(&self) -> u64 {
+        self.total_enqueued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::StreamId;
+
+    #[test]
+    fn item_timestamp_and_accessors() {
+        let t = Tuple::of_ints(Timestamp::from_secs(4), StreamId::A, &[1]);
+        let item = StreamItem::from(t.clone());
+        assert_eq!(item.timestamp(), Timestamp::from_secs(4));
+        assert_eq!(item.as_tuple(), Some(&t));
+        assert!(!item.is_punctuation());
+        assert_eq!(item.into_tuple(), Some(t));
+
+        let p = StreamItem::from(Punctuation::new(Timestamp::from_secs(9)));
+        assert_eq!(p.timestamp(), Timestamp::from_secs(9));
+        assert!(p.is_punctuation());
+        assert_eq!(p.as_tuple(), None);
+        assert_eq!(p.into_tuple(), None);
+    }
+
+    #[test]
+    fn queue_fifo_and_stats() {
+        let mut q = Queue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_timestamp(), None);
+        for s in 1..=3u64 {
+            q.push(Tuple::of_ints(Timestamp::from_secs(s), StreamId::A, &[s as i64]).into());
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peak_len(), 3);
+        assert_eq!(q.total_enqueued(), 3);
+        assert_eq!(q.peek_timestamp(), Some(Timestamp::from_secs(1)));
+        let first = q.pop().unwrap();
+        assert_eq!(first.timestamp(), Timestamp::from_secs(1));
+        assert_eq!(q.len(), 2);
+        // Peak length remembers the high-water mark.
+        q.pop();
+        q.pop();
+        assert!(q.pop().is_none());
+        assert_eq!(q.peak_len(), 3);
+    }
+}

@@ -1,0 +1,79 @@
+//! Operator scheduling policies.
+//!
+//! The paper's experimental system (CAPE) uses round-robin scheduling of
+//! operators (Section 7.1); the correctness of the state-slice chain is
+//! independent of the scheduling policy (Section 4.1).  The executor is
+//! parameterised over a [`Scheduler`] so that this independence can be
+//! exercised in tests.
+
+/// A scheduling policy: given the current queue backlogs, fill `order` with
+/// the node indexes to visit this round.  `order` arrives empty and is reused
+/// across rounds to avoid per-round allocation.
+pub trait Scheduler: Send {
+    /// Produce the node visit order for the next round.  `backlog[i]` is the
+    /// number of items currently queued at node `i`.
+    fn next_round(&mut self, backlog: &[usize], order: &mut Vec<usize>);
+}
+
+/// Visit every operator once per round, in plan order (CAPE's policy).
+#[derive(Debug, Default, Clone)]
+pub struct RoundRobinScheduler;
+
+impl Scheduler for RoundRobinScheduler {
+    fn next_round(&mut self, backlog: &[usize], order: &mut Vec<usize>) {
+        order.extend(0..backlog.len());
+    }
+}
+
+/// Visit operators in reverse plan order.  Used in tests to demonstrate that
+/// results are independent of the scheduling order.
+#[derive(Debug, Default, Clone)]
+pub struct ReverseScheduler;
+
+impl Scheduler for ReverseScheduler {
+    fn next_round(&mut self, backlog: &[usize], order: &mut Vec<usize>) {
+        order.extend((0..backlog.len()).rev());
+    }
+}
+
+/// Visit the most backlogged operators first (a simple load-aware policy in
+/// the spirit of the intra-operator scheduling work the paper cites [13]).
+#[derive(Debug, Default, Clone)]
+pub struct LongestQueueFirstScheduler;
+
+impl Scheduler for LongestQueueFirstScheduler {
+    fn next_round(&mut self, backlog: &[usize], order: &mut Vec<usize>) {
+        order.extend(0..backlog.len());
+        order.sort_by_key(|&i| std::cmp::Reverse(backlog[i]));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round<S: Scheduler>(s: &mut S, backlog: &[usize]) -> Vec<usize> {
+        let mut order = Vec::new();
+        s.next_round(backlog, &mut order);
+        order
+    }
+
+    #[test]
+    fn round_robin_visits_in_plan_order() {
+        let mut s = RoundRobinScheduler;
+        assert_eq!(round(&mut s, &[0, 3, 1]), vec![0, 1, 2]);
+        assert_eq!(round(&mut s, &[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn reverse_visits_backwards() {
+        let mut s = ReverseScheduler;
+        assert_eq!(round(&mut s, &[0, 0, 0]), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn longest_queue_first_prioritises_backlog() {
+        let mut s = LongestQueueFirstScheduler;
+        assert_eq!(round(&mut s, &[1, 5, 3]), vec![1, 2, 0]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Cost counters and execution statistics.
+//!
+//! The paper uses two resource metrics (Section 3 and Section 7):
+//!
+//! * **state memory** — the number of tuples held in join states,
+//! * **CPU cost** — the number of value/timestamp comparisons, broken down
+//!   into join probing, cross-purging, routing, filtering, splitting and
+//!   union merging,
+//!
+//! plus the measured **service rate** (total throughput / running time) in the
+//! experimental section.  [`CostCounters`], [`MemoryStats`] and
+//! [`ExecutionSummary`]-style reports in the executor mirror exactly those
+//! quantities.
+
+/// Comparison-count breakdown, mirroring the cost components of Equations
+/// 1–3 in the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostCounters {
+    /// Join probe comparisons (value comparisons against window state).
+    pub probe_comparisons: u64,
+    /// Cross-purge timestamp comparisons.
+    pub purge_comparisons: u64,
+    /// Router timestamp comparisons (dispatching joined tuples to queries).
+    pub route_comparisons: u64,
+    /// Selection predicate comparisons.
+    pub filter_comparisons: u64,
+    /// Split-operator predicate comparisons (stream partitioning baseline).
+    pub split_comparisons: u64,
+    /// Order-preserving union merge comparisons.
+    pub union_comparisons: u64,
+    /// Tuples processed by operators (inputs consumed).
+    pub tuples_processed: u64,
+    /// Items emitted by operators (tuples + punctuations).
+    pub items_emitted: u64,
+}
+
+impl CostCounters {
+    /// Total comparison count (the paper's CPU-cost metric).
+    pub fn total_comparisons(&self) -> u64 {
+        self.probe_comparisons
+            + self.purge_comparisons
+            + self.route_comparisons
+            + self.filter_comparisons
+            + self.split_comparisons
+            + self.union_comparisons
+    }
+
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: &CostCounters) {
+        self.probe_comparisons += other.probe_comparisons;
+        self.purge_comparisons += other.purge_comparisons;
+        self.route_comparisons += other.route_comparisons;
+        self.filter_comparisons += other.filter_comparisons;
+        self.split_comparisons += other.split_comparisons;
+        self.union_comparisons += other.union_comparisons;
+        self.tuples_processed += other.tuples_processed;
+        self.items_emitted += other.items_emitted;
+    }
+}
+
+/// State-memory statistics in tuples, sampled during execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MemoryStats {
+    /// Largest total state size observed across all stateful operators.
+    pub peak_state_tuples: usize,
+    /// Time-averaged total state size (mean over samples).
+    pub avg_state_tuples: f64,
+    /// Final total state size when execution finished.
+    pub final_state_tuples: usize,
+    /// Largest total queue length observed.
+    pub peak_queue_items: usize,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+impl MemoryStats {
+    /// Record one sample of the current state / queue sizes.
+    pub fn record(&mut self, state_tuples: usize, queue_items: usize) {
+        self.peak_state_tuples = self.peak_state_tuples.max(state_tuples);
+        self.peak_queue_items = self.peak_queue_items.max(queue_items);
+        let n = self.samples as f64;
+        self.avg_state_tuples = (self.avg_state_tuples * n + state_tuples as f64) / (n + 1.0);
+        self.samples += 1;
+        self.final_state_tuples = state_tuples;
+    }
+}
+
+/// Per-operator statistics snapshot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeStats {
+    /// Operator name.
+    pub name: String,
+    /// Cost counters attributed to this operator.
+    pub counters: CostCounters,
+    /// Final state size in tuples.
+    pub state_tuples: usize,
+    /// Peak state size in tuples.
+    pub peak_state_tuples: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_comparisons_sums_all_components() {
+        let c = CostCounters {
+            probe_comparisons: 1,
+            purge_comparisons: 2,
+            route_comparisons: 3,
+            filter_comparisons: 4,
+            split_comparisons: 5,
+            union_comparisons: 6,
+            tuples_processed: 100,
+            items_emitted: 50,
+        };
+        assert_eq!(c.total_comparisons(), 21);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut a = CostCounters {
+            probe_comparisons: 1,
+            tuples_processed: 2,
+            ..Default::default()
+        };
+        let b = CostCounters {
+            probe_comparisons: 10,
+            union_comparisons: 5,
+            items_emitted: 7,
+            ..Default::default()
+        };
+        a.add(&b);
+        assert_eq!(a.probe_comparisons, 11);
+        assert_eq!(a.union_comparisons, 5);
+        assert_eq!(a.tuples_processed, 2);
+        assert_eq!(a.items_emitted, 7);
+    }
+
+    #[test]
+    fn memory_stats_tracks_peak_and_average() {
+        let mut m = MemoryStats::default();
+        m.record(10, 1);
+        m.record(30, 5);
+        m.record(20, 2);
+        assert_eq!(m.peak_state_tuples, 30);
+        assert_eq!(m.peak_queue_items, 5);
+        assert_eq!(m.final_state_tuples, 20);
+        assert_eq!(m.samples, 3);
+        assert!((m.avg_state_tuples - 20.0).abs() < 1e-9);
+    }
+}

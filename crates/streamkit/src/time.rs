@@ -1,0 +1,238 @@
+//! Timestamps and time deltas.
+//!
+//! The paper assumes every tuple carries an arrival timestamp with a global
+//! ordering (Section 2).  We model time as integer microseconds since an
+//! arbitrary epoch, which keeps arithmetic exact and ordering total.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in stream time, in microseconds since the start of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub u64);
+
+/// A length of stream time, in microseconds (window sizes, slice ranges).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimeDelta(pub u64);
+
+impl Timestamp {
+    /// The smallest possible timestamp.
+    pub const ZERO: Timestamp = Timestamp(0);
+    /// The largest possible timestamp (used as an "end of stream" watermark).
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Build a timestamp from whole seconds.
+    pub fn from_secs(secs: u64) -> Self {
+        Timestamp(secs * 1_000_000)
+    }
+
+    /// Build a timestamp from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        Timestamp(ms * 1_000)
+    }
+
+    /// Build a timestamp from microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        Timestamp(us)
+    }
+
+    /// Raw microsecond value.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Value in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Absolute difference between two timestamps.
+    pub fn abs_diff(self, other: Timestamp) -> TimeDelta {
+        TimeDelta(self.0.abs_diff(other.0))
+    }
+
+    /// Difference `self - other`, saturating at zero.
+    pub fn saturating_sub(self, other: Timestamp) -> TimeDelta {
+        TimeDelta(self.0.saturating_sub(other.0))
+    }
+
+    /// The later of two timestamps (the timestamp assigned to a joined tuple).
+    pub fn max(self, other: Timestamp) -> Timestamp {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two timestamps.
+    pub fn min(self, other: Timestamp) -> Timestamp {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl TimeDelta {
+    /// A zero-length delta.
+    pub const ZERO: TimeDelta = TimeDelta(0);
+    /// The largest possible delta (an effectively unbounded window).
+    pub const MAX: TimeDelta = TimeDelta(u64::MAX);
+
+    /// Build a delta from whole seconds.
+    pub fn from_secs(secs: u64) -> Self {
+        TimeDelta(secs * 1_000_000)
+    }
+
+    /// Build a delta from fractional seconds (rounded to microseconds).
+    pub fn from_secs_f64(secs: f64) -> Self {
+        TimeDelta((secs * 1_000_000.0).round() as u64)
+    }
+
+    /// Build a delta from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        TimeDelta(ms * 1_000)
+    }
+
+    /// Build a delta from microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        TimeDelta(us)
+    }
+
+    /// Raw microsecond value.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Value in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// `true` if this delta is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction of two deltas.
+    pub fn saturating_sub(self, other: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<TimeDelta> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: TimeDelta) -> Timestamp {
+        Timestamp(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Sub<TimeDelta> for Timestamp {
+    type Output = Timestamp;
+    fn sub(self, rhs: TimeDelta) -> Timestamp {
+        Timestamp(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for TimeDelta {
+    type Output = TimeDelta;
+    fn add(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for TimeDelta {
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for TimeDelta {
+    type Output = TimeDelta;
+    fn sub(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for TimeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_round_trip() {
+        assert_eq!(Timestamp::from_secs(3).as_micros(), 3_000_000);
+        assert_eq!(TimeDelta::from_secs(2).as_secs_f64(), 2.0);
+        assert_eq!(Timestamp::from_millis(1500).as_micros(), 1_500_000);
+        assert_eq!(TimeDelta::from_millis(250).as_micros(), 250_000);
+    }
+
+    #[test]
+    fn abs_diff_is_symmetric() {
+        let a = Timestamp::from_secs(5);
+        let b = Timestamp::from_secs(9);
+        assert_eq!(a.abs_diff(b), TimeDelta::from_secs(4));
+        assert_eq!(b.abs_diff(a), TimeDelta::from_secs(4));
+    }
+
+    #[test]
+    fn saturating_sub_does_not_underflow() {
+        let a = Timestamp::from_secs(1);
+        let b = Timestamp::from_secs(4);
+        assert_eq!(a.saturating_sub(b), TimeDelta::ZERO);
+        assert_eq!(b.saturating_sub(a), TimeDelta::from_secs(3));
+    }
+
+    #[test]
+    fn add_delta_to_timestamp() {
+        let a = Timestamp::from_secs(1);
+        assert_eq!(a + TimeDelta::from_secs(2), Timestamp::from_secs(3));
+        assert_eq!(a - TimeDelta::from_secs(2), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn min_max_ordering() {
+        let a = Timestamp::from_secs(1);
+        let b = Timestamp::from_secs(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(b.max(b), b);
+    }
+
+    #[test]
+    fn display_formats_as_seconds() {
+        assert_eq!(Timestamp::from_secs(2).to_string(), "2.000000s");
+        assert_eq!(TimeDelta::from_millis(500).to_string(), "0.500000s");
+    }
+
+    #[test]
+    fn delta_arithmetic() {
+        let d = TimeDelta::from_secs(10);
+        assert_eq!(d - TimeDelta::from_secs(3), TimeDelta::from_secs(7));
+        assert_eq!(d.saturating_sub(TimeDelta::from_secs(30)), TimeDelta::ZERO);
+        let mut e = TimeDelta::from_secs(1);
+        e += TimeDelta::from_secs(2);
+        assert_eq!(e, TimeDelta::from_secs(3));
+        assert!(TimeDelta::ZERO.is_zero());
+        assert!(!d.is_zero());
+    }
+
+    #[test]
+    fn from_secs_f64_rounds() {
+        assert_eq!(TimeDelta::from_secs_f64(2.5).as_micros(), 2_500_000);
+        assert_eq!(TimeDelta::from_secs_f64(0.0000004).as_micros(), 0);
+    }
+}

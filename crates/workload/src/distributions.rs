@@ -1,0 +1,181 @@
+//! Query-window distributions (Tables 3 and 4 of the paper).
+
+use streamkit::TimeDelta;
+
+/// The window-size distributions used in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WindowDistribution {
+    /// Most windows are small (Table 3: 5/10/30 s; Table 4: 1..10, 20, 30 s).
+    MostlySmall,
+    /// Windows spread evenly up to 30 s (Table 3: 10/20/30; Table 4: 2.5-step).
+    Uniform,
+    /// Most windows are large (Table 3: 20/25/30 s).
+    MostlyLarge,
+    /// Half the windows are small, half are large (Table 4: 1..6, 25..30 s).
+    SmallLarge,
+}
+
+impl WindowDistribution {
+    /// All distributions, for sweeps.
+    pub const ALL: [WindowDistribution; 4] = [
+        WindowDistribution::MostlySmall,
+        WindowDistribution::Uniform,
+        WindowDistribution::MostlyLarge,
+        WindowDistribution::SmallLarge,
+    ];
+
+    /// Human-readable name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WindowDistribution::MostlySmall => "Mostly-Small",
+            WindowDistribution::Uniform => "Uniform",
+            WindowDistribution::MostlyLarge => "Mostly-Large",
+            WindowDistribution::SmallLarge => "Small-Large",
+        }
+    }
+
+    /// Window sizes (seconds) for `n` queries.  The 3-query values match
+    /// Table 3 exactly and the 12-query values match Table 4 exactly; other
+    /// query counts extend the same pattern over the same `[0, 30]`-second
+    /// range, keeping windows distinct.
+    pub fn windows_secs(&self, n: usize) -> Vec<f64> {
+        assert!(n >= 1, "at least one query window is required");
+        match (self, n) {
+            (WindowDistribution::MostlySmall, 3) => vec![5.0, 10.0, 30.0],
+            (WindowDistribution::Uniform, 3) => vec![10.0, 20.0, 30.0],
+            (WindowDistribution::MostlyLarge, 3) => vec![20.0, 25.0, 30.0],
+            (WindowDistribution::SmallLarge, 3) => vec![5.0, 25.0, 30.0],
+            (WindowDistribution::MostlySmall, 12) => vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 20.0, 30.0,
+            ],
+            (WindowDistribution::Uniform, 12) => vec![
+                2.5, 5.0, 7.5, 10.0, 12.5, 15.0, 17.5, 20.0, 22.5, 25.0, 27.5, 30.0,
+            ],
+            (WindowDistribution::SmallLarge, 12) => vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 25.0, 26.0, 27.0, 28.0, 29.0, 30.0,
+            ],
+            (WindowDistribution::Uniform, n) => {
+                (1..=n).map(|i| 30.0 * i as f64 / n as f64).collect()
+            }
+            (WindowDistribution::MostlySmall, n) => {
+                // All but the last two windows spread over [1, 10]; the last
+                // two are 20 and 30.
+                if n <= 2 {
+                    return vec![20.0, 30.0][..n].to_vec();
+                }
+                let small = n - 2;
+                let mut w: Vec<f64> = (1..=small)
+                    .map(|i| 1.0 + 9.0 * (i as f64 - 1.0) / (small.max(2) - 1) as f64)
+                    .collect();
+                w.push(20.0);
+                w.push(30.0);
+                w
+            }
+            (WindowDistribution::MostlyLarge, n) => {
+                // The first two windows are 5 and 10; the rest spread over
+                // [20, 30].
+                if n <= 2 {
+                    return vec![5.0, 10.0][..n].to_vec();
+                }
+                let large = n - 2;
+                let mut w = vec![5.0, 10.0];
+                w.extend((1..=large).map(|i| {
+                    20.0 + 10.0 * (i as f64 - 1.0) / (large.max(2) - 1) as f64
+                }));
+                w
+            }
+            (WindowDistribution::SmallLarge, n) => {
+                // Half in [1, 6], half in [25, 30].
+                let half = n / 2;
+                let rest = n - half;
+                let mut w: Vec<f64> = (1..=half)
+                    .map(|i| 1.0 + 5.0 * (i as f64 - 1.0) / (half.max(2) - 1) as f64)
+                    .collect();
+                w.extend(
+                    (1..=rest)
+                        .map(|i| 25.0 + 5.0 * (i as f64 - 1.0) / (rest.max(2) - 1) as f64),
+                );
+                w
+            }
+        }
+    }
+
+    /// Window sizes as [`TimeDelta`]s.
+    pub fn windows(&self, n: usize) -> Vec<TimeDelta> {
+        self.windows_secs(n)
+            .into_iter()
+            .map(TimeDelta::from_secs_f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strictly_increasing(w: &[f64]) -> bool {
+        w.windows(2).all(|p| p[1] > p[0])
+    }
+
+    #[test]
+    fn three_query_distributions_match_table_3() {
+        assert_eq!(
+            WindowDistribution::MostlySmall.windows_secs(3),
+            vec![5.0, 10.0, 30.0]
+        );
+        assert_eq!(
+            WindowDistribution::Uniform.windows_secs(3),
+            vec![10.0, 20.0, 30.0]
+        );
+        assert_eq!(
+            WindowDistribution::MostlyLarge.windows_secs(3),
+            vec![20.0, 25.0, 30.0]
+        );
+    }
+
+    #[test]
+    fn twelve_query_distributions_match_table_4() {
+        assert_eq!(
+            WindowDistribution::Uniform.windows_secs(12),
+            vec![2.5, 5.0, 7.5, 10.0, 12.5, 15.0, 17.5, 20.0, 22.5, 25.0, 27.5, 30.0]
+        );
+        assert_eq!(
+            WindowDistribution::MostlySmall.windows_secs(12),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 20.0, 30.0]
+        );
+        assert_eq!(
+            WindowDistribution::SmallLarge.windows_secs(12),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 25.0, 26.0, 27.0, 28.0, 29.0, 30.0]
+        );
+    }
+
+    #[test]
+    fn generalised_counts_are_distinct_increasing_and_bounded() {
+        for dist in WindowDistribution::ALL {
+            for n in [1usize, 2, 3, 6, 12, 24, 36] {
+                let w = dist.windows_secs(n);
+                assert_eq!(w.len(), n, "{} n={n}", dist.name());
+                assert!(
+                    strictly_increasing(&w),
+                    "{} n={n}: {w:?} not strictly increasing",
+                    dist.name()
+                );
+                assert!(w.iter().all(|&x| x > 0.0 && x <= 30.0));
+            }
+        }
+    }
+
+    #[test]
+    fn windows_convert_to_time_deltas() {
+        let w = WindowDistribution::Uniform.windows(12);
+        assert_eq!(w.len(), 12);
+        assert_eq!(w[0], TimeDelta::from_secs_f64(2.5));
+        assert_eq!(w[11], TimeDelta::from_secs(30));
+    }
+
+    #[test]
+    fn names_match_the_paper() {
+        assert_eq!(WindowDistribution::MostlySmall.name(), "Mostly-Small");
+        assert_eq!(WindowDistribution::SmallLarge.name(), "Small-Large");
+    }
+}

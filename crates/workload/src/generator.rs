@@ -1,0 +1,223 @@
+//! Stream tuple generation with controllable selectivities.
+//!
+//! Each generated tuple has two payload attributes:
+//!
+//! * field [`JOIN_KEY_FIELD`] — the join attribute (the paper's
+//!   `LocationId`), drawn uniformly from a key domain whose size sets the
+//!   equi-join selectivity `S⋈ ≈ 1 / |domain|`,
+//! * field [`VALUE_FIELD`] — the filtered attribute (the paper's `Value`),
+//!   drawn uniformly from `[0, VALUE_DOMAIN)`, so a predicate
+//!   `value < Sσ · VALUE_DOMAIN` has selectivity `Sσ`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use streamkit::tuple::{StreamId, Tuple, Value};
+use streamkit::{CmpOp, Predicate, Timestamp};
+
+use crate::poisson::arrival_times;
+
+/// Index of the join-key attribute in generated tuples.
+pub const JOIN_KEY_FIELD: usize = 0;
+/// Index of the filtered value attribute in generated tuples.
+pub const VALUE_FIELD: usize = 1;
+/// Size of the value domain used for filter-selectivity control.
+pub const VALUE_DOMAIN: i64 = 10_000;
+
+/// Configuration of the synthetic workload generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadConfig {
+    /// Arrival rate per stream, tuples/second.
+    pub rate: f64,
+    /// Stream duration in seconds.
+    pub duration_secs: f64,
+    /// Join selectivity `S⋈` (implemented as a key domain of size `1/S⋈`).
+    pub sel_join: f64,
+    /// Filter selectivity `Sσ` of the generated selection predicate.
+    pub sel_filter: f64,
+    /// Base RNG seed; streams A and B derive distinct sub-seeds.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            rate: 40.0,
+            duration_secs: 90.0,
+            sel_join: 0.1,
+            sel_filter: 0.5,
+            seed: 7,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// Size of the join-key domain implementing the configured `S⋈`.
+    pub fn key_domain(&self) -> i64 {
+        if self.sel_join <= 0.0 {
+            i64::MAX / 2
+        } else {
+            ((1.0 / self.sel_join).round() as i64).max(1)
+        }
+    }
+
+    /// The selection predicate with the configured selectivity `Sσ`
+    /// (`value < Sσ · VALUE_DOMAIN`).
+    pub fn filter_predicate(&self) -> Predicate {
+        let threshold = (self.sel_filter * VALUE_DOMAIN as f64).round() as i64;
+        Predicate::cmp(VALUE_FIELD, CmpOp::Lt, Value::Int(threshold))
+    }
+
+    /// Validate parameter ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rate <= 0.0 {
+            return Err("rate must be positive".to_string());
+        }
+        if self.duration_secs <= 0.0 {
+            return Err("duration must be positive".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.sel_join) {
+            return Err("join selectivity must be in [0, 1]".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.sel_filter) {
+            return Err("filter selectivity must be in [0, 1]".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Generates per-stream tuple vectors for a [`WorkloadConfig`].
+#[derive(Debug, Clone)]
+pub struct StreamGenerator {
+    config: WorkloadConfig,
+}
+
+impl StreamGenerator {
+    /// Wrap a configuration.
+    pub fn new(config: WorkloadConfig) -> Self {
+        StreamGenerator { config }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// Generate one stream's tuples in timestamp order.
+    pub fn generate(&self, stream: StreamId) -> Vec<Tuple> {
+        let sub_seed = self
+            .config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(stream.0 as u64 + 1);
+        let times = arrival_times(self.config.rate, self.config.duration_secs, sub_seed);
+        let mut rng = StdRng::seed_from_u64(sub_seed ^ 0xABCD_EF01);
+        let keys = self.config.key_domain();
+        times
+            .into_iter()
+            .map(|ts| self.tuple_at(ts, stream, &mut rng, keys))
+            .collect()
+    }
+
+    /// Generate both streams: `(stream A, stream B)`.
+    pub fn generate_pair(&self) -> (Vec<Tuple>, Vec<Tuple>) {
+        (self.generate(StreamId::A), self.generate(StreamId::B))
+    }
+
+    fn tuple_at(&self, ts: Timestamp, stream: StreamId, rng: &mut StdRng, keys: i64) -> Tuple {
+        let key = rng.gen_range(0..keys);
+        let value = rng.gen_range(0..VALUE_DOMAIN);
+        Tuple::new(ts, stream, vec![Value::Int(key), Value::Int(value)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> WorkloadConfig {
+        WorkloadConfig {
+            rate: 100.0,
+            duration_secs: 30.0,
+            sel_join: 0.1,
+            sel_filter: 0.2,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn key_domain_implements_join_selectivity() {
+        assert_eq!(config().key_domain(), 10);
+        let mut c = config();
+        c.sel_join = 0.025;
+        assert_eq!(c.key_domain(), 40);
+        c.sel_join = 0.0;
+        assert!(c.key_domain() > 1_000_000);
+    }
+
+    #[test]
+    fn filter_predicate_has_requested_selectivity() {
+        let gen = StreamGenerator::new(config());
+        let tuples = gen.generate(StreamId::A);
+        let pred = config().filter_predicate();
+        let passed = tuples.iter().filter(|t| pred.eval(t)).count() as f64;
+        let frac = passed / tuples.len() as f64;
+        assert!(
+            (frac - 0.2).abs() < 0.06,
+            "selectivity {frac} too far from 0.2"
+        );
+    }
+
+    #[test]
+    fn empirical_join_selectivity_matches_key_domain() {
+        let gen = StreamGenerator::new(config());
+        let (a, b) = gen.generate_pair();
+        let mut matches = 0usize;
+        let sample_a: Vec<_> = a.iter().step_by(7).collect();
+        let sample_b: Vec<_> = b.iter().step_by(7).collect();
+        for x in &sample_a {
+            for y in &sample_b {
+                if x.value(JOIN_KEY_FIELD) == y.value(JOIN_KEY_FIELD) {
+                    matches += 1;
+                }
+            }
+        }
+        let sel = matches as f64 / (sample_a.len() * sample_b.len()) as f64;
+        assert!((sel - 0.1).abs() < 0.03, "join selectivity {sel} too far from 0.1");
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed_and_distinct_across_streams() {
+        let gen = StreamGenerator::new(config());
+        let a1 = gen.generate(StreamId::A);
+        let a2 = gen.generate(StreamId::A);
+        let b = gen.generate(StreamId::B);
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert!(a1.windows(2).all(|w| w[1].ts >= w[0].ts));
+        assert!(a1.iter().all(|t| t.stream == StreamId::A));
+        assert!(b.iter().all(|t| t.stream == StreamId::B));
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = config();
+        assert!(c.validate().is_ok());
+        c.rate = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = config();
+        c.sel_filter = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = config();
+        c.duration_secs = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = config();
+        c.sel_join = -0.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn generator_exposes_its_config() {
+        let gen = StreamGenerator::new(config());
+        assert_eq!(gen.config(), &config());
+    }
+}

@@ -1,0 +1,26 @@
+//! Synthetic stream and query workload generation.
+//!
+//! The paper's evaluation (Section 7) drives CAPE with a synthetic stream
+//! generator: Poisson arrivals whose mean inter-arrival time sets the input
+//! rate, a join attribute whose domain size controls the join selectivity
+//! `S⋈`, and a value attribute filtered by a threshold that controls the
+//! selection selectivity `Sσ`.  Query windows follow the distributions of
+//! Tables 3 and 4 (Mostly-Small, Uniform, Mostly-Large, Small-Large).
+//!
+//! This crate reproduces all of that:
+//!
+//! * [`poisson`] — Poisson arrival-time generation,
+//! * [`generator`] — tuple generation with controllable selectivities,
+//! * [`distributions`] — the window distributions of Tables 3 and 4,
+//! * [`scenario`] — complete experiment scenarios (rate sweeps, parameters)
+//!   used by the figure-reproduction harnesses.
+
+pub mod distributions;
+pub mod generator;
+pub mod poisson;
+pub mod scenario;
+
+pub use distributions::WindowDistribution;
+pub use generator::{StreamGenerator, WorkloadConfig, JOIN_KEY_FIELD, VALUE_FIELD};
+pub use poisson::{arrival_times, PoissonArrivals};
+pub use scenario::Scenario;

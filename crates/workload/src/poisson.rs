@@ -1,0 +1,100 @@
+//! Poisson arrival processes.
+//!
+//! "The tuples in the data streams are generated according to the Poisson
+//! arrival pattern.  The stream input rate is changed by setting the mean
+//! inter-arrival time between two tuples." (Section 7.1)
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use streamkit::Timestamp;
+
+/// An infinite iterator over Poisson arrival timestamps.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    rng: StdRng,
+    /// Mean arrivals per second.
+    rate: f64,
+    /// Current time in seconds.
+    now_secs: f64,
+}
+
+impl PoissonArrivals {
+    /// Build a process with the given rate (tuples/second) and RNG seed.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        assert!(rate > 0.0, "arrival rate must be positive");
+        PoissonArrivals {
+            rng: StdRng::seed_from_u64(seed),
+            rate,
+            now_secs: 0.0,
+        }
+    }
+
+    /// The configured rate in tuples per second.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Iterator for PoissonArrivals {
+    type Item = Timestamp;
+
+    fn next(&mut self) -> Option<Timestamp> {
+        // Exponential inter-arrival times via inverse transform sampling.
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let delta = -u.ln() / self.rate;
+        self.now_secs += delta;
+        Some(Timestamp::from_micros((self.now_secs * 1e6) as u64))
+    }
+}
+
+/// All arrival timestamps within `[0, duration_secs)` for the given rate.
+pub fn arrival_times(rate: f64, duration_secs: f64, seed: u64) -> Vec<Timestamp> {
+    PoissonArrivals::new(rate, seed)
+        .take_while(|ts| ts.as_secs_f64() < duration_secs)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_monotone_and_roughly_match_the_rate() {
+        let times = arrival_times(50.0, 20.0, 7);
+        assert!(times.windows(2).all(|w| w[1] >= w[0]));
+        // Expected count = rate * duration = 1000; Poisson std-dev ~ 32.
+        let n = times.len() as f64;
+        assert!(
+            (850.0..1150.0).contains(&n),
+            "unexpected arrival count {n}"
+        );
+        assert!(times.iter().all(|t| t.as_secs_f64() < 20.0));
+    }
+
+    #[test]
+    fn same_seed_is_deterministic_different_seed_is_not() {
+        let a = arrival_times(10.0, 5.0, 42);
+        let b = arrival_times(10.0, 5.0, 42);
+        let c = arrival_times(10.0, 5.0, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn higher_rate_means_more_arrivals() {
+        let slow = arrival_times(10.0, 10.0, 1).len();
+        let fast = arrival_times(80.0, 10.0, 1).len();
+        assert!(fast > 4 * slow);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be positive")]
+    fn zero_rate_is_rejected() {
+        let _ = PoissonArrivals::new(0.0, 1);
+    }
+
+    #[test]
+    fn rate_accessor() {
+        assert_eq!(PoissonArrivals::new(25.0, 0).rate(), 25.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Complete experiment scenarios.
+//!
+//! A [`Scenario`] bundles everything one data point of the paper's figures
+//! needs: the per-stream arrival rate, the window distribution and query
+//! count, the filter / join selectivities and the stream duration.  The
+//! figure harnesses sweep the rate from 20 to 80 tuples/second exactly as the
+//! evaluation does (Section 7.2).
+
+use streamkit::{Predicate, TimeDelta};
+
+use crate::distributions::WindowDistribution;
+use crate::generator::{StreamGenerator, WorkloadConfig};
+
+/// One experiment configuration (one curve point of Figures 17–19).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    /// Arrival rate per stream (tuples/second).
+    pub rate: f64,
+    /// Stream duration in seconds (the paper runs 90 s; harnesses may scale
+    /// this down for quick runs).
+    pub duration_secs: f64,
+    /// Number of registered queries.
+    pub num_queries: usize,
+    /// Window distribution over the queries.
+    pub distribution: WindowDistribution,
+    /// Selection selectivity Sσ; `1.0` means the queries carry no selection.
+    pub sel_filter: f64,
+    /// Join selectivity S⋈.
+    pub sel_join: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            rate: 40.0,
+            duration_secs: 90.0,
+            num_queries: 3,
+            distribution: WindowDistribution::Uniform,
+            sel_filter: 0.5,
+            sel_join: 0.1,
+            seed: 7,
+        }
+    }
+}
+
+impl Scenario {
+    /// The input rates swept by the paper's experiments.
+    pub const PAPER_RATES: [f64; 4] = [20.0, 40.0, 60.0, 80.0];
+
+    /// The query windows of this scenario.
+    pub fn windows(&self) -> Vec<TimeDelta> {
+        self.distribution.windows(self.num_queries)
+    }
+
+    /// The shared selection predicate, or `None` when `sel_filter >= 1`.
+    pub fn filter_predicate(&self) -> Option<Predicate> {
+        if self.sel_filter >= 1.0 {
+            None
+        } else {
+            Some(self.workload_config().filter_predicate())
+        }
+    }
+
+    /// The generator configuration corresponding to this scenario.
+    pub fn workload_config(&self) -> WorkloadConfig {
+        WorkloadConfig {
+            rate: self.rate,
+            duration_secs: self.duration_secs,
+            sel_join: self.sel_join,
+            sel_filter: self.sel_filter.min(1.0),
+            seed: self.seed,
+        }
+    }
+
+    /// A generator for this scenario's streams.
+    pub fn generator(&self) -> StreamGenerator {
+        StreamGenerator::new(self.workload_config())
+    }
+
+    /// A copy of the scenario with a different arrival rate.
+    pub fn with_rate(&self, rate: f64) -> Scenario {
+        Scenario { rate, ..*self }
+    }
+
+    /// A copy of the scenario with a different duration (used to scale the
+    /// paper's 90-second runs down for quick benchmark iterations).
+    pub fn with_duration(&self, duration_secs: f64) -> Scenario {
+        Scenario {
+            duration_secs,
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_section_7_2_setup() {
+        let s = Scenario::default();
+        assert_eq!(s.num_queries, 3);
+        assert_eq!(s.duration_secs, 90.0);
+        assert_eq!(s.windows().len(), 3);
+        assert!(s.filter_predicate().is_some());
+    }
+
+    #[test]
+    fn filter_disappears_when_selectivity_is_one() {
+        let s = Scenario {
+            sel_filter: 1.0,
+            ..Scenario::default()
+        };
+        assert!(s.filter_predicate().is_none());
+    }
+
+    #[test]
+    fn with_rate_and_duration_copy_everything_else() {
+        let s = Scenario::default();
+        let faster = s.with_rate(80.0);
+        assert_eq!(faster.rate, 80.0);
+        assert_eq!(faster.num_queries, s.num_queries);
+        let shorter = s.with_duration(10.0);
+        assert_eq!(shorter.duration_secs, 10.0);
+        assert_eq!(shorter.rate, s.rate);
+    }
+
+    #[test]
+    fn generator_uses_the_scenario_parameters() {
+        let s = Scenario {
+            rate: 25.0,
+            ..Scenario::default()
+        };
+        assert_eq!(s.generator().config().rate, 25.0);
+        assert_eq!(s.workload_config().sel_join, s.sel_join);
+    }
+
+    #[test]
+    fn paper_rates_cover_20_to_80() {
+        assert_eq!(Scenario::PAPER_RATES.len(), 4);
+        assert_eq!(Scenario::PAPER_RATES[0], 20.0);
+        assert_eq!(Scenario::PAPER_RATES[3], 80.0);
+    }
+}

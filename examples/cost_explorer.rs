@@ -1,0 +1,59 @@
+//! Explore the analytical cost model (Equations 1–4): for a handful of
+//! parameter settings, print the memory and CPU cost of each sharing
+//! strategy and the resulting savings of state-slicing.
+//!
+//! ```text
+//! cargo run --example cost_explorer
+//! ```
+
+use state_slice_repro::cost_model::{
+    pullup_cost, pushdown_cost, state_slice_cost, SavingsPoint, SystemParams,
+};
+
+fn main() {
+    println!("# Analytical costs (Equations 1-3), lambda = 50 t/s, W2 = 60 s, Mt = 1 KB");
+    println!(
+        "{:<8} {:<8} {:<8} {:>12} {:>12} {:>12} {:>14} {:>14} {:>14}",
+        "rho", "Ssigma", "S1", "mem pullup", "mem pushdn", "mem slice", "cpu pullup", "cpu pushdn", "cpu slice"
+    );
+    let settings = [
+        (1.0 / 60.0, 0.01, 0.1), // the intro's motivation example
+        (0.2, 0.2, 0.1),
+        (0.5, 0.5, 0.1),
+        (0.8, 0.8, 0.4),
+        (0.33, 0.5, 0.025),
+    ];
+    for &(rho, sel_filter, sel_join) in &settings {
+        let w2 = 60.0;
+        let p = SystemParams::symmetric(50.0, rho * w2, w2, sel_filter, sel_join);
+        let pu = pullup_cost(&p);
+        let pd = pushdown_cost(&p);
+        let ss = state_slice_cost(&p);
+        println!(
+            "{:<8.3} {:<8.2} {:<8.3} {:>12.0} {:>12.0} {:>12.0} {:>14.0} {:>14.0} {:>14.0}",
+            rho, sel_filter, sel_join, pu.memory_kb, pd.memory_kb, ss.memory_kb,
+            pu.cpu_per_sec, pd.cpu_per_sec, ss.cpu_per_sec
+        );
+    }
+
+    println!("\n# Savings of state-slicing (Equation 4 / Figure 11)");
+    println!(
+        "{:<8} {:<8} {:<8} {:>16} {:>18} {:>16} {:>18}",
+        "rho", "Ssigma", "S1", "mem vs pullup %", "mem vs pushdown %", "cpu vs pullup %", "cpu vs pushdown %"
+    );
+    for &(rho, sel_filter, sel_join) in &settings {
+        let w2 = 60.0;
+        let p = SystemParams::symmetric(50.0, rho * w2, w2, sel_filter, sel_join);
+        let s = SavingsPoint::evaluate(&p);
+        println!(
+            "{:<8.3} {:<8.2} {:<8.3} {:>16.1} {:>18.1} {:>16.1} {:>18.1}",
+            rho,
+            sel_filter,
+            sel_join,
+            100.0 * s.mem_vs_pullup,
+            100.0 * s.mem_vs_pushdown,
+            100.0 * s.cpu_vs_pullup,
+            100.0 * s.cpu_vs_pushdown
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Integration / property tests for the chain buildup algorithms: Theorem 3
+//! (Mem-Opt state-memory optimality) measured on the running system, and the
+//! CPU-Opt optimality guarantee against exhaustive search.
+
+use proptest::prelude::*;
+use state_slice_repro::core::planner::{merge_streams, PlannerOptions, CHAIN_ENTRY};
+use state_slice_repro::core::{
+    ChainBuilder, ChainSpec, CostConfig, JoinQuery, QueryWorkload, SharedChainPlan,
+};
+use state_slice_repro::streamkit::tuple::StreamId;
+use state_slice_repro::streamkit::{Executor, JoinCondition, TimeDelta, Timestamp, Tuple};
+
+fn workload_from_windows(windows: &[u64]) -> QueryWorkload {
+    QueryWorkload::new(
+        windows
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| JoinQuery::new(format!("Q{}", i + 1), TimeDelta::from_secs(w)))
+            .collect(),
+        JoinCondition::equi(0),
+    )
+    .unwrap()
+}
+
+fn dense_streams(n: u64, keys: i64) -> Vec<Tuple> {
+    let a = (0..n).map(|i| Tuple::of_ints(Timestamp::from_millis(i * 200), StreamId::A, &[(i as i64) % keys, 0]));
+    let b = (0..n).map(|i| Tuple::of_ints(Timestamp::from_millis(i * 200 + 100), StreamId::B, &[(i as i64) % keys, 0]));
+    merge_streams(a.collect(), b.collect())
+}
+
+/// Measured peak state of a chain plan over a fixed input.
+fn measured_peak_state(workload: &QueryWorkload, spec: &ChainSpec, input: &[Tuple]) -> usize {
+    let shared = SharedChainPlan::build(workload, spec, &PlannerOptions::default()).unwrap();
+    let mut exec = Executor::new(shared.plan);
+    exec.ingest_all(CHAIN_ENTRY, input.to_vec()).unwrap();
+    let report = exec.run().unwrap();
+    report.memory.peak_state_tuples
+}
+
+#[test]
+fn theorem_3_chain_state_equals_single_join_state_without_selections() {
+    // Without selections, every slicing holds exactly the same total state as
+    // the single largest-window join: the slices partition the window.
+    let workload = workload_from_windows(&[2, 5, 9]);
+    let input = dense_streams(200, 5);
+    let memopt = ChainSpec::memory_optimal(&workload);
+    let merged = ChainSpec::fully_merged(&workload);
+    let partial = ChainSpec::from_path(&workload, &[0, 2, 3]).unwrap();
+    let a = measured_peak_state(&workload, &memopt, &input);
+    let b = measured_peak_state(&workload, &merged, &input);
+    let c = measured_peak_state(&workload, &partial, &input);
+    // Peak states agree within a tiny tolerance due to queue-position timing
+    // (tuples in flight between slices are not join state).
+    let max = a.max(b).max(c) as f64;
+    let min = a.min(b).min(c) as f64;
+    assert!(
+        (max - min) / max < 0.05,
+        "peak states diverge: memopt={a}, merged={b}, partial={c}"
+    );
+}
+
+#[test]
+fn cpu_opt_matches_exhaustive_search_for_paper_window_sets() {
+    for windows in [
+        vec![2.5f64, 5.0, 7.5, 10.0, 12.5, 15.0, 17.5, 20.0, 22.5, 25.0, 27.5, 30.0],
+        vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 20.0, 30.0],
+        vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 25.0, 26.0, 27.0, 28.0, 29.0, 30.0],
+    ] {
+        let workload = QueryWorkload::new(
+            windows
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| JoinQuery::new(format!("Q{}", i + 1), TimeDelta::from_secs_f64(w)))
+                .collect(),
+            JoinCondition::equi(0),
+        )
+        .unwrap();
+        let builder = ChainBuilder::new(workload);
+        for &(lambda, sel_join, csys) in &[
+            (20.0, 0.025, 10.0),
+            (80.0, 0.025, 10.0),
+            (40.0, 0.4, 1.0),
+            (40.0, 0.001, 20.0),
+        ] {
+            let cfg = CostConfig {
+                lambda_a: lambda,
+                lambda_b: lambda,
+                sel_join,
+                csys,
+            };
+            let fast = builder.cpu_optimal(&cfg).unwrap();
+            let slow = builder.cpu_optimal_brute_force(&cfg).unwrap();
+            assert!(
+                (fast.estimated_cpu - slow.estimated_cpu).abs() <= 1e-6 * slow.estimated_cpu.max(1.0),
+                "Dijkstra result {} differs from exhaustive optimum {}",
+                fast.estimated_cpu,
+                slow.estimated_cpu
+            );
+        }
+    }
+}
+
+#[test]
+fn skewed_distributions_lead_cpu_opt_to_merge_more() {
+    let uniform = ChainBuilder::new(workload_from_windows(&[3, 6, 9, 12, 15, 18, 21, 24, 27, 30]));
+    let skewed = ChainBuilder::new(workload_from_windows(&[1, 2, 3, 4, 5, 26, 27, 28, 29, 30]));
+    let cfg = CostConfig {
+        lambda_a: 40.0,
+        lambda_b: 40.0,
+        sel_join: 0.025,
+        csys: 10.0,
+    };
+    let uniform_slices = uniform.cpu_optimal(&cfg).unwrap().spec.num_slices();
+    let skewed_slices = skewed.cpu_optimal(&cfg).unwrap().spec.num_slices();
+    assert!(
+        skewed_slices <= uniform_slices,
+        "skewed windows should merge at least as much (uniform {uniform_slices}, skewed {skewed_slices})"
+    );
+    assert!(skewed_slices < 10);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// CPU-Opt is never worse than Mem-Opt or the fully merged chain under
+    /// its own cost model, for arbitrary window sets and statistics.
+    #[test]
+    fn cpu_opt_is_at_least_as_good_as_the_extremes(
+        windows in prop::collection::btree_set(1u64..60, 2..10),
+        lambda in 5.0f64..100.0,
+        sel_join in 0.001f64..0.5,
+        csys in 0.1f64..20.0,
+    ) {
+        let windows: Vec<u64> = windows.into_iter().collect();
+        let workload = workload_from_windows(&windows);
+        let builder = ChainBuilder::new(workload.clone());
+        let cfg = CostConfig { lambda_a: lambda, lambda_b: lambda, sel_join, csys };
+        let best = builder.cpu_optimal(&cfg).unwrap();
+        let memopt_cost = builder.estimate_cpu(&builder.memory_optimal(), &cfg);
+        let merged_cost = builder.estimate_cpu(&ChainSpec::fully_merged(&workload), &cfg);
+        prop_assert!(best.estimated_cpu <= memopt_cost + 1e-9);
+        prop_assert!(best.estimated_cpu <= merged_cost + 1e-9);
+        // And the chosen spec's cost recomputed independently matches.
+        let recomputed = builder.estimate_cpu(&best.spec, &cfg);
+        prop_assert!((recomputed - best.estimated_cpu).abs() < 1e-6 * recomputed.max(1.0));
+    }
+}

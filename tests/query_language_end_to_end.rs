@@ -1,0 +1,131 @@
+//! End-to-end test: queries written in the SQL-like language are parsed,
+//! translated against stream schemas, registered as a shared workload,
+//! executed through a state-slice chain and checked against the oracle.
+
+use state_slice_repro::core::planner::{merge_streams, PlannerOptions, CHAIN_ENTRY};
+use state_slice_repro::core::{
+    expected_results, ChainBuilder, JoinQuery, QueryWorkload, SharedChainPlan,
+};
+use state_slice_repro::query::{parse_query, translate, SchemaRegistry};
+use state_slice_repro::streamkit::tuple::{DataType, Field, StreamId};
+use state_slice_repro::streamkit::{Executor, Schema, Timestamp, Tuple, Value};
+
+fn schemas() -> SchemaRegistry {
+    let mut r = SchemaRegistry::new();
+    r.register(
+        "Temperature",
+        Schema::new(vec![
+            Field::new("LocationId", DataType::Int),
+            Field::new("Value", DataType::Int),
+        ]),
+    );
+    r.register(
+        "Humidity",
+        Schema::new(vec![
+            Field::new("LocationId", DataType::Int),
+            Field::new("Value", DataType::Int),
+        ]),
+    );
+    r
+}
+
+fn sensor_streams() -> (Vec<Tuple>, Vec<Tuple>) {
+    let a = (0..300u64)
+        .map(|s| {
+            Tuple::new(
+                Timestamp::from_secs(s),
+                StreamId::A,
+                vec![Value::Int((s % 8) as i64), Value::Int((s * 11 % 100) as i64)],
+            )
+        })
+        .collect();
+    let b = (0..300u64)
+        .map(|s| {
+            Tuple::new(
+                Timestamp::from_secs(s),
+                StreamId::B,
+                vec![Value::Int((s % 8) as i64), Value::Int(0)],
+            )
+        })
+        .collect();
+    (a, b)
+}
+
+#[test]
+fn queries_from_text_to_chain_to_results() {
+    let registry = schemas();
+    let texts = [
+        ("Q1", "SELECT A.* FROM Temperature A, Humidity B WHERE A.LocationId = B.LocationId WINDOW 30 sec"),
+        ("Q2", "SELECT A.* FROM Temperature A, Humidity B WHERE A.LocationId = B.LocationId AND A.Value > 60 WINDOW 2 min"),
+        ("Q3", "SELECT A.* FROM Temperature A, Humidity B WHERE A.LocationId = B.LocationId AND A.Value > 60 WINDOW 4 min"),
+    ];
+    let mut queries = Vec::new();
+    let mut join_condition = None;
+    for (name, text) in texts {
+        let spec = parse_query(text).expect("query parses");
+        let translated = translate(&spec, &registry).expect("query translates");
+        join_condition = Some(translated.join_condition.clone());
+        queries.push(JoinQuery::with_filter(
+            name,
+            translated.window,
+            translated.filter_a,
+        ));
+    }
+    let workload = QueryWorkload::new(queries, join_condition.unwrap()).unwrap();
+    assert_eq!(workload.len(), 3);
+    assert!(workload.has_selections());
+
+    let chain = ChainBuilder::new(workload.clone()).memory_optimal();
+    let shared = SharedChainPlan::build(&workload, &chain, &PlannerOptions::default()).unwrap();
+    let (a, b) = sensor_streams();
+    let input = merge_streams(a, b);
+    let expected = expected_results(&workload, &input);
+
+    let mut exec = Executor::new(shared.plan);
+    exec.ingest_all(CHAIN_ENTRY, input).unwrap();
+    let report = exec.run().unwrap();
+    for q in workload.queries() {
+        assert_eq!(
+            report.sink_count(&q.name),
+            expected[&q.name].len() as u64,
+            "query {} result count mismatch",
+            q.name
+        );
+    }
+    // The filtered 2-minute query can never receive more results than the
+    // filtered 4-minute query.
+    assert!(report.sink_count("Q3") >= report.sink_count("Q2"));
+}
+
+#[test]
+fn window_units_affect_the_chain_shape() {
+    let registry = schemas();
+    let small = translate(
+        &parse_query(
+            "SELECT A.* FROM Temperature A, Humidity B WHERE A.LocationId = B.LocationId WINDOW 1500 ms",
+        )
+        .unwrap(),
+        &registry,
+    )
+    .unwrap();
+    let large = translate(
+        &parse_query(
+            "SELECT A.* FROM Temperature A, Humidity B WHERE A.LocationId = B.LocationId WINDOW 1 hour",
+        )
+        .unwrap(),
+        &registry,
+    )
+    .unwrap();
+    let workload = QueryWorkload::new(
+        vec![
+            JoinQuery::new("small", small.window),
+            JoinQuery::new("large", large.window),
+        ],
+        small.join_condition,
+    )
+    .unwrap();
+    let chain = ChainBuilder::new(workload.clone()).memory_optimal();
+    assert_eq!(chain.num_slices(), 2);
+    assert_eq!(chain.slices()[0].window.end.as_micros(), 1_500_000);
+    assert_eq!(chain.slices()[1].window.end.as_micros(), 3_600_000_000);
+}
