@@ -240,7 +240,9 @@ mod tests {
     fn push_down_probes_less_than_pull_up_when_filter_is_selective() {
         // Highly selective filter: most A tuples avoid the big join entirely.
         let w = workload();
-        let input_a: Vec<Tuple> = (1..=60).map(|s| a(s, 0, if s % 10 == 0 { 50 } else { 5 })).collect();
+        let input_a: Vec<Tuple> = (1..=60)
+            .map(|s| a(s, 0, if s % 10 == 0 { 50 } else { 5 }))
+            .collect();
         let input_b: Vec<Tuple> = (1..=60).map(|s| b(s, 0)).collect();
 
         let run = |plan: BaselinePlan| {

@@ -42,12 +42,8 @@ impl PullUpPlanBuilder {
         let mut b = Plan::builder();
         let max_window = WindowSpec::new(workload.max_window());
         let join = b.add_op(
-            WindowJoinOp::symmetric(
-                "shared_join",
-                max_window,
-                workload.join_condition().clone(),
-            )
-            .with_punctuations(),
+            WindowJoinOp::symmetric("shared_join", max_window, workload.join_condition().clone())
+                .with_punctuations(),
         );
         b.entry(ENTRY_A, join, 0);
         b.entry(ENTRY_B, join, 1);

@@ -1,7 +1,7 @@
 //! Reproduce Figure 11: analytical memory / CPU saving surfaces of
 //! state-slicing over selection pull-up and selection push-down.
 //!
-//! Usage: `cargo run --release -p ss-bench --bin fig11 [grid_steps]`
+//! Usage: `cargo run --release -p ss_bench --bin fig11 [grid_steps]`
 
 use ss_bench::fig11_rows;
 
@@ -28,11 +28,17 @@ fn main() {
     }
 
     println!("\n# Figure 11(b): CPU saving (%) vs Selection-PullUp");
-    println!("{:<8} {:<8} {:>10} {:>10} {:>10}", "rho", "Ssigma", "S1=0.4", "S1=0.1", "S1=0.025");
+    println!(
+        "{:<8} {:<8} {:>10} {:>10} {:>10}",
+        "rho", "Ssigma", "S1=0.4", "S1=0.1", "S1=0.025"
+    );
     print_cpu_surface(&rows, |p| p.cpu_vs_pullup);
 
     println!("\n# Figure 11(c): CPU saving (%) vs Selection-PushDown");
-    println!("{:<8} {:<8} {:>10} {:>10} {:>10}", "rho", "Ssigma", "S1=0.4", "S1=0.1", "S1=0.025");
+    println!(
+        "{:<8} {:<8} {:>10} {:>10} {:>10}",
+        "rho", "Ssigma", "S1=0.4", "S1=0.1", "S1=0.025"
+    );
     print_cpu_surface(&rows, |p| p.cpu_vs_pushdown);
 }
 

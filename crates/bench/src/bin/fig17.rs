@@ -1,7 +1,7 @@
 //! Reproduce Figure 17: state-memory usage (tuples) of the three sharing
 //! strategies across input rates, window distributions and selectivities.
 //!
-//! Usage: `cargo run --release -p ss-bench --bin fig17`
+//! Usage: `cargo run --release -p ss_bench --bin fig17`
 //! Set `SS_DURATION_SECS=90` to run the paper's full 90-second streams.
 
 use ss_bench::{default_duration_secs, figure_17_18_panels, format_rows, measure_panels};
@@ -10,12 +10,10 @@ use ss_workload::Scenario;
 fn main() {
     let duration = default_duration_secs();
     println!("# Figure 17: average state memory (tuples); stream duration {duration} s");
-    let rows = measure_panels(
-        &figure_17_18_panels(),
-        &Scenario::PAPER_RATES,
-        duration,
-        7,
-    )
-    .expect("figure 17 sweep");
-    print!("{}", format_rows(&rows, |m| m.avg_state_tuples, "state(tuples)"));
+    let rows = measure_panels(&figure_17_18_panels(), &Scenario::PAPER_RATES, duration, 7)
+        .expect("figure 17 sweep");
+    print!(
+        "{}",
+        format_rows(&rows, |m| m.avg_state_tuples, "state(tuples)")
+    );
 }

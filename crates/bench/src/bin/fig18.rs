@@ -1,12 +1,11 @@
 //! Reproduce Figure 18: service rate (tuples/second) of the three sharing
 //! strategies across input rates, window distributions and selectivities.
 //!
-//! Usage: `cargo run --release -p ss-bench --bin fig18`
+//! Usage: `cargo run --release -p ss_bench --bin fig18`
 //! Set `SS_DURATION_SECS=90` to run the paper's full 90-second streams.
 
 use ss_bench::{
-    default_duration_secs, figure_17_18_panels, figure_18_extra_panels, format_rows,
-    measure_panels,
+    default_duration_secs, figure_17_18_panels, figure_18_extra_panels, format_rows, measure_panels,
 };
 use ss_workload::Scenario;
 

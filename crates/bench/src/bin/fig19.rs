@@ -1,7 +1,7 @@
 //! Reproduce Figure 19: service rate of the Mem-Opt chain vs the CPU-Opt
 //! chain for 12 / 24 / 36 queries and skewed window distributions.
 //!
-//! Usage: `cargo run --release -p ss-bench --bin fig19`
+//! Usage: `cargo run --release -p ss_bench --bin fig19`
 //! Set `SS_DURATION_SECS=90` to run the paper's full 90-second streams.
 
 use ss_bench::{default_duration_secs, figure_19_panels, format_rows, measure_fig19};

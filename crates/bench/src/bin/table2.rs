@@ -1,7 +1,7 @@
 //! Reproduce Table 2: the step-by-step execution trace of a chain of two
 //! sliced one-way window joins.
 //!
-//! Usage: `cargo run -p ss-bench --bin table2`
+//! Usage: `cargo run -p ss_bench --bin table2`
 
 use ss_bench::{format_table2, table2_trace};
 

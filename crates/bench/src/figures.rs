@@ -125,7 +125,11 @@ pub fn measure_panels(
 /// The five panels of Figure 19: query count and window distribution.
 pub fn figure_19_panels() -> Vec<(String, usize, WindowDistribution)> {
     vec![
-        ("(a) Uniform, 12 Queries".into(), 12, WindowDistribution::Uniform),
+        (
+            "(a) Uniform, 12 Queries".into(),
+            12,
+            WindowDistribution::Uniform,
+        ),
         (
             "(b) Mostly-Small, 12 Queries".into(),
             12,
@@ -235,12 +239,7 @@ mod tests {
 
     #[test]
     fn measured_sweep_produces_rows_for_every_cell() {
-        let panels = vec![(
-            "(test)".to_string(),
-            WindowDistribution::Uniform,
-            0.1,
-            0.5,
-        )];
+        let panels = vec![("(test)".to_string(), WindowDistribution::Uniform, 0.1, 0.5)];
         let rows = measure_panels(&panels, &[20.0], 5.0, 1).unwrap();
         assert_eq!(rows.len(), 3);
         let text = format_rows(&rows, |m| m.avg_state_tuples, "state(tuples)");

@@ -4,8 +4,7 @@
 use ss_workload::{Scenario, JOIN_KEY_FIELD};
 use state_slice_core::planner::CHAIN_ENTRY;
 use state_slice_core::{
-    ChainBuilder, ChainSpec, CostConfig, JoinQuery, PlannerOptions, QueryWorkload,
-    SharedChainPlan,
+    ChainBuilder, ChainSpec, CostConfig, JoinQuery, PlannerOptions, QueryWorkload, SharedChainPlan,
 };
 use streamkit::error::Result;
 use streamkit::{Executor, ExecutorConfig, JoinCondition};
@@ -179,8 +178,7 @@ pub fn results_agree(scenario: &Scenario, strategies: &[Strategy]) -> Result<boo
                     Strategy::StateSliceMemOpt => builder.memory_optimal(),
                     _ => builder.cpu_optimal(&cost_config(scenario))?.spec,
                 };
-                let shared =
-                    SharedChainPlan::build(&workload, &spec, &PlannerOptions::default())?;
+                let shared = SharedChainPlan::build(&workload, &spec, &PlannerOptions::default())?;
                 let mut exec = Executor::with_config(shared.plan, executor_config());
                 exec.ingest_all(
                     CHAIN_ENTRY,
@@ -296,7 +294,11 @@ mod tests {
         let labels: Vec<&str> = Strategy::FIGURE_17_18.iter().map(|s| s.label()).collect();
         assert_eq!(
             labels,
-            vec!["Selection-PullUp", "State-Slice-Chain", "Selection-PushDown"]
+            vec![
+                "Selection-PullUp",
+                "State-Slice-Chain",
+                "Selection-PushDown"
+            ]
         );
     }
 }

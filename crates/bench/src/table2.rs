@@ -53,11 +53,26 @@ pub fn table2_trace() -> Vec<TraceRow> {
     let mut rows = Vec::new();
 
     let arrivals = vec![
-        ("a1", Tuple::of_ints(Timestamp::from_secs(1), StreamId::A, &[1])),
-        ("a2", Tuple::of_ints(Timestamp::from_secs(2), StreamId::A, &[2])),
-        ("a3", Tuple::of_ints(Timestamp::from_secs(3), StreamId::A, &[3])),
-        ("b1", Tuple::of_ints(Timestamp::from_secs(4), StreamId::B, &[1])),
-        ("b2", Tuple::of_ints(Timestamp::from_secs(5), StreamId::B, &[2])),
+        (
+            "a1",
+            Tuple::of_ints(Timestamp::from_secs(1), StreamId::A, &[1]),
+        ),
+        (
+            "a2",
+            Tuple::of_ints(Timestamp::from_secs(2), StreamId::A, &[2]),
+        ),
+        (
+            "a3",
+            Tuple::of_ints(Timestamp::from_secs(3), StreamId::A, &[3]),
+        ),
+        (
+            "b1",
+            Tuple::of_ints(Timestamp::from_secs(4), StreamId::B, &[1]),
+        ),
+        (
+            "b2",
+            Tuple::of_ints(Timestamp::from_secs(5), StreamId::B, &[2]),
+        ),
     ];
 
     let mut time = 0;

@@ -47,11 +47,7 @@ impl CostConfig {
         ChainParams {
             lambda_a: self.lambda_a,
             lambda_b: self.lambda_b,
-            windows: workload
-                .windows()
-                .iter()
-                .map(|w| w.as_secs_f64())
-                .collect(),
+            windows: workload.windows().iter().map(|w| w.as_secs_f64()).collect(),
             sel_join: self.sel_join,
             csys: self.csys,
         }
@@ -222,8 +218,7 @@ mod tests {
                 };
                 let built = b.cpu_optimal(&cfg).unwrap();
                 let memopt_cost = b.estimate_cpu(&b.memory_optimal(), &cfg);
-                let merged_cost =
-                    b.estimate_cpu(&ChainSpec::fully_merged(b.workload()), &cfg);
+                let merged_cost = b.estimate_cpu(&ChainSpec::fully_merged(b.workload()), &cfg);
                 assert!(built.estimated_cpu <= memopt_cost + 1e-9);
                 assert!(built.estimated_cpu <= merged_cost + 1e-9);
             }

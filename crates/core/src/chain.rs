@@ -130,7 +130,9 @@ impl ChainSpec {
     /// cover the workload's largest window, and query assignments are correct.
     pub fn validate(&self, workload: &QueryWorkload) -> Result<()> {
         if self.slices.is_empty() {
-            return Err(StreamError::InvalidConfig("chain has no slices".to_string()));
+            return Err(StreamError::InvalidConfig(
+                "chain has no slices".to_string(),
+            ));
         }
         if !self.slices[0].window.start.is_zero() {
             return Err(StreamError::InvalidConfig(

@@ -239,8 +239,7 @@ mod tests {
 
     #[test]
     fn other_streams_pass_through_untouched() {
-        let mut op =
-            LineageAnnotatorOp::new("lineage", vec![Predicate::gt(0, 10i64)], StreamId::A);
+        let mut op = LineageAnnotatorOp::new("lineage", vec![Predicate::gt(0, 10i64)], StreamId::A);
         let mut ctx = OpContext::new();
         op.process(0, b(1).into(), &mut ctx);
         assert_eq!(out_lineages(&mut ctx), vec![LINEAGE_ALL]);

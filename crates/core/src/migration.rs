@@ -198,8 +198,7 @@ mod tests {
     #[test]
     fn operator_merge_concatenates_states_oldest_first() {
         let cond = JoinCondition::Cross;
-        let mut left =
-            SlicedBinaryJoinOp::for_ab("J1", SliceWindow::from_secs(0, 5), cond.clone());
+        let mut left = SlicedBinaryJoinOp::for_ab("J1", SliceWindow::from_secs(0, 5), cond.clone());
         let mut right =
             SlicedBinaryJoinOp::for_ab("J2", SliceWindow::from_secs(5, 10), cond.clone());
         // Young female in the left slice, old female in the right slice.
@@ -225,11 +224,10 @@ mod tests {
         // Results after merging equal the results the two slices would have
         // produced together: probe a merged join and compare counts.
         let cond = JoinCondition::Cross;
-        let mut left =
-            SlicedBinaryJoinOp::for_ab("J1", SliceWindow::from_secs(0, 5), cond.clone())
-                .chain_head();
-        let mut right = SlicedBinaryJoinOp::for_ab("J2", SliceWindow::from_secs(5, 10), cond)
-            .last_in_chain();
+        let mut left = SlicedBinaryJoinOp::for_ab("J1", SliceWindow::from_secs(0, 5), cond.clone())
+            .chain_head();
+        let mut right =
+            SlicedBinaryJoinOp::for_ab("J2", SliceWindow::from_secs(5, 10), cond).last_in_chain();
         // Prime the two-slice chain with A females at ts 1 and 7.
         let mut ctx = OpContext::new();
         left.process(0, a(1).into(), &mut ctx);
@@ -309,11 +307,8 @@ mod tests {
 
     #[test]
     fn operator_split_rejects_out_of_range_points() {
-        let op = SlicedBinaryJoinOp::for_ab(
-            "J",
-            SliceWindow::from_secs(0, 10),
-            JoinCondition::Cross,
-        );
+        let op =
+            SlicedBinaryJoinOp::for_ab("J", SliceWindow::from_secs(0, 10), JoinCondition::Cross);
         assert!(split_slice_operator(op, TimeDelta::from_secs(10), "l", "r").is_err());
     }
 

@@ -123,8 +123,7 @@ impl SharedChainPlan {
 
         // 3. Routers for merged slices (CPU-Opt chains).
         //    routed[(slice, query)] = (router node, router output port).
-        let mut routed: Vec<Option<(NodeId, Vec<(usize, PortId)>)>> =
-            vec![None; spec.num_slices()];
+        let mut routed: Vec<Option<(NodeId, Vec<(usize, PortId)>)>> = vec![None; spec.num_slices()];
         for (k, slice) in spec.slices().iter().enumerate() {
             let partial_queries: Vec<usize> = (slice.query_lo..=slice.query_hi)
                 .filter(|&q| workload.query(q).window < slice.window.end)
@@ -264,7 +263,10 @@ mod tests {
             vec![a(1, 0, 0), a(3, 0, 0), a(5, 0, 0)],
             vec![b(2, 0), b(3, 0), b(6, 0)],
         );
-        let ts: Vec<u64> = merged.iter().map(|t| t.ts.as_micros() / 1_000_000).collect();
+        let ts: Vec<u64> = merged
+            .iter()
+            .map(|t| t.ts.as_micros() / 1_000_000)
+            .collect();
         assert_eq!(ts, vec![1, 2, 3, 3, 5, 6]);
         // Stable: at ts 3 the A tuple comes first.
         assert_eq!(merged[2].stream, StreamId::A);

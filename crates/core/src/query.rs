@@ -124,7 +124,10 @@ impl QueryWorkload {
 
     /// The largest window in the workload.
     pub fn max_window(&self) -> TimeDelta {
-        self.queries.last().map(|q| q.window).unwrap_or(TimeDelta::ZERO)
+        self.queries
+            .last()
+            .map(|q| q.window)
+            .unwrap_or(TimeDelta::ZERO)
     }
 
     /// `true` if any query carries a non-trivial selection.

@@ -238,10 +238,7 @@ impl SlicedBinaryJoinOp {
             }
         }
         // The male tuple acts as a punctuation for the union (Section 4.3).
-        ctx.emit(
-            PORT_RESULTS,
-            Punctuation::from_stream(male.ts, male.stream),
-        );
+        ctx.emit(PORT_RESULTS, Punctuation::from_stream(male.ts, male.stream));
         if self.has_next {
             ctx.emit(PORT_NEXT_SLICE, male);
         }
@@ -351,13 +348,10 @@ mod tests {
 
     #[test]
     fn head_slice_splits_into_reference_copies_and_joins_both_directions() {
-        let mut op = SlicedBinaryJoinOp::for_ab(
-            "J1",
-            SliceWindow::from_secs(0, 10),
-            JoinCondition::equi(0),
-        )
-        .chain_head()
-        .last_in_chain();
+        let mut op =
+            SlicedBinaryJoinOp::for_ab("J1", SliceWindow::from_secs(0, 10), JoinCondition::equi(0))
+                .chain_head()
+                .last_in_chain();
         let mut ctx = OpContext::new();
         op.process(0, a(1, 7).into(), &mut ctx);
         assert!(results_of(&mut ctx).is_empty());
@@ -375,13 +369,10 @@ mod tests {
 
     #[test]
     fn an_arrival_never_joins_with_itself() {
-        let mut op = SlicedBinaryJoinOp::for_ab(
-            "J1",
-            SliceWindow::from_secs(0, 10),
-            JoinCondition::Cross,
-        )
-        .chain_head()
-        .last_in_chain();
+        let mut op =
+            SlicedBinaryJoinOp::for_ab("J1", SliceWindow::from_secs(0, 10), JoinCondition::Cross)
+                .chain_head()
+                .last_in_chain();
         let mut ctx = OpContext::new();
         op.process(0, a(1, 1).into(), &mut ctx);
         // Only one tuple has arrived; the male copy must not see its own
@@ -391,12 +382,9 @@ mod tests {
 
     #[test]
     fn purged_females_and_propagated_males_feed_the_next_slice() {
-        let mut op = SlicedBinaryJoinOp::for_ab(
-            "J1",
-            SliceWindow::from_secs(0, 2),
-            JoinCondition::Cross,
-        )
-        .chain_head();
+        let mut op =
+            SlicedBinaryJoinOp::for_ab("J1", SliceWindow::from_secs(0, 2), JoinCondition::Cross)
+                .chain_head();
         let mut ctx = OpContext::new();
         op.process(0, a(1, 0).into(), &mut ctx);
         let forwarded: Vec<(TupleRole, u64)> = ctx
@@ -430,13 +418,10 @@ mod tests {
 
     #[test]
     fn male_tuples_emit_punctuations_for_the_union() {
-        let mut op = SlicedBinaryJoinOp::for_ab(
-            "J1",
-            SliceWindow::from_secs(0, 5),
-            JoinCondition::Cross,
-        )
-        .chain_head()
-        .last_in_chain();
+        let mut op =
+            SlicedBinaryJoinOp::for_ab("J1", SliceWindow::from_secs(0, 5), JoinCondition::Cross)
+                .chain_head()
+                .last_in_chain();
         let mut ctx = OpContext::new();
         op.process(0, a(3, 0).into(), &mut ctx);
         let puncts: Vec<Punctuation> = ctx
@@ -457,13 +442,10 @@ mod tests {
     fn only_females_occupy_state_memory() {
         // Fig. 9 note (2): the state of the binary sliced window join only
         // holds the female tuples.
-        let mut op = SlicedBinaryJoinOp::for_ab(
-            "J1",
-            SliceWindow::from_secs(0, 100),
-            JoinCondition::Cross,
-        )
-        .chain_head()
-        .last_in_chain();
+        let mut op =
+            SlicedBinaryJoinOp::for_ab("J1", SliceWindow::from_secs(0, 100), JoinCondition::Cross)
+                .chain_head()
+                .last_in_chain();
         let mut ctx = OpContext::new();
         for s in 1..=10 {
             op.process(0, a(s, 0).into(), &mut ctx);
@@ -475,13 +457,10 @@ mod tests {
 
     #[test]
     fn migration_helpers_round_trip_state() {
-        let mut op = SlicedBinaryJoinOp::for_ab(
-            "J1",
-            SliceWindow::from_secs(0, 100),
-            JoinCondition::Cross,
-        )
-        .chain_head()
-        .last_in_chain();
+        let mut op =
+            SlicedBinaryJoinOp::for_ab("J1", SliceWindow::from_secs(0, 100), JoinCondition::Cross)
+                .chain_head()
+                .last_in_chain();
         let mut ctx = OpContext::new();
         op.process(0, a(1, 0).into(), &mut ctx);
         op.process(0, b(2, 0).into(), &mut ctx);
@@ -497,12 +476,9 @@ mod tests {
 
     #[test]
     fn mid_chain_slices_respect_roles() {
-        let mut op = SlicedBinaryJoinOp::for_ab(
-            "J2",
-            SliceWindow::from_secs(2, 4),
-            JoinCondition::Cross,
-        )
-        .last_in_chain();
+        let mut op =
+            SlicedBinaryJoinOp::for_ab("J2", SliceWindow::from_secs(2, 4), JoinCondition::Cross)
+                .last_in_chain();
         let mut ctx = OpContext::new();
         // A purged female from the previous slice fills the state…
         op.process(0, a(1, 0).with_role(TupleRole::Female).into(), &mut ctx);
@@ -514,13 +490,14 @@ mod tests {
 
     #[test]
     fn punctuations_flow_through_both_ports() {
-        let mut op = SlicedBinaryJoinOp::for_ab(
-            "J1",
-            SliceWindow::from_secs(0, 2),
-            JoinCondition::Cross,
-        );
+        let mut op =
+            SlicedBinaryJoinOp::for_ab("J1", SliceWindow::from_secs(0, 2), JoinCondition::Cross);
         let mut ctx = OpContext::new();
-        op.process(0, Punctuation::new(Timestamp::from_secs(7)).into(), &mut ctx);
+        op.process(
+            0,
+            Punctuation::new(Timestamp::from_secs(7)).into(),
+            &mut ctx,
+        );
         let ports: Vec<PortId> = ctx.take_outputs().into_iter().map(|(p, _)| p).collect();
         assert_eq!(ports, vec![PORT_RESULTS, PORT_NEXT_SLICE]);
     }

@@ -137,7 +137,10 @@ impl SlicedOneWayJoinOp {
             }
         }
         if self.emit_punctuations {
-            ctx.emit(PORT_RESULTS, Punctuation::from_stream(tuple.ts, tuple.stream));
+            ctx.emit(
+                PORT_RESULTS,
+                Punctuation::from_stream(tuple.ts, tuple.stream),
+            );
         }
         // 3. Propagate: forward the probe tuple to the next slice (or drop).
         if self.has_next {
@@ -392,8 +395,11 @@ mod tests {
                 }
             }
         }
-        let mut chain_all: Vec<(u64, u64)> =
-            j1_results.iter().chain(j2_results.iter()).copied().collect();
+        let mut chain_all: Vec<(u64, u64)> = j1_results
+            .iter()
+            .chain(j2_results.iter())
+            .copied()
+            .collect();
         chain_all.sort_unstable();
         ref_results.sort_unstable();
         assert_eq!(chain_all, ref_results);

@@ -124,7 +124,10 @@ impl ChainCostBreakdown {
 /// * union: `2 λ_A λ_B (w_j - w_i) S⋈` — each result is merged once by the
 ///   per-query unions (constant across slicings).
 pub fn edge_cost(params: &ChainParams, i: usize, j: usize) -> ChainCostBreakdown {
-    assert!(i < j && j <= params.num_queries(), "invalid edge ({i}, {j})");
+    assert!(
+        i < j && j <= params.num_queries(),
+        "invalid edge ({i}, {j})"
+    );
     let range = params.boundary(j) - params.boundary(i);
     let m = (j - i) as f64;
     let rate_product = 2.0 * params.lambda_a * params.lambda_b;

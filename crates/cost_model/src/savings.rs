@@ -73,7 +73,10 @@ pub fn cpu_saving_vs_pullup(p: &SystemParams) -> f64 {
 
 /// Exact CPU saving vs. the selection push-down plan.
 pub fn cpu_saving_vs_pushdown(p: &SystemParams) -> f64 {
-    ratio(pushdown_cost(p).cpu_per_sec, state_slice_cost(p).cpu_per_sec)
+    ratio(
+        pushdown_cost(p).cpu_per_sec,
+        state_slice_cost(p).cpu_per_sec,
+    )
 }
 
 /// Closed form of the memory saving vs. pull-up:

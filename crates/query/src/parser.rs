@@ -166,11 +166,7 @@ impl Parser {
             "s" | "sec" | "secs" | "second" | "seconds" => amount,
             "min" | "mins" | "minute" | "minutes" => amount * 60.0,
             "h" | "hour" | "hours" => amount * 3600.0,
-            other => {
-                return Err(StreamError::Parse(format!(
-                    "unknown time unit '{other}'"
-                )))
-            }
+            other => return Err(StreamError::Parse(format!("unknown time unit '{other}'"))),
         };
         Ok(TimeDelta::from_secs_f64(seconds))
     }
@@ -252,10 +248,9 @@ mod tests {
 
     #[test]
     fn parses_without_selection_and_with_seconds() {
-        let q = parse_query(
-            "SELECT A.* FROM T A, H B WHERE A.LocationId = B.LocationId WINDOW 1 sec",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT A.* FROM T A, H B WHERE A.LocationId = B.LocationId WINDOW 1 sec")
+                .unwrap();
         assert_eq!(q.conditions.len(), 1);
         assert_eq!(q.window, TimeDelta::from_secs(1));
     }

@@ -93,7 +93,11 @@ pub fn translate(spec: &QuerySpec, registry: &SchemaRegistry) -> Result<Translat
                         "join predicates must reference both streams".to_string(),
                     ));
                 }
-                let (left_field, right_field) = if l_is_a { (l_idx, r_idx) } else { (r_idx, l_idx) };
+                let (left_field, right_field) = if l_is_a {
+                    (l_idx, r_idx)
+                } else {
+                    (r_idx, l_idx)
+                };
                 let this = JoinCondition::Equi {
                     left_field,
                     right_field,

@@ -274,12 +274,7 @@ impl Executor {
             node.operator.process(port, item, &mut self.scratch_ctx);
             consumed += 1;
             self.scratch_ctx.swap_outputs(&mut self.scratch_out);
-            Self::dispatch_outputs(
-                &self.routing,
-                &mut self.queues,
-                idx,
-                &mut self.scratch_out,
-            );
+            Self::dispatch_outputs(&self.routing, &mut self.queues, idx, &mut self.scratch_out);
         }
         self.node_counters[idx].add(&self.scratch_ctx.counters);
         self.processed_since_sample += consumed as u64;
@@ -292,7 +287,10 @@ impl Executor {
 
     /// Run until every queue is empty, then flush all operators (in
     /// topological order) and drain again, using the given scheduler.
-    pub fn run_with_scheduler<S: Scheduler>(&mut self, scheduler: &mut S) -> Result<ExecutionReport> {
+    pub fn run_with_scheduler<S: Scheduler>(
+        &mut self,
+        scheduler: &mut S,
+    ) -> Result<ExecutionReport> {
         let start = Instant::now();
         let mut rounds = 0u64;
         self.sample_memory();
@@ -350,7 +348,13 @@ impl Executor {
 
         let mut sink_counts = HashMap::new();
         for (name, id) in self.plan.sinks() {
-            if let Some(sink) = self.plan.node(id)?.operator.as_any().downcast_ref::<crate::ops::SinkOp>() {
+            if let Some(sink) = self
+                .plan
+                .node(id)?
+                .operator
+                .as_any()
+                .downcast_ref::<crate::ops::SinkOp>()
+            {
                 sink_counts.insert(name, sink.count());
             }
         }
@@ -452,13 +456,21 @@ mod tests {
         exec.ingest_all("A", inputs_a.clone()).unwrap();
         exec.ingest_all("B", inputs_b.clone()).unwrap();
         let mut sched = ReverseScheduler;
-        counts.push(exec.run_with_scheduler(&mut sched).unwrap().sink_count("q1"));
+        counts.push(
+            exec.run_with_scheduler(&mut sched)
+                .unwrap()
+                .sink_count("q1"),
+        );
         // Longest queue first.
         let mut exec = Executor::new(join_plan());
         exec.ingest_all("A", inputs_a).unwrap();
         exec.ingest_all("B", inputs_b).unwrap();
         let mut sched = LongestQueueFirstScheduler;
-        counts.push(exec.run_with_scheduler(&mut sched).unwrap().sink_count("q1"));
+        counts.push(
+            exec.run_with_scheduler(&mut sched)
+                .unwrap()
+                .sink_count("q1"),
+        );
         assert_eq!(counts[0], counts[1]);
         assert_eq!(counts[1], counts[2]);
         assert!(counts[0] > 0);
@@ -488,7 +500,8 @@ mod tests {
         builder.connect(sel, 0, sink, 0);
         builder.entry("A", sel, 0);
         let mut exec = Executor::new(builder.build().unwrap());
-        exec.ingest_all("A", (0..10).map(|i| a(i, i as i64))).unwrap();
+        exec.ingest_all("A", (0..10).map(|i| a(i, i as i64)))
+            .unwrap();
         let report = exec.run().unwrap();
         assert_eq!(report.sink_count("q"), 6);
         assert_eq!(report.totals.filter_comparisons, 10);

@@ -104,7 +104,11 @@ mod tests {
     fn punctuations_pass_through() {
         let mut op = ProjectOp::new("pi", vec![0]);
         let mut ctx = OpContext::new();
-        op.process(0, Punctuation::new(Timestamp::from_secs(5)).into(), &mut ctx);
+        op.process(
+            0,
+            Punctuation::new(Timestamp::from_secs(5)).into(),
+            &mut ctx,
+        );
         assert!(ctx.take_outputs()[0].1.is_punctuation());
     }
 }

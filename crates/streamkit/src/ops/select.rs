@@ -107,7 +107,11 @@ mod tests {
     fn punctuations_pass_through() {
         let mut op = SelectOp::new("sigma", Predicate::False);
         let mut ctx = OpContext::new();
-        op.process(0, Punctuation::new(Timestamp::from_secs(2)).into(), &mut ctx);
+        op.process(
+            0,
+            Punctuation::new(Timestamp::from_secs(2)).into(),
+            &mut ctx,
+        );
         let out = ctx.take_outputs();
         assert_eq!(out.len(), 1);
         assert!(out[0].1.is_punctuation());

@@ -117,7 +117,11 @@ mod tests {
         op.process(0, tup(1).into(), &mut ctx);
         op.process(0, tup(3).into(), &mut ctx);
         op.process(0, tup(2).into(), &mut ctx);
-        op.process(0, Punctuation::new(Timestamp::from_secs(9)).into(), &mut ctx);
+        op.process(
+            0,
+            Punctuation::new(Timestamp::from_secs(9)).into(),
+            &mut ctx,
+        );
         assert_eq!(op.count(), 3);
         assert_eq!(op.out_of_order(), 1);
         assert_eq!(op.last_timestamp(), Some(Timestamp::from_secs(3)));

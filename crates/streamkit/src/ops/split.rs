@@ -134,7 +134,11 @@ mod tests {
     fn punctuations_broadcast_to_all_ports() {
         let mut op = SplitOp::new("split", vec![Predicate::True, Predicate::False]);
         let mut ctx = OpContext::new();
-        op.process(0, Punctuation::new(Timestamp::from_secs(3)).into(), &mut ctx);
+        op.process(
+            0,
+            Punctuation::new(Timestamp::from_secs(3)).into(),
+            &mut ctx,
+        );
         let out = ctx.take_outputs();
         assert_eq!(out.len(), 2);
         assert!(out.iter().all(|(_, i)| i.is_punctuation()));

@@ -386,11 +386,8 @@ mod tests {
 
     #[test]
     fn binary_join_respects_windows_and_purges() {
-        let mut op = WindowJoinOp::symmetric(
-            "join",
-            WindowSpec::from_secs(10),
-            JoinCondition::equi(0),
-        );
+        let mut op =
+            WindowJoinOp::symmetric("join", WindowSpec::from_secs(10), JoinCondition::equi(0));
         let mut ctx = OpContext::new();
         op.process(0, a(1, 7).into(), &mut ctx);
         op.process(0, a(5, 7).into(), &mut ctx);
@@ -408,11 +405,8 @@ mod tests {
 
     #[test]
     fn binary_join_is_symmetric_in_probe_direction() {
-        let mut op = WindowJoinOp::symmetric(
-            "join",
-            WindowSpec::from_secs(100),
-            JoinCondition::equi(0),
-        );
+        let mut op =
+            WindowJoinOp::symmetric("join", WindowSpec::from_secs(100), JoinCondition::equi(0));
         let mut ctx = OpContext::new();
         op.process(1, b(1, 3).into(), &mut ctx);
         op.process(0, a(2, 3).into(), &mut ctx);
@@ -442,11 +436,8 @@ mod tests {
 
     #[test]
     fn join_condition_filters_pairs() {
-        let mut op = WindowJoinOp::symmetric(
-            "join",
-            WindowSpec::from_secs(100),
-            JoinCondition::equi(0),
-        );
+        let mut op =
+            WindowJoinOp::symmetric("join", WindowSpec::from_secs(100), JoinCondition::equi(0));
         let mut ctx = OpContext::new();
         op.process(0, a(1, 1).into(), &mut ctx);
         op.process(0, a(2, 2).into(), &mut ctx);
@@ -458,12 +449,9 @@ mod tests {
 
     #[test]
     fn punctuation_mode_emits_progress_after_each_probe() {
-        let mut op = WindowJoinOp::symmetric(
-            "join",
-            WindowSpec::from_secs(10),
-            JoinCondition::Cross,
-        )
-        .with_punctuations();
+        let mut op =
+            WindowJoinOp::symmetric("join", WindowSpec::from_secs(10), JoinCondition::Cross)
+                .with_punctuations();
         let mut ctx = OpContext::new();
         op.process(0, a(1, 0).into(), &mut ctx);
         let out = ctx.take_outputs();
@@ -472,11 +460,8 @@ mod tests {
 
     #[test]
     fn punctuations_pass_through_join() {
-        let mut op = WindowJoinOp::symmetric(
-            "join",
-            WindowSpec::from_secs(10),
-            JoinCondition::Cross,
-        );
+        let mut op =
+            WindowJoinOp::symmetric("join", WindowSpec::from_secs(10), JoinCondition::Cross);
         let mut ctx = OpContext::new();
         op.process(
             0,

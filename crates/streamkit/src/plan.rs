@@ -309,10 +309,7 @@ mod tests {
         let sel = b.add_op(SelectOp::new("sigma", Predicate::True));
         let sink = b.add_op(SinkOp::new("q1"));
         b.connect(sel, 5, sink, 0);
-        assert!(matches!(
-            b.build(),
-            Err(StreamError::PlanValidation(_))
-        ));
+        assert!(matches!(b.build(), Err(StreamError::PlanValidation(_))));
     }
 
     #[test]

@@ -145,9 +145,7 @@ impl Predicate {
     /// (Section 6.1 of the paper).  The disjunction of an empty set is
     /// `False`.
     pub fn disjunction<I: IntoIterator<Item = Predicate>>(preds: I) -> Predicate {
-        preds
-            .into_iter()
-            .fold(Predicate::False, |acc, p| acc.or(p))
+        preds.into_iter().fold(Predicate::False, |acc, p| acc.or(p))
     }
 
     /// Evaluate the predicate.  Returns the boolean result and adds the

@@ -79,9 +79,9 @@ impl WindowDistribution {
                 }
                 let large = n - 2;
                 let mut w = vec![5.0, 10.0];
-                w.extend((1..=large).map(|i| {
-                    20.0 + 10.0 * (i as f64 - 1.0) / (large.max(2) - 1) as f64
-                }));
+                w.extend(
+                    (1..=large).map(|i| 20.0 + 10.0 * (i as f64 - 1.0) / (large.max(2) - 1) as f64),
+                );
                 w
             }
             (WindowDistribution::SmallLarge, n) => {
@@ -92,8 +92,7 @@ impl WindowDistribution {
                     .map(|i| 1.0 + 5.0 * (i as f64 - 1.0) / (half.max(2) - 1) as f64)
                     .collect();
                 w.extend(
-                    (1..=rest)
-                        .map(|i| 25.0 + 5.0 * (i as f64 - 1.0) / (rest.max(2) - 1) as f64),
+                    (1..=rest).map(|i| 25.0 + 5.0 * (i as f64 - 1.0) / (rest.max(2) - 1) as f64),
                 );
                 w
             }

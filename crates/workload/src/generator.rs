@@ -182,7 +182,10 @@ mod tests {
             }
         }
         let sel = matches as f64 / (sample_a.len() * sample_b.len()) as f64;
-        assert!((sel - 0.1).abs() < 0.03, "join selectivity {sel} too far from 0.1");
+        assert!(
+            (sel - 0.1).abs() < 0.03,
+            "join selectivity {sel} too far from 0.1"
+        );
     }
 
     #[test]

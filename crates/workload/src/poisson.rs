@@ -64,10 +64,7 @@ mod tests {
         assert!(times.windows(2).all(|w| w[1] >= w[0]));
         // Expected count = rate * duration = 1000; Poisson std-dev ~ 32.
         let n = times.len() as f64;
-        assert!(
-            (850.0..1150.0).contains(&n),
-            "unexpected arrival count {n}"
-        );
+        assert!((850.0..1150.0).contains(&n), "unexpected arrival count {n}");
         assert!(times.iter().all(|t| t.as_secs_f64() < 20.0));
     }
 

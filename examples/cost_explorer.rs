@@ -14,7 +14,15 @@ fn main() {
     println!("# Analytical costs (Equations 1-3), lambda = 50 t/s, W2 = 60 s, Mt = 1 KB");
     println!(
         "{:<8} {:<8} {:<8} {:>12} {:>12} {:>12} {:>14} {:>14} {:>14}",
-        "rho", "Ssigma", "S1", "mem pullup", "mem pushdn", "mem slice", "cpu pullup", "cpu pushdn", "cpu slice"
+        "rho",
+        "Ssigma",
+        "S1",
+        "mem pullup",
+        "mem pushdn",
+        "mem slice",
+        "cpu pullup",
+        "cpu pushdn",
+        "cpu slice"
     );
     let settings = [
         (1.0 / 60.0, 0.01, 0.1), // the intro's motivation example
@@ -31,15 +39,28 @@ fn main() {
         let ss = state_slice_cost(&p);
         println!(
             "{:<8.3} {:<8.2} {:<8.3} {:>12.0} {:>12.0} {:>12.0} {:>14.0} {:>14.0} {:>14.0}",
-            rho, sel_filter, sel_join, pu.memory_kb, pd.memory_kb, ss.memory_kb,
-            pu.cpu_per_sec, pd.cpu_per_sec, ss.cpu_per_sec
+            rho,
+            sel_filter,
+            sel_join,
+            pu.memory_kb,
+            pd.memory_kb,
+            ss.memory_kb,
+            pu.cpu_per_sec,
+            pd.cpu_per_sec,
+            ss.cpu_per_sec
         );
     }
 
     println!("\n# Savings of state-slicing (Equation 4 / Figure 11)");
     println!(
         "{:<8} {:<8} {:<8} {:>16} {:>18} {:>16} {:>18}",
-        "rho", "Ssigma", "S1", "mem vs pullup %", "mem vs pushdown %", "cpu vs pullup %", "cpu vs pushdown %"
+        "rho",
+        "Ssigma",
+        "S1",
+        "mem vs pullup %",
+        "mem vs pushdown %",
+        "cpu vs pullup %",
+        "cpu vs pushdown %"
     );
     for &(rho, sel_filter, sel_join) in &settings {
         let w2 = 60.0;

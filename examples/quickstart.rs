@@ -79,7 +79,10 @@ fn main() {
             Tuple::new(
                 Timestamp::from_secs(s),
                 StreamId::A,
-                vec![Value::Int((s % 10) as i64), Value::Int((s * 7 % 100) as i64)],
+                vec![
+                    Value::Int((s % 10) as i64),
+                    Value::Int((s * 7 % 100) as i64),
+                ],
             )
         })
         .collect();
@@ -100,10 +103,19 @@ fn main() {
 
     // 5. Report what each query received and what the shared plan cost.
     println!("\nresults:");
-    println!("  Q1 (1 min window, no filter):   {:>6} joined tuples", report.sink_count("Q1"));
-    println!("  Q2 (60 min window, Value > 50): {:>6} joined tuples", report.sink_count("Q2"));
+    println!(
+        "  Q1 (1 min window, no filter):   {:>6} joined tuples",
+        report.sink_count("Q1")
+    );
+    println!(
+        "  Q2 (60 min window, Value > 50): {:>6} joined tuples",
+        report.sink_count("Q2")
+    );
     println!("\nresources:");
-    println!("  peak state memory: {} tuples", report.memory.peak_state_tuples);
+    println!(
+        "  peak state memory: {} tuples",
+        report.memory.peak_state_tuples
+    );
     println!("  comparisons:       {}", report.totals.total_comparisons());
     println!("  service rate:      {:.0} tuples/s", report.service_rate());
 }

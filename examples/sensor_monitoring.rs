@@ -90,12 +90,16 @@ fn main() {
         ),
         (
             "Unshared",
-            UnsharedPlanBuilder::new().build(&workload).expect("unshared"),
+            UnsharedPlanBuilder::new()
+                .build(&workload)
+                .expect("unshared"),
         ),
     ] {
         let mut exec = Executor::new(plan.plan);
-        exec.ingest_all(ENTRY_A, stream_a.clone()).expect("ingest A");
-        exec.ingest_all(ENTRY_B, stream_b.clone()).expect("ingest B");
+        exec.ingest_all(ENTRY_A, stream_a.clone())
+            .expect("ingest A");
+        exec.ingest_all(ENTRY_B, stream_b.clone())
+            .expect("ingest B");
         let report = exec.run().expect("run");
         print_row(label, &report);
     }

@@ -36,7 +36,8 @@ fn run_chain(
     )
     .expect("plan builds");
     let mut exec = Executor::new(shared.plan);
-    exec.ingest_all(CHAIN_ENTRY, input.to_vec()).expect("ingest");
+    exec.ingest_all(CHAIN_ENTRY, input.to_vec())
+        .expect("ingest");
     exec.run().expect("run");
     workload
         .queries()
@@ -74,12 +75,20 @@ fn mem_opt_chain_matches_oracle_on_a_fixed_scenario() {
     let mut a = Vec::new();
     let mut b = Vec::new();
     for i in 0..120u64 {
-        a.push(tuple(StreamId::A, i * 3, (i % 4) as i64, (i * 13 % 100) as i64));
+        a.push(tuple(
+            StreamId::A,
+            i * 3,
+            (i % 4) as i64,
+            (i * 13 % 100) as i64,
+        ));
         b.push(tuple(StreamId::B, i * 3 + 1, (i % 4) as i64, 0));
     }
     let input = merge_streams(a, b);
     let spec = ChainSpec::memory_optimal(&workload);
-    assert_eq!(run_chain(&workload, &spec, &input), oracle(&workload, &input));
+    assert_eq!(
+        run_chain(&workload, &spec, &input),
+        oracle(&workload, &input)
+    );
 }
 
 #[test]

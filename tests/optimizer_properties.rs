@@ -23,8 +23,20 @@ fn workload_from_windows(windows: &[u64]) -> QueryWorkload {
 }
 
 fn dense_streams(n: u64, keys: i64) -> Vec<Tuple> {
-    let a = (0..n).map(|i| Tuple::of_ints(Timestamp::from_millis(i * 200), StreamId::A, &[(i as i64) % keys, 0]));
-    let b = (0..n).map(|i| Tuple::of_ints(Timestamp::from_millis(i * 200 + 100), StreamId::B, &[(i as i64) % keys, 0]));
+    let a = (0..n).map(|i| {
+        Tuple::of_ints(
+            Timestamp::from_millis(i * 200),
+            StreamId::A,
+            &[(i as i64) % keys, 0],
+        )
+    });
+    let b = (0..n).map(|i| {
+        Tuple::of_ints(
+            Timestamp::from_millis(i * 200 + 100),
+            StreamId::B,
+            &[(i as i64) % keys, 0],
+        )
+    });
     merge_streams(a.collect(), b.collect())
 }
 
@@ -62,9 +74,15 @@ fn theorem_3_chain_state_equals_single_join_state_without_selections() {
 #[test]
 fn cpu_opt_matches_exhaustive_search_for_paper_window_sets() {
     for windows in [
-        vec![2.5f64, 5.0, 7.5, 10.0, 12.5, 15.0, 17.5, 20.0, 22.5, 25.0, 27.5, 30.0],
-        vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 20.0, 30.0],
-        vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 25.0, 26.0, 27.0, 28.0, 29.0, 30.0],
+        vec![
+            2.5f64, 5.0, 7.5, 10.0, 12.5, 15.0, 17.5, 20.0, 22.5, 25.0, 27.5, 30.0,
+        ],
+        vec![
+            1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 20.0, 30.0,
+        ],
+        vec![
+            1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 25.0, 26.0, 27.0, 28.0, 29.0, 30.0,
+        ],
     ] {
         let workload = QueryWorkload::new(
             windows
@@ -91,7 +109,8 @@ fn cpu_opt_matches_exhaustive_search_for_paper_window_sets() {
             let fast = builder.cpu_optimal(&cfg).unwrap();
             let slow = builder.cpu_optimal_brute_force(&cfg).unwrap();
             assert!(
-                (fast.estimated_cpu - slow.estimated_cpu).abs() <= 1e-6 * slow.estimated_cpu.max(1.0),
+                (fast.estimated_cpu - slow.estimated_cpu).abs()
+                    <= 1e-6 * slow.estimated_cpu.max(1.0),
                 "Dijkstra result {} differs from exhaustive optimum {}",
                 fast.estimated_cpu,
                 slow.estimated_cpu
@@ -102,7 +121,9 @@ fn cpu_opt_matches_exhaustive_search_for_paper_window_sets() {
 
 #[test]
 fn skewed_distributions_lead_cpu_opt_to_merge_more() {
-    let uniform = ChainBuilder::new(workload_from_windows(&[3, 6, 9, 12, 15, 18, 21, 24, 27, 30]));
+    let uniform = ChainBuilder::new(workload_from_windows(&[
+        3, 6, 9, 12, 15, 18, 21, 24, 27, 30,
+    ]));
     let skewed = ChainBuilder::new(workload_from_windows(&[1, 2, 3, 4, 5, 26, 27, 28, 29, 30]));
     let cfg = CostConfig {
         lambda_a: 40.0,

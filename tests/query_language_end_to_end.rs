@@ -35,7 +35,10 @@ fn sensor_streams() -> (Vec<Tuple>, Vec<Tuple>) {
             Tuple::new(
                 Timestamp::from_secs(s),
                 StreamId::A,
-                vec![Value::Int((s % 8) as i64), Value::Int((s * 11 % 100) as i64)],
+                vec![
+                    Value::Int((s % 8) as i64),
+                    Value::Int((s * 11 % 100) as i64),
+                ],
             )
         })
         .collect();

@@ -1,0 +1,96 @@
+//! Smoke test: build the Mem-Opt and CPU-Opt chains for a 3-query workload,
+//! execute both over the same input, and check each query's sink count
+//! against the brute-force `verify` oracle.
+//!
+//! This is the fastest end-to-end sanity check of the whole stack (workload →
+//! chain buildup → planner → executor → sinks); the `chain_equivalence` tests
+//! check full result *sets*, this one guards the happy path cheaply.
+
+use state_slice_repro::core::planner::{merge_streams, PlannerOptions, CHAIN_ENTRY};
+use state_slice_repro::core::{
+    expected_results, ChainBuilder, ChainSpec, CostConfig, JoinQuery, QueryWorkload,
+};
+use state_slice_repro::prelude::*;
+use state_slice_repro::streamkit::tuple::StreamId;
+
+fn three_query_workload() -> QueryWorkload {
+    QueryWorkload::new(
+        vec![
+            JoinQuery::new("Q1", TimeDelta::from_secs(2)),
+            JoinQuery::with_filter("Q2", TimeDelta::from_secs(6), Predicate::gt(1, 30i64)),
+            JoinQuery::new("Q3", TimeDelta::from_secs(12)),
+        ],
+        JoinCondition::equi(0),
+    )
+    .unwrap()
+}
+
+fn input() -> Vec<Tuple> {
+    let a = (0..180u64)
+        .map(|i| {
+            Tuple::of_ints(
+                Timestamp::from_millis(i * 150),
+                StreamId::A,
+                &[(i % 5) as i64, (i * 7 % 100) as i64],
+            )
+        })
+        .collect();
+    let b = (0..180u64)
+        .map(|i| {
+            Tuple::of_ints(
+                Timestamp::from_millis(i * 150 + 70),
+                StreamId::B,
+                &[(i % 5) as i64, 0],
+            )
+        })
+        .collect();
+    merge_streams(a, b)
+}
+
+fn sink_counts(workload: &QueryWorkload, spec: &ChainSpec, input: &[Tuple]) -> Vec<(String, u64)> {
+    let shared = SharedChainPlan::build(workload, spec, &PlannerOptions::default()).unwrap();
+    let mut exec = Executor::new(shared.plan);
+    exec.ingest_all(CHAIN_ENTRY, input.to_vec()).unwrap();
+    let report = exec.run().unwrap();
+    workload
+        .queries()
+        .iter()
+        .map(|q| (q.name.clone(), report.sink_count(&q.name)))
+        .collect()
+}
+
+#[test]
+fn mem_opt_and_cpu_opt_sink_counts_match_the_oracle() {
+    let workload = three_query_workload();
+    let input = input();
+    let expected = expected_results(&workload, &input);
+    let oracle: Vec<(String, u64)> = workload
+        .queries()
+        .iter()
+        .map(|q| (q.name.clone(), expected[&q.name].len() as u64))
+        .collect();
+    assert!(
+        oracle.iter().all(|(_, n)| *n > 0),
+        "oracle should produce results for every query: {oracle:?}"
+    );
+
+    let builder = ChainBuilder::new(workload.clone());
+
+    let mem_opt = builder.memory_optimal();
+    assert_eq!(
+        sink_counts(&workload, &mem_opt, &input),
+        oracle,
+        "Mem-Opt chain diverged from the brute-force oracle"
+    );
+
+    let cpu_opt = builder.cpu_optimal(&CostConfig::default()).unwrap();
+    assert_eq!(
+        sink_counts(&workload, &cpu_opt.spec, &input),
+        oracle,
+        "CPU-Opt chain diverged from the brute-force oracle"
+    );
+
+    // The two optimizers may slice differently, but both must cover all
+    // three windows.
+    assert!(mem_opt.num_slices() >= cpu_opt.spec.num_slices());
+}

@@ -7,7 +7,9 @@ use state_slice_repro::baselines::{
     PullUpPlanBuilder, PushDownPlanBuilder, UnsharedPlanBuilder, ENTRY_A, ENTRY_B,
 };
 use state_slice_repro::core::planner::{merge_streams, PlannerOptions, CHAIN_ENTRY};
-use state_slice_repro::core::{ChainBuilder, CostConfig, JoinQuery, QueryWorkload, SharedChainPlan};
+use state_slice_repro::core::{
+    ChainBuilder, CostConfig, JoinQuery, QueryWorkload, SharedChainPlan,
+};
 use state_slice_repro::streamkit::{Executor, JoinCondition};
 use state_slice_repro::workload::{Scenario, WindowDistribution, JOIN_KEY_FIELD};
 
@@ -96,7 +98,10 @@ fn all_strategies_agree_with_selections() {
     };
     let counts = per_query_counts_for_all_strategies(&scenario);
     assert!(counts.iter().all(|c| c == &counts[0]), "{counts:?}");
-    assert!(counts[0].iter().sum::<u64>() > 0, "workload produced no results");
+    assert!(
+        counts[0].iter().sum::<u64>() > 0,
+        "workload produced no results"
+    );
     // Larger windows never receive fewer results than smaller ones of the
     // same filtered group.
     assert!(counts[0][2] >= counts[0][1]);

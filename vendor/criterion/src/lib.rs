@@ -1,0 +1,224 @@
+//! Offline stand-in for the subset of the [`criterion` 0.5] API used by the
+//! `ss_bench` benchmark targets: benchmark groups, `bench_function` /
+//! `bench_with_input`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! keeps the `benches/` sources source-compatible with the real criterion.
+//! It performs straightforward wall-clock timing (one warm-up iteration, then
+//! `sample_size` timed iterations) and prints mean / min / max per benchmark —
+//! no statistical analysis, HTML reports, or baseline comparison.
+//!
+//! [`criterion` 0.5]: https://docs.rs/criterion/0.5
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// Identifier of one parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function_name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function_name: function_name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `sample_size` runs of `routine` (after one untimed warm-up run).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(routine());
+                start.elapsed()
+            })
+            .collect();
+    }
+}
+
+fn run_one(label: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label:<50} (no samples)");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let min = bencher.samples.iter().min().unwrap();
+    let max = bencher.samples.iter().max().unwrap();
+    println!(
+        "{label:<50} mean {mean:>12?}   min {min:>12?}   max {max:>12?}   ({n} samples)",
+        n = bencher.samples.len()
+    );
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmark `routine` with `input`, labelled by `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}/{}", self.name, id.function_name, id.parameter);
+        run_one(&label, self.sample_size, |b| routine(b, input));
+        self
+    }
+
+    /// Benchmark an un-parameterised `routine` labelled by `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkLabel>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(&label, self.sample_size, |b| routine(b));
+        self
+    }
+
+    /// Mark the group as complete (prints a trailing newline).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Either a plain string label or a [`BenchmarkId`].
+pub struct BenchmarkLabel(String);
+
+impl From<&str> for BenchmarkLabel {
+    fn from(s: &str) -> Self {
+        BenchmarkLabel(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkLabel {
+    fn from(s: String) -> Self {
+        BenchmarkLabel(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchmarkLabel {
+    fn from(id: BenchmarkId) -> Self {
+        BenchmarkLabel(format!("{}/{}", id.function_name, id.parameter))
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("== group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    /// Benchmark a single un-grouped function.
+    pub fn bench_function<F>(
+        &mut self,
+        name: impl Into<BenchmarkLabel>,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into().0, DEFAULT_SAMPLE_SIZE, |b| routine(b));
+        self
+    }
+}
+
+/// Define a function running a sequence of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running one or more benchmark groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; ignore them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_finishes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0;
+        group.bench_with_input(BenchmarkId::new("f", 1), &2u64, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        // One warm-up plus three samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn bench_function_accepts_str_and_id() {
+        let mut c = Criterion::default();
+        c.bench_function("plain", |b| b.iter(|| 1 + 1));
+        c.bench_function(BenchmarkId::new("param", 7), |b| b.iter(|| 2 + 2));
+    }
+}

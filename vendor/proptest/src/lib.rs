@@ -1,0 +1,303 @@
+//! Offline stand-in for the subset of the [`proptest` 1.x] API used by this
+//! workspace's property tests: the `proptest!` macro over `ident in strategy`
+//! bindings, `ProptestConfig::with_cases`, range / tuple / collection / bool
+//! strategies, and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! keeps the `tests/` sources source-compatible with the real proptest.  It
+//! runs each property over `cases` deterministically seeded random inputs.
+//! Unlike the real proptest there is **no shrinking**: a failing case panics
+//! with the sampled values left to the assertion message.
+//!
+//! [`proptest` 1.x]: https://docs.rs/proptest/1
+
+use core::ops::Range;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic SplitMix64 generator driving value sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator whose stream is a pure function of `seed`.
+    pub fn deterministic(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, span: u64) -> u64 {
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+}
+
+/// A generator of random values of type [`Strategy::Value`].
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($(($t:ty, $ut:ty)),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                // Width via the unsigned counterpart so signed ranges wider
+                // than the type's positive half don't sign-extend.
+                let span = (self.end as $ut).wrapping_sub(self.start as $ut) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(
+    (i64, u64),
+    (u64, u64),
+    (i32, u32),
+    (u32, u32),
+    (usize, usize)
+);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!((A, B)(A, B, C)(A, B, C, D));
+
+pub mod bool {
+    //! Boolean strategies (`proptest::bool::ANY`).
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `true` or `false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::{vec, btree_set}`).
+
+    use super::{Strategy, TestRng};
+    use core::ops::Range;
+    use std::collections::BTreeSet;
+
+    /// Strategy for `Vec`s with lengths drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A `Vec` strategy with lengths in `len` (half-open, as in proptest).
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.len.clone().sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet`s with target sizes drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `BTreeSet` strategy with sizes in `size` (half-open).  The element
+    /// domain must be large enough to supply `size.end - 1` distinct values.
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.clone().sample(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target {
+                set.insert(self.element.sample(rng));
+                attempts += 1;
+                assert!(
+                    attempts < 1000 * (target + 1),
+                    "element domain too small for a {target}-element set"
+                );
+            }
+            set
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude::*`.
+
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestRng};
+}
+
+/// Assert inside a property, mirroring `proptest::prop_assert!`.
+///
+/// Without shrinking there is no failure persistence, so this is a plain
+/// `assert!` — the panic aborts the whole property run.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assert inside a property, mirroring `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Define property tests over `ident in strategy` bindings, mirroring
+/// `proptest::proptest!`.
+///
+/// Each generated `#[test]` function samples every binding from its strategy
+/// and runs the body, `config.cases` times with per-case deterministic seeds.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($config:expr)) => {};
+    (@run ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($binding:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            for case in 0..config.cases {
+                // Vary the seed per test name and case for input diversity
+                // while keeping every run reproducible.
+                let mut seed = 0x5EED_0000_0000_0000u64 ^ (case as u64);
+                for byte in stringify!($name).bytes() {
+                    seed = seed.wrapping_mul(0x100_0000_01B3).wrapping_add(byte as u64);
+                }
+                let mut rng = $crate::TestRng::deterministic(seed);
+                $(let $binding = $crate::Strategy::sample(&$strategy, &mut rng);)+
+                $body
+            }
+        }
+        $crate::proptest!(@run ($config) $($rest)*);
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_sample_in_bounds() {
+        let mut rng = TestRng::deterministic(1);
+        for _ in 0..200 {
+            let v = Strategy::sample(&(0i64..10), &mut rng);
+            assert!((0..10).contains(&v));
+            let (a, b, c) = Strategy::sample(&(0u64..4, 0i64..4, 1.0f64..2.0), &mut rng);
+            assert!(a < 4 && (0..4).contains(&b) && (1.0..2.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn collections_honour_size_ranges() {
+        let mut rng = TestRng::deterministic(2);
+        for _ in 0..100 {
+            let v = Strategy::sample(&prop::collection::vec(0i64..5, 1..8), &mut rng);
+            assert!((1..8).contains(&v.len()));
+            let s = Strategy::sample(&prop::collection::btree_set(0u64..50, 2..6), &mut rng);
+            assert!((2..6).contains(&s.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro itself: bindings, trailing comma, doc comments.
+        #[test]
+        fn macro_generates_runnable_tests(
+            xs in prop::collection::vec((0u64..9, 0i64..9), 1..5),
+            flag in crate::bool::ANY,
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 5);
+            prop_assert_eq!(flag || !flag, true);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Offline stand-in for the subset of the [`rand` 0.8] API this workspace
+//! uses: `StdRng::seed_from_u64` plus `Rng::gen_range` over integer and float
+//! ranges.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! keeps `ss_workload` source-compatible with the real `rand`.  The generator
+//! is SplitMix64 — statistically solid for workload synthesis, deterministic
+//! per seed, and dependency-free.  It is **not** the real `rand`'s ChaCha12
+//! and must not be used for anything security-sensitive.
+//!
+//! [`rand` 0.8]: https://docs.rs/rand/0.8
+
+use core::ops::Range;
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Produce the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range types accepted by [`Rng::gen_range`].
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draw one value uniformly from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! int_sample_range {
+    ($(($t:ty, $ut:ty)),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "cannot sample from empty range {:?}..{:?}",
+                    self.start,
+                    self.end
+                );
+                // Width via the unsigned counterpart so signed ranges wider
+                // than the type's positive half don't sign-extend.
+                let span = (self.end as $ut).wrapping_sub(self.start as $ut) as u64;
+                // Multiply-shift bounded sampling (Lemire); bias is < 2^-64
+                // per draw, far below what any workload statistic can see.
+                let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start.wrapping_add(draw as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(
+    (i64, u64),
+    (u64, u64),
+    (i32, u32),
+    (u32, u32),
+    (usize, usize)
+);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(
+            self.start < self.end,
+            "cannot sample from empty range {:?}..{:?}",
+            self.start,
+            self.end
+        );
+        // 53 uniform mantissa bits -> unit in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// User-facing sampling methods, mirroring the `rand::Rng` extension trait.
+pub trait Rng: RngCore {
+    /// Sample uniformly from a half-open range, as `rand::Rng::gen_range`.
+    fn gen_range<T: SampleRange>(&mut self, range: T) -> T::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators (only [`StdRng`] is provided).
+
+    use crate::{RngCore, SeedableRng};
+
+    /// Deterministic stand-in for `rand::rngs::StdRng`, backed by SplitMix64.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0i64..1000), b.gen_range(0i64..1000));
+        }
+    }
+
+    #[test]
+    fn int_samples_stay_in_range_and_cover_it() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0i64..10);
+            assert!((0..10).contains(&v));
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 10 values should appear");
+    }
+
+    #[test]
+    fn float_samples_are_uniform_enough() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn signed_ranges_wider_than_the_positive_half_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-2_000_000_000i32..2_000_000_000);
+            assert!((-2_000_000_000..2_000_000_000).contains(&v));
+            let w = rng.gen_range(i64::MIN / 2 - 10..i64::MAX / 2 + 10);
+            assert!((i64::MIN / 2 - 10..i64::MAX / 2 + 10).contains(&w));
+        }
+    }
+
+    #[test]
+    fn offset_ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let v = rng.gen_range(50i64..60);
+            assert!((50..60).contains(&v));
+            let f = rng.gen_range(2.0f64..3.0);
+            assert!((2.0..3.0).contains(&f));
+        }
+    }
+}
