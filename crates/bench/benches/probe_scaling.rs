@@ -1,0 +1,71 @@
+//! Probe-cost scaling: hash-indexed vs linear-scan join state.
+//!
+//! Sweeps resident state size × equi-key cardinality and times a pure
+//! probe loop against a prefilled [`JoinState`], for the hash-indexed state
+//! and the linear-scan fallback.  The indexed probe cost should be flat in
+//! the state size (it scales with the bucket population, i.e. the matches),
+//! while the scan cost grows linearly with the state.
+//!
+//! Run: `cargo bench -p ss_bench --bench probe_scaling`
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use streamkit::join_state::JoinState;
+use streamkit::tuple::StreamId;
+use streamkit::{JoinCondition, Timestamp, Tuple};
+
+const NUM_PROBES: usize = 1_000;
+
+fn tuple(i: usize, key: i64) -> Tuple {
+    Tuple::of_ints(Timestamp::from_millis(i as u64 + 1), StreamId::A, &[key])
+}
+
+fn prefill(state: &mut JoinState, state_size: usize, keys: usize) {
+    for i in 0..state_size {
+        state.push(tuple(i, (i % keys) as i64));
+    }
+}
+
+/// Evaluate the condition against every candidate of `NUM_PROBES` probes,
+/// returning the match count (kept live via `black_box`).
+fn probe_loop(state: &JoinState, keys: usize, condition: &JoinCondition) -> u64 {
+    let mut matches = 0u64;
+    let mut comparisons = 0u64;
+    for p in 0..NUM_PROBES {
+        let probe = tuple(1_000_000, (p % keys) as i64);
+        for stored in state.probe_candidates(&probe) {
+            if condition.eval_counted(stored, &probe, &mut comparisons) {
+                matches += 1;
+            }
+        }
+    }
+    black_box(comparisons);
+    matches
+}
+
+fn bench_probe_scaling(c: &mut Criterion) {
+    let condition = JoinCondition::equi(0);
+    let mut group = c.benchmark_group("probe_scaling");
+    group.sample_size(10);
+    for &state_size in &[1_000usize, 4_000, 16_000] {
+        for &keys in &[16usize, 256, 4_096] {
+            let mut indexed = JoinState::for_condition(&condition, true);
+            prefill(&mut indexed, state_size, keys);
+            group.bench_with_input(
+                BenchmarkId::new(format!("indexed/keys={keys}"), state_size),
+                &state_size,
+                |b, _| b.iter(|| probe_loop(&indexed, keys, &condition)),
+            );
+            let mut scan = JoinState::linear();
+            prefill(&mut scan, state_size, keys);
+            group.bench_with_input(
+                BenchmarkId::new(format!("scan/keys={keys}"), state_size),
+                &state_size,
+                |b, _| b.iter(|| probe_loop(&scan, keys, &condition)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe_scaling);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Persistent perf harness: hash-indexed vs linear-scan join probes.
+//!
+//! Runs the equi-join-heavy fig18-style workload under the state-slice chain
+//! and the selection pull-up baseline (each with and without the `JoinState`
+//! hash index), plus an operator microbench over state size × key
+//! cardinality, and writes the result to `BENCH_join.json` (or the path in
+//! `SS_BENCH_OUT`).
+//!
+//! Usage: `cargo run --release -p ss_bench --bin bench_report`
+//! Set `SS_DURATION_SECS` to scale the stream length (default 30 s) and
+//! `SS_BENCH_RATE` to change the per-stream arrival rate (default 100 t/s).
+
+use ss_bench::default_duration_secs;
+use ss_bench::report::run_join_bench;
+
+fn main() {
+    let duration = default_duration_secs();
+    let rate = std::env::var("SS_BENCH_RATE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|v: &f64| *v > 0.0)
+        .unwrap_or(100.0);
+    let out_path = std::env::var("SS_BENCH_OUT").unwrap_or_else(|_| "BENCH_join.json".to_string());
+
+    eprintln!("# bench_report: fig18-style equi workload ({duration} s, {rate} t/s) + microbench");
+    let report = run_join_bench(duration, rate).expect("bench harness");
+    for s in &report.strategies {
+        eprintln!(
+            "{:<22} service rate {:>12.1} t/s indexed vs {:>12.1} t/s scan  ({:.2}x), probe comparisons {} vs {} ({:.1}x fewer)",
+            s.strategy,
+            s.indexed.service_rate,
+            s.scan.service_rate,
+            s.service_rate_speedup(),
+            s.indexed.probe_comparisons,
+            s.scan.probe_comparisons,
+            s.probe_comparison_ratio(),
+        );
+    }
+    let json = report.to_json();
+    std::fs::write(&out_path, &json).expect("write BENCH_join.json");
+    eprintln!("# wrote {out_path}");
+    print!("{json}");
+}

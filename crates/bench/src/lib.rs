@@ -3,14 +3,18 @@
 //! * [`runner`] — run one scenario under one sharing strategy and collect
 //!   the metrics the paper reports (state memory, service rate, comparisons),
 //! * [`figures`] — the sweeps behind Figures 11, 17, 18 and 19,
-//! * [`table2`] — the execution trace of Table 2.
+//! * [`table2`] — the execution trace of Table 2,
+//! * [`report`] — the persistent perf harness comparing hash-indexed vs
+//!   linear-scan join probes (written to `BENCH_join.json`).
 //!
 //! The binaries `fig11`, `fig17`, `fig18`, `fig19` and `table2` print the
-//! corresponding rows; the criterion benches under `benches/` time
-//! scaled-down versions of the same sweeps.  `EXPERIMENTS.md` records the
-//! paper-vs-measured comparison.
+//! corresponding rows and `bench_report` writes the perf trajectory; the
+//! criterion benches under `benches/` time scaled-down versions of the same
+//! sweeps plus the `probe_scaling` state-size × key-cardinality grid.
+//! `EXPERIMENTS.md` records the paper-vs-measured comparison.
 
 pub mod figures;
+pub mod report;
 pub mod runner;
 pub mod table2;
 
@@ -18,6 +22,7 @@ pub use figures::{
     fig11_rows, figure_17_18_panels, figure_18_extra_panels, figure_19_panels, format_rows,
     measure_fig19, measure_panels, Fig11Row, MeasuredRow,
 };
+pub use report::{run_join_bench, JoinBenchReport, MicrobenchRow, RunPerf, StrategyComparison};
 pub use runner::{build_workload, cost_config, run_strategies, run_strategy, RunMetrics, Strategy};
 pub use table2::{format_table2, table2_trace, TraceRow};
 

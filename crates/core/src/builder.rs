@@ -7,8 +7,9 @@
 //! cost using Dijkstra's algorithm over the edge costs of
 //! [`ss_cost_model::chain::edge_cost`].
 
-use ss_cost_model::chain::{chain_cost, edge_cost, ChainParams};
+use ss_cost_model::chain::{chain_cost_with_model, edge_cost_with_model, ChainParams, ProbeModel};
 use streamkit::error::Result;
+use streamkit::join_state::equi_key_fields;
 
 use crate::chain::ChainSpec;
 use crate::dijkstra::{brute_force_shortest_path, shortest_path};
@@ -80,6 +81,19 @@ impl ChainBuilder {
         &self.workload
     }
 
+    /// The probe-cost model matching how the runtime will execute this
+    /// workload's join: hash-indexed for conditions with an equi component
+    /// (the `JoinState` index), linear scan otherwise.  Either way the probe
+    /// term is slicing-invariant, so this only refines the absolute
+    /// estimates, never the chosen chain.
+    pub fn probe_model(&self) -> ProbeModel {
+        if equi_key_fields(self.workload.join_condition(), true).is_some() {
+            ProbeModel::HashIndexed
+        } else {
+            ProbeModel::LinearScan
+        }
+    }
+
     /// The Mem-Opt chain: one slice per distinct query window.  Minimal state
     /// memory for the workload (Theorems 3 and 4).
     pub fn memory_optimal(&self) -> ChainSpec {
@@ -90,8 +104,9 @@ impl ChainBuilder {
     /// found by Dijkstra's shortest path over the slice-merge DAG.
     pub fn cpu_optimal(&self, cost: &CostConfig) -> Result<BuiltChain> {
         let params = cost.chain_params(&self.workload);
+        let model = self.probe_model();
         let n = self.workload.len();
-        let sp = shortest_path(n, |i, j| edge_cost(&params, i, j).total());
+        let sp = shortest_path(n, |i, j| edge_cost_with_model(&params, i, j, model).total());
         let spec = ChainSpec::from_path(&self.workload, &sp.path)?;
         Ok(BuiltChain {
             spec,
@@ -103,8 +118,10 @@ impl ChainBuilder {
     /// used to certify [`ChainBuilder::cpu_optimal`]'s optimality in tests.
     pub fn cpu_optimal_brute_force(&self, cost: &CostConfig) -> Result<BuiltChain> {
         let params = cost.chain_params(&self.workload);
+        let model = self.probe_model();
         let n = self.workload.len();
-        let sp = brute_force_shortest_path(n, |i, j| edge_cost(&params, i, j).total());
+        let sp =
+            brute_force_shortest_path(n, |i, j| edge_cost_with_model(&params, i, j, model).total());
         let spec = ChainSpec::from_path(&self.workload, &sp.path)?;
         Ok(BuiltChain {
             spec,
@@ -115,7 +132,7 @@ impl ChainBuilder {
     /// Analytical CPU cost of an arbitrary chain under the given config.
     pub fn estimate_cpu(&self, spec: &ChainSpec, cost: &CostConfig) -> f64 {
         let params = cost.chain_params(&self.workload);
-        chain_cost(&params, spec.path()).total()
+        chain_cost_with_model(&params, spec.path(), self.probe_model()).total()
     }
 
     /// Analytical state-memory (in tuples, no selections) of any chain over

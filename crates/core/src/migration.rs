@@ -89,6 +89,11 @@ pub fn merge_slice_operators(
             "cannot merge sliced joins with different conditions or streams".to_string(),
         ));
     }
+    if left.is_indexed() != right.is_indexed() {
+        return Err(StreamError::InvalidConfig(
+            "cannot merge sliced joins with different index modes".to_string(),
+        ));
+    }
     let merged_window = left.window().merge(&right.window());
     let (left_a, left_b) = left.drain_states();
     let (right_a, right_b) = right.drain_states();
@@ -100,6 +105,10 @@ pub fn merge_slice_operators(
         stream_a,
         stream_b,
     );
+    if !left.is_indexed() {
+        // Preserve linear-scan mode (A/B reference runs) across migration.
+        merged = merged.without_index();
+    }
     merged.set_chain_head(left.is_chain_head());
     merged.set_has_next(right.has_next());
     // Oldest tuples first: the right (older) slice's state precedes the left's.
@@ -137,6 +146,10 @@ pub fn split_slice_operator(
         stream_a,
         stream_b,
     );
+    if !left.is_indexed() {
+        // Preserve linear-scan mode (A/B reference runs) across migration.
+        right = right.without_index();
+    }
     right.set_has_next(left.has_next());
     right.set_chain_head(false);
     left.set_window(left_window);
@@ -209,6 +222,34 @@ mod tests {
         assert_eq!(merged.state_a_len(), 2);
         assert_eq!(merged.state_b_len(), 1);
         assert_eq!(merged.state_len(), 3);
+    }
+
+    #[test]
+    fn merge_and_split_preserve_the_index_mode() {
+        let cond = JoinCondition::equi(0);
+        // Indexed chain stays indexed through a merge…
+        let left = SlicedBinaryJoinOp::for_ab("J1", SliceWindow::from_secs(0, 5), cond.clone());
+        let right = SlicedBinaryJoinOp::for_ab("J2", SliceWindow::from_secs(5, 10), cond.clone());
+        assert!(merge_slice_operators("J12", left, right)
+            .unwrap()
+            .is_indexed());
+        // …and a linear-scan A/B reference chain stays linear through both
+        // merge and split.
+        let left = SlicedBinaryJoinOp::for_ab("J1", SliceWindow::from_secs(0, 5), cond.clone())
+            .without_index();
+        let right = SlicedBinaryJoinOp::for_ab("J2", SliceWindow::from_secs(5, 10), cond.clone())
+            .without_index();
+        let merged = merge_slice_operators("J12", left, right).unwrap();
+        assert!(!merged.is_indexed());
+        let (split_left, split_right) =
+            split_slice_operator(merged, TimeDelta::from_secs(5), "l", "r").unwrap();
+        assert!(!split_left.is_indexed());
+        assert!(!split_right.is_indexed());
+        // Mixed-mode merges are rejected rather than silently coerced.
+        let indexed = SlicedBinaryJoinOp::for_ab("J1", SliceWindow::from_secs(0, 5), cond.clone());
+        let linear =
+            SlicedBinaryJoinOp::for_ab("J2", SliceWindow::from_secs(5, 10), cond).without_index();
+        assert!(merge_slice_operators("bad", indexed, linear).is_err());
     }
 
     #[test]

@@ -40,10 +40,23 @@ use crate::sliced_binary::{SlicedBinaryJoinOp, PORT_NEXT_SLICE, PORT_RESULTS};
 pub const CHAIN_ENTRY: &str = "AB";
 
 /// Options controlling plan generation.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct PlannerOptions {
     /// Build retaining sinks so tests can inspect full result sets.
     pub retain_results: bool,
+    /// Hash-index the sliced joins' state on the equi-join key (default).
+    /// Disable to get the pre-index linear-scan probes, for A/B
+    /// benchmarking and equivalence testing.
+    pub index_join_state: bool,
+}
+
+impl Default for PlannerOptions {
+    fn default() -> Self {
+        PlannerOptions {
+            retain_results: false,
+            index_join_state: true,
+        }
+    }
 }
 
 /// An executable shared chain plan.
@@ -97,6 +110,9 @@ impl SharedChainPlan {
             if k == last {
                 op = op.last_in_chain();
             }
+            if !options.index_join_state {
+                op = op.without_index();
+            }
             let node = b.add_op(op);
             if k == 0 {
                 match annotator {
@@ -123,7 +139,8 @@ impl SharedChainPlan {
 
         // 3. Routers for merged slices (CPU-Opt chains).
         //    routed[(slice, query)] = (router node, router output port).
-        let mut routed: Vec<Option<(NodeId, Vec<(usize, PortId)>)>> = vec![None; spec.num_slices()];
+        type RoutedSlice = Option<(NodeId, Vec<(usize, PortId)>)>;
+        let mut routed: Vec<RoutedSlice> = vec![None; spec.num_slices()];
         for (k, slice) in spec.slices().iter().enumerate() {
             let partial_queries: Vec<usize> = (slice.query_lo..=slice.query_hi)
                 .filter(|&q| workload.query(q).window < slice.window.end)
@@ -294,6 +311,7 @@ mod tests {
             &spec,
             &PlannerOptions {
                 retain_results: true,
+                ..PlannerOptions::default()
             },
         )
         .unwrap();
@@ -398,6 +416,7 @@ mod tests {
             &spec,
             &PlannerOptions {
                 retain_results: true,
+                ..PlannerOptions::default()
             },
         )
         .unwrap();

@@ -20,8 +20,8 @@
 //!   ports up for a whole chain.
 
 use std::any::Any;
-use std::collections::VecDeque;
 
+use streamkit::join_state::JoinState;
 use streamkit::operator::{OpContext, Operator, PortId};
 use streamkit::punctuation::Punctuation;
 use streamkit::queue::StreamItem;
@@ -45,8 +45,8 @@ pub struct SlicedBinaryJoinOp {
     condition: JoinCondition,
     stream_a: StreamId,
     stream_b: StreamId,
-    state_a: VecDeque<Tuple>,
-    state_b: VecDeque<Tuple>,
+    state_a: JoinState,
+    state_b: JoinState,
     peak_state: usize,
     results: u64,
     /// First join of a chain: splits regular tuples into male/female copies.
@@ -65,14 +65,18 @@ impl SlicedBinaryJoinOp {
         stream_a: StreamId,
         stream_b: StreamId,
     ) -> Self {
+        // State A stores the left side of condition evaluations, state B the
+        // right side; both are hash-indexed for equi conditions.
+        let state_a = JoinState::for_condition(&condition, true);
+        let state_b = JoinState::for_condition(&condition, false);
         SlicedBinaryJoinOp {
             name: name.into(),
             window,
             condition,
             stream_a,
             stream_b,
-            state_a: VecDeque::new(),
-            state_b: VecDeque::new(),
+            state_a,
+            state_b,
             peak_state: 0,
             results: 0,
             chain_head: false,
@@ -95,6 +99,16 @@ impl SlicedBinaryJoinOp {
     /// Mark this as the last slice: nothing is forwarded to a next slice.
     pub fn last_in_chain(mut self) -> Self {
         self.has_next = false;
+        self
+    }
+
+    /// Disable the equi-join hash index and probe by linear scan, the
+    /// pre-index behaviour.  Benchmark/testing aid; call before processing
+    /// any tuples.
+    pub fn without_index(mut self) -> Self {
+        debug_assert!(self.state_a.is_empty() && self.state_b.is_empty());
+        self.state_a = JoinState::linear();
+        self.state_b = JoinState::linear();
         self
     }
 
@@ -134,6 +148,13 @@ impl SlicedBinaryJoinOp {
         self.chain_head
     }
 
+    /// `true` if this join's state is hash-indexed on the equi-join key
+    /// (`false` in [`SlicedBinaryJoinOp::without_index`] mode or for
+    /// conditions with no equi component).
+    pub fn is_indexed(&self) -> bool {
+        self.state_a.is_indexed()
+    }
+
     /// Change whether this join is the head of its chain.
     pub fn set_chain_head(&mut self, chain_head: bool) {
         self.chain_head = chain_head;
@@ -167,18 +188,24 @@ impl SlicedBinaryJoinOp {
     /// Drain both states (oldest first), used by online migration to move
     /// state into a merged join.
     pub fn drain_states(&mut self) -> (Vec<Tuple>, Vec<Tuple>) {
-        (
-            self.state_a.drain(..).collect(),
-            self.state_b.drain(..).collect(),
-        )
+        (self.state_a.drain_ordered(), self.state_b.drain_ordered())
     }
 
     /// Load state tuples (assumed timestamp-ordered), used by online
-    /// migration when merging or splitting slices.
+    /// migration when merging or splitting slices.  Rebuilds the hash index.
     pub fn load_states(&mut self, state_a: Vec<Tuple>, state_b: Vec<Tuple>) {
-        self.state_a = state_a.into();
-        self.state_b = state_b.into();
+        self.state_a.load_ordered(state_a);
+        self.state_b.load_ordered(state_b);
         self.peak_state = self.peak_state.max(self.state_len());
+    }
+
+    /// Timestamps currently held in the two states (oldest first); test and
+    /// verification aid.
+    pub fn state_timestamps(&self) -> (Vec<streamkit::Timestamp>, Vec<streamkit::Timestamp>) {
+        (
+            self.state_a.iter().map(|t| t.ts).collect(),
+            self.state_b.iter().map(|t| t.ts).collect(),
+        )
     }
 
     fn track_peak(&mut self) {
@@ -191,26 +218,26 @@ impl SlicedBinaryJoinOp {
     /// Cross-purge the given state with the male tuple's timestamp, forwarding
     /// expired females to the next slice.
     fn purge_state(
-        state: &mut VecDeque<Tuple>,
+        state: &mut JoinState,
         window: SliceWindow,
         male_ts: streamkit::Timestamp,
         has_next: bool,
         ctx: &mut OpContext,
     ) {
-        while let Some(front) = state.front() {
-            ctx.counters.purge_comparisons += 1;
-            if !window.expired(male_ts, front.ts) {
-                break;
-            }
-            let expired = state.pop_front().expect("front exists");
-            if has_next {
-                ctx.emit(PORT_NEXT_SLICE, expired);
-            }
-        }
+        let comparisons = state.purge_expired(
+            |front| window.expired(male_ts, front.ts),
+            |expired| {
+                if has_next {
+                    ctx.emit(PORT_NEXT_SLICE, expired);
+                }
+            },
+        );
+        ctx.counters.purge_comparisons += comparisons;
     }
 
     /// Process a male tuple: purge + probe the opposite state, emit results,
-    /// then propagate the male to the next slice.
+    /// then propagate the male to the next slice.  Equi probes touch only the
+    /// male's key bucket of the opposite state (O(1 + matches)).
     fn process_male(&mut self, male: Tuple, ctx: &mut OpContext) {
         let male_is_a = male.stream == self.stream_a;
         let opposite = if male_is_a {
@@ -219,7 +246,7 @@ impl SlicedBinaryJoinOp {
             &mut self.state_a
         };
         Self::purge_state(opposite, self.window, male.ts, self.has_next, ctx);
-        for stored in opposite.iter() {
+        for stored in opposite.probe_candidates(&male) {
             let matched = if male_is_a {
                 self.condition
                     .eval_counted(&male, stored, &mut ctx.counters.probe_comparisons)
@@ -247,9 +274,9 @@ impl SlicedBinaryJoinOp {
     /// Process a female tuple: insert into this slice's state.
     fn process_female(&mut self, female: Tuple) {
         if female.stream == self.stream_a {
-            self.state_a.push_back(female);
+            self.state_a.push(female);
         } else {
-            self.state_b.push_back(female);
+            self.state_b.push(female);
         }
         self.track_peak();
     }
@@ -274,24 +301,17 @@ impl Operator for SlicedBinaryJoinOp {
                 ctx.counters.tuples_processed += 1;
                 match t.role {
                     TupleRole::Regular => {
-                        if self.chain_head {
-                            // Split into reference copies: the male purges and
-                            // probes first, then the female fills the state —
-                            // this matches Fig. 9, where an arriving tuple
-                            // never joins with itself.
-                            let male = t.with_role(TupleRole::Male);
-                            let female = t.with_role(TupleRole::Female);
-                            self.process_male(male, ctx);
-                            self.process_female(female);
-                        } else {
-                            // Mid-chain slices should only ever see tagged
-                            // copies; treat an untagged tuple as a male+female
-                            // pair as well so standalone use works.
-                            let male = t.with_role(TupleRole::Male);
-                            let female = t.with_role(TupleRole::Female);
-                            self.process_male(male, ctx);
-                            self.process_female(female);
-                        }
+                        // Split into reference copies: the male purges and
+                        // probes first, then the female fills the state —
+                        // this matches Fig. 9, where an arriving tuple never
+                        // joins with itself.  At the chain head this is the
+                        // paper's split; mid-chain slices should only ever
+                        // see tagged copies, but treating a stray untagged
+                        // tuple the same way keeps standalone use working.
+                        let male = t.with_role(TupleRole::Male);
+                        let female = t.with_role(TupleRole::Female);
+                        self.process_male(male, ctx);
+                        self.process_female(female);
                     }
                     TupleRole::Male => self.process_male(t, ctx),
                     TupleRole::Female => self.process_female(t),

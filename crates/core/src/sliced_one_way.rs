@@ -12,8 +12,8 @@
 //! distinguishes A from B tuples by their [`StreamId`].
 
 use std::any::Any;
-use std::collections::VecDeque;
 
+use streamkit::join_state::JoinState;
 use streamkit::operator::{OpContext, Operator, PortId};
 use streamkit::punctuation::Punctuation;
 use streamkit::queue::StreamItem;
@@ -35,7 +35,7 @@ pub struct SlicedOneWayJoinOp {
     condition: JoinCondition,
     /// Stream whose tuples are kept in the sliced state (the "A" side).
     state_stream: StreamId,
-    state: VecDeque<Tuple>,
+    state: JoinState,
     peak_state: usize,
     results: u64,
     /// Whether purged/propagated tuples are forwarded to a next slice.
@@ -53,12 +53,15 @@ impl SlicedOneWayJoinOp {
         condition: JoinCondition,
         state_stream: StreamId,
     ) -> Self {
+        // Stored A tuples are the left side of every condition evaluation;
+        // the state is hash-indexed for equi conditions.
+        let state = JoinState::for_condition(&condition, true);
         SlicedOneWayJoinOp {
             name: name.into(),
             window,
             condition,
             state_stream,
-            state: VecDeque::new(),
+            state,
             peak_state: 0,
             results: 0,
             has_next: true,
@@ -76,6 +79,14 @@ impl SlicedOneWayJoinOp {
     /// Emit punctuations (the probing tuple's timestamp) on the result port.
     pub fn with_punctuations(mut self) -> Self {
         self.emit_punctuations = true;
+        self
+    }
+
+    /// Disable the equi-join hash index (linear-scan probes); benchmark and
+    /// testing aid, call before processing any tuples.
+    pub fn without_index(mut self) -> Self {
+        debug_assert!(self.state.is_empty());
+        self.state = JoinState::linear();
         self
     }
 
@@ -107,27 +118,29 @@ impl SlicedOneWayJoinOp {
 
     fn process_state_tuple(&mut self, tuple: Tuple) {
         // Fig. 6, arrival on stream A: Insert.
-        self.state.push_back(tuple);
+        self.state.push(tuple);
         self.peak_state = self.peak_state.max(self.state.len());
     }
 
     fn process_probe_tuple(&mut self, tuple: Tuple, ctx: &mut OpContext) {
         // Fig. 6, arrival on stream B.
         // 1. Cross-purge: move expired A tuples to the next slice (or drop).
-        while let Some(front) = self.state.front() {
-            ctx.counters.purge_comparisons += 1;
-            if !self.window.expired(tuple.ts, front.ts) {
-                break;
-            }
-            let expired = self.state.pop_front().expect("front exists");
-            if self.has_next {
-                ctx.emit(PORT_NEXT_SLICE, expired);
-            }
-        }
+        let window = self.window;
+        let has_next = self.has_next;
+        let comparisons = self.state.purge_expired(
+            |front| window.expired(tuple.ts, front.ts),
+            |expired| {
+                if has_next {
+                    ctx.emit(PORT_NEXT_SLICE, expired);
+                }
+            },
+        );
+        ctx.counters.purge_comparisons += comparisons;
         // 2. Probe: emit result pairs.  The upper window bound needs no check
         //    (purging enforced it); the lower bound is enforced by the chain
-        //    pipeline (Lemma 1), so probing is a pure value comparison.
-        for stored in &self.state {
+        //    pipeline (Lemma 1), so probing is a pure value comparison — and
+        //    for equi conditions only the probe key's bucket is touched.
+        for stored in self.state.probe_candidates(&tuple) {
             if self
                 .condition
                 .eval_counted(stored, &tuple, &mut ctx.counters.probe_comparisons)
@@ -312,7 +325,9 @@ mod tests {
             &mut ctx,
         );
         assert_eq!(results_of(&mut ctx).len(), 1);
-        assert_eq!(ctx.counters.probe_comparisons, 2);
+        // The hash index narrows the probe to the key-7 bucket: one
+        // comparison instead of one per stored tuple.
+        assert_eq!(ctx.counters.probe_comparisons, 1);
     }
 
     #[test]

@@ -76,6 +76,38 @@ impl ChainParams {
     }
 }
 
+/// How the runtime probes join state, which determines the probe-cost term
+/// of [`edge_cost_with_model`].
+///
+/// With a hash index on the equi-join key (the `streamkit::JoinState`
+/// subsystem) a probe touches only its key bucket, so the expected
+/// comparisons per probe drop from the full window population to the
+/// expected *match* count — a factor of `S⋈`.  Either way the probe total is
+/// identical for every slicing of the same overall window, so the model
+/// choice never changes which chain the CPU-Opt buildup picks; it changes
+/// the absolute cost estimates reported alongside.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ProbeModel {
+    /// Probe by scanning the whole opposite state (the paper's Equations
+    /// 1–3, and the runtime behaviour for non-equi conditions).
+    #[default]
+    LinearScan,
+    /// Probe through a hash index on the equi-join key: expected comparisons
+    /// per probe scale with `S⋈ ·` window population.
+    HashIndexed,
+}
+
+impl ProbeModel {
+    /// Expected probe comparisons given the full-scan comparison rate and
+    /// the join selectivity.
+    pub fn probe_cost(self, full_scan_rate: f64, sel_join: f64) -> f64 {
+        match self {
+            ProbeModel::LinearScan => full_scan_rate,
+            ProbeModel::HashIndexed => full_scan_rate * sel_join,
+        }
+    }
+}
+
 /// Per-component CPU cost of a chain configuration (comparisons / second).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ChainCostBreakdown {
@@ -124,6 +156,18 @@ impl ChainCostBreakdown {
 /// * union: `2 λ_A λ_B (w_j - w_i) S⋈` — each result is merged once by the
 ///   per-query unions (constant across slicings).
 pub fn edge_cost(params: &ChainParams, i: usize, j: usize) -> ChainCostBreakdown {
+    edge_cost_with_model(params, i, j, ProbeModel::LinearScan)
+}
+
+/// [`edge_cost`] under an explicit [`ProbeModel`]: `HashIndexed` scales the
+/// probe term by `S⋈` (the expected bucket population), matching the
+/// hash-indexed runtime join state for equi conditions.
+pub fn edge_cost_with_model(
+    params: &ChainParams,
+    i: usize,
+    j: usize,
+    model: ProbeModel,
+) -> ChainCostBreakdown {
     assert!(
         i < j && j <= params.num_queries(),
         "invalid edge ({i}, {j})"
@@ -132,7 +176,7 @@ pub fn edge_cost(params: &ChainParams, i: usize, j: usize) -> ChainCostBreakdown
     let m = (j - i) as f64;
     let rate_product = 2.0 * params.lambda_a * params.lambda_b;
     let total_rate = params.total_rate();
-    let probe = rate_product * range;
+    let probe = model.probe_cost(rate_product * range, params.sel_join);
     let purge = total_rate;
     let result_rate = rate_product * range * params.sel_join;
     let routing = result_rate * (m - 1.0);
@@ -153,13 +197,22 @@ pub fn edge_cost(params: &ChainParams, i: usize, j: usize) -> ChainCostBreakdown
 /// CPU cost of an arbitrary chain configuration given as a path of window
 /// boundary indexes `0 = p_0 < p_1 < ... < p_k = N`.
 pub fn chain_cost(params: &ChainParams, path: &[usize]) -> ChainCostBreakdown {
+    chain_cost_with_model(params, path, ProbeModel::LinearScan)
+}
+
+/// [`chain_cost`] under an explicit [`ProbeModel`].
+pub fn chain_cost_with_model(
+    params: &ChainParams,
+    path: &[usize],
+    model: ProbeModel,
+) -> ChainCostBreakdown {
     assert!(
         path.len() >= 2 && path[0] == 0 && *path.last().unwrap() == params.num_queries(),
         "path must start at 0 and end at N"
     );
     let mut total = ChainCostBreakdown::default();
     for w in path.windows(2) {
-        total = total.add(&edge_cost(params, w[0], w[1]));
+        total = total.add(&edge_cost_with_model(params, w[0], w[1], model));
     }
     total
 }
@@ -240,6 +293,23 @@ mod tests {
         // With a large join selectivity the routing dominates and Mem-Opt wins.
         let p = ChainParams::symmetric(10.0, vec![1.0, 2.0, 3.0, 4.0], 0.5, 0.1);
         assert!(mem_opt_cost(&p).total() < chain_cost(&p, &[0, 4]).total());
+    }
+
+    #[test]
+    fn hash_indexed_probe_model_scales_probe_by_join_selectivity() {
+        let p = params();
+        let scan = edge_cost_with_model(&p, 0, 3, ProbeModel::LinearScan);
+        let indexed = edge_cost_with_model(&p, 0, 3, ProbeModel::HashIndexed);
+        assert!((indexed.probe - scan.probe * 0.1).abs() < 1e-9);
+        // Every other component is probe-model independent.
+        assert_eq!(indexed.purge, scan.purge);
+        assert_eq!(indexed.routing, scan.routing);
+        assert_eq!(indexed.system, scan.system);
+        assert_eq!(indexed.union, scan.union);
+        // The probe term stays slicing-invariant under either model, so the
+        // CPU-Opt shortest path is unaffected by the model choice.
+        let sliced = chain_cost_with_model(&p, &[0, 1, 2, 3], ProbeModel::HashIndexed);
+        assert!((sliced.probe - indexed.probe).abs() < 1e-9);
     }
 
     #[test]

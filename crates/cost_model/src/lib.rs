@@ -22,7 +22,10 @@ pub mod pushdown;
 pub mod savings;
 pub mod state_slice;
 
-pub use chain::{chain_cost, edge_cost, mem_opt_cost, ChainCostBreakdown, ChainParams};
+pub use chain::{
+    chain_cost, chain_cost_with_model, edge_cost, edge_cost_with_model, mem_opt_cost,
+    ChainCostBreakdown, ChainParams, ProbeModel,
+};
 pub use params::{CostEstimate, SystemParams};
 pub use pullup::pullup_cost;
 pub use pushdown::pushdown_cost;

@@ -142,21 +142,31 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_parameters() {
-        let mut p = SystemParams::default();
-        p.sel_filter = 1.5;
+        let p = SystemParams {
+            sel_filter: 1.5,
+            ..SystemParams::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = SystemParams::default();
-        p.w1 = 100.0;
-        p.w2 = 50.0;
+        let p = SystemParams {
+            w1: 100.0,
+            w2: 50.0,
+            ..SystemParams::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = SystemParams::default();
-        p.lambda_a = -1.0;
+        let p = SystemParams {
+            lambda_a: -1.0,
+            ..SystemParams::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = SystemParams::default();
-        p.sel_join = -0.1;
+        let p = SystemParams {
+            sel_join: -0.1,
+            ..SystemParams::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = SystemParams::default();
-        p.tuple_kb = -2.0;
+        let p = SystemParams {
+            tuple_kb: -2.0,
+            ..SystemParams::default()
+        };
         assert!(p.validate().is_err());
     }
 

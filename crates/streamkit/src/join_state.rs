@@ -1,0 +1,569 @@
+//! Hash-indexed sliding-window join state.
+//!
+//! Every window join in this tree — the regular joins in
+//! [`ops::window_join`](crate::ops::window_join) and the state-sliced joins in
+//! `state_slice_core` — keeps per-stream state that is
+//!
+//! 1. **cross-purged oldest-first** (states are in arrival order, so purging
+//!    pops from the front until the first still-valid tuple), and
+//! 2. **probed** by every arrival of the opposite stream.
+//!
+//! [`JoinState`] packages both access paths: a time-ordered [`VecDeque`] for
+//! O(1) oldest-first purging, plus — for equi-join conditions — a hash index
+//! `key → bucket of entries` maintained incrementally on insert/purge.  An
+//! equi probe then touches only its key bucket, so the probe cost is
+//! O(1 + matches) instead of O(|state|); the `probe_comparisons` counters
+//! incremented by the callers consequently scale with the *output* size, not
+//! with the state size (the dominant cost in the paper's Figures 17–19).
+//!
+//! Non-equi conditions (cross products, band/theta predicates) transparently
+//! fall back to a linear scan over the time-ordered store, which is exactly
+//! the pre-index behaviour.
+//!
+//! ## Correctness of the bucket mapping
+//!
+//! Candidate filtering must never produce *false negatives*: two key values
+//! that [`Value::compare`] as `Equal` must land in the same bucket.  False
+//! positives are harmless — callers re-evaluate the full join condition for
+//! every candidate.  The key canonicalisation therefore:
+//!
+//! * maps `Int(i)` and `Float(f)` to the bits of the canonical `f64`
+//!   (`compare` equates `Int(i)` with `Float(f)` iff `i as f64 == f`), with
+//!   `-0.0` normalised to `+0.0`,
+//! * keeps `NaN` keys **out of the index** (under IEEE semantics `compare`
+//!   equates `NaN` with every number): they live in a small side list that
+//!   every probe scans in addition to its bucket, and a `NaN` *probe* key
+//!   degrades to a full linear scan,
+//! * gives tuples whose key attribute is missing their own bucket that no
+//!   probe ever reads (a missing attribute never satisfies an equi
+//!   condition).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use crate::predicate::JoinCondition;
+use crate::tuple::{Tuple, Value};
+
+/// The `(stored_field, probe_field)` pair of the first equi component of a
+/// join condition, from the perspective of a state that stores the
+/// condition's *left* (`stored_is_left = true`) or *right* side.
+///
+/// `And` conjunctions are searched left-to-right for an equi component: the
+/// index filters on that component and the caller re-evaluates the full
+/// condition per candidate, so any single equi conjunct is a correct filter.
+/// Returns `None` for conditions with no equi component (cross products,
+/// pure theta/band predicates) — those use a linear scan.
+pub fn equi_key_fields(cond: &JoinCondition, stored_is_left: bool) -> Option<(usize, usize)> {
+    match cond {
+        JoinCondition::Equi {
+            left_field,
+            right_field,
+        } => Some(if stored_is_left {
+            (*left_field, *right_field)
+        } else {
+            (*right_field, *left_field)
+        }),
+        JoinCondition::And(a, b) => {
+            equi_key_fields(a, stored_is_left).or_else(|| equi_key_fields(b, stored_is_left))
+        }
+        JoinCondition::Cross | JoinCondition::Theta { .. } => None,
+    }
+}
+
+/// Canonical hash key of a [`Value`] (see the module docs for why this is
+/// coarser than `Value` equality in places, and why that is safe).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum IndexKey {
+    /// `Null` joins only `Null`.
+    Null,
+    /// The tuple has no attribute at the key field; never matches anything.
+    Missing,
+    /// Booleans.
+    Bool(bool),
+    /// Canonical numeric bits: `Int` and `Float` keys that compare `Equal`
+    /// share these bits.  `NaN` is rejected (returns `None` below).
+    Num(u64),
+    /// Strings (shared, so building a key never copies the payload).
+    Str(Arc<str>),
+}
+
+impl IndexKey {
+    /// The bucket key for a value, or `None` for `NaN` (unindexable).
+    fn for_value(v: &Value) -> Option<IndexKey> {
+        match v {
+            Value::Null => Some(IndexKey::Null),
+            Value::Bool(b) => Some(IndexKey::Bool(*b)),
+            Value::Int(i) => Some(IndexKey::Num(canonical_bits(*i as f64)?)),
+            Value::Float(f) => Some(IndexKey::Num(canonical_bits(*f)?)),
+            Value::Str(s) => Some(IndexKey::Str(Arc::clone(s))),
+        }
+    }
+}
+
+fn canonical_bits(f: f64) -> Option<u64> {
+    if f.is_nan() {
+        None
+    } else if f == 0.0 {
+        Some(0.0f64.to_bits()) // fold -0.0 into +0.0
+    } else {
+        Some(f.to_bits())
+    }
+}
+
+/// One stream's window-join state: a time-ordered tuple store with an
+/// optional incrementally-maintained hash index on the equi-join key.
+///
+/// Entries are identified by monotonically increasing sequence numbers;
+/// `head_seq` is the sequence number of the current front, so a bucket entry
+/// `seq` lives at offset `seq - head_seq` in the deque.  Purging pops the
+/// global front, which — because arrival order equals insertion order — is
+/// also the front of whichever bucket (or side list) tracks it.
+#[derive(Debug, Default)]
+pub struct JoinState {
+    entries: VecDeque<Tuple>,
+    head_seq: u64,
+    index: HashMap<IndexKey, VecDeque<u64>>,
+    /// Sequence numbers of entries with unindexable (`NaN`) keys, in time
+    /// order; scanned by every probe in addition to its bucket.
+    unindexed: VecDeque<u64>,
+    /// Field of *stored* tuples the index is built on (`None` = linear mode).
+    stored_key_field: Option<usize>,
+    /// Field of *probing* tuples holding the lookup key.
+    probe_key_field: Option<usize>,
+}
+
+impl JoinState {
+    /// A linear-scan state (no index) — the pre-index behaviour, also used
+    /// as the fallback for non-equi conditions.
+    pub fn linear() -> JoinState {
+        JoinState::default()
+    }
+
+    /// A state hash-indexed on `stored_key_field` of inserted tuples and
+    /// probed with `probe_key_field` of arriving tuples.
+    pub fn indexed(stored_key_field: usize, probe_key_field: usize) -> JoinState {
+        JoinState {
+            stored_key_field: Some(stored_key_field),
+            probe_key_field: Some(probe_key_field),
+            ..JoinState::default()
+        }
+    }
+
+    /// The right state for a join condition: hash-indexed on the condition's
+    /// first equi component if it has one, linear otherwise.
+    /// `stored_is_left` says whether this state stores the tuples that appear
+    /// on the *left* of the condition's `eval` calls.
+    pub fn for_condition(cond: &JoinCondition, stored_is_left: bool) -> JoinState {
+        match equi_key_fields(cond, stored_is_left) {
+            Some((stored, probe)) => JoinState::indexed(stored, probe),
+            None => JoinState::linear(),
+        }
+    }
+
+    /// `true` if this state maintains a hash index.
+    pub fn is_indexed(&self) -> bool {
+        self.stored_key_field.is_some()
+    }
+
+    /// Number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no tuples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The oldest stored tuple.
+    pub fn front(&self) -> Option<&Tuple> {
+        self.entries.front()
+    }
+
+    /// All stored tuples, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.entries.iter()
+    }
+
+    /// Insert a tuple at the back.  Tuples must arrive in timestamp order
+    /// (the operator contract for all window joins).
+    pub fn push(&mut self, tuple: Tuple) {
+        if let Some(field) = self.stored_key_field {
+            let seq = self.head_seq + self.entries.len() as u64;
+            match tuple.value(field).map(IndexKey::for_value) {
+                Some(Some(key)) => self.index.entry(key).or_default().push_back(seq),
+                Some(None) => self.unindexed.push_back(seq),
+                None => self
+                    .index
+                    .entry(IndexKey::Missing)
+                    .or_default()
+                    .push_back(seq),
+            }
+        }
+        self.entries.push_back(tuple);
+    }
+
+    /// Remove and return the oldest tuple, maintaining the index.
+    pub fn pop_front(&mut self) -> Option<Tuple> {
+        let tuple = self.entries.pop_front()?;
+        let seq = self.head_seq;
+        self.head_seq += 1;
+        if let Some(field) = self.stored_key_field {
+            match tuple.value(field).map(IndexKey::for_value) {
+                Some(Some(key)) => {
+                    let bucket = self
+                        .index
+                        .get_mut(&key)
+                        .expect("purged tuple's bucket exists");
+                    let popped = bucket.pop_front();
+                    debug_assert_eq!(popped, Some(seq), "buckets purge oldest-first");
+                    if bucket.is_empty() {
+                        // Drop empty buckets so the map doesn't grow with the
+                        // key domain over the stream's lifetime.
+                        self.index.remove(&key);
+                    }
+                }
+                Some(None) => {
+                    let popped = self.unindexed.pop_front();
+                    debug_assert_eq!(popped, Some(seq), "side list purges oldest-first");
+                }
+                None => {
+                    let bucket = self
+                        .index
+                        .get_mut(&IndexKey::Missing)
+                        .expect("purged tuple's bucket exists");
+                    bucket.pop_front();
+                    if bucket.is_empty() {
+                        self.index.remove(&IndexKey::Missing);
+                    }
+                }
+            }
+        }
+        Some(tuple)
+    }
+
+    /// The candidate tuples an arriving `probe` tuple has to be evaluated
+    /// against, oldest first within each source:
+    ///
+    /// * linear mode — every stored tuple,
+    /// * indexed mode — the probe key's bucket plus the `NaN` side list;
+    ///   a `NaN` probe key degrades to a full scan and a missing probe
+    ///   attribute yields no candidates (it can never satisfy the condition).
+    ///
+    /// Callers must still evaluate the full join condition (and any window
+    /// validity check) per candidate: buckets may contain false positives.
+    pub fn probe_candidates(&self, probe: &Tuple) -> Candidates<'_> {
+        let field = match self.probe_key_field {
+            None => return Candidates::all(&self.entries),
+            Some(field) => field,
+        };
+        let key = match probe.value(field) {
+            None => return Candidates::empty(),
+            Some(v) => match IndexKey::for_value(v) {
+                None => return Candidates::all(&self.entries), // NaN probe
+                Some(key) => key,
+            },
+        };
+        Candidates {
+            inner: CandidatesInner::Indexed {
+                entries: &self.entries,
+                head_seq: self.head_seq,
+                bucket: self.index.get(&key).map(|b| b.iter()),
+                extra: self.unindexed.iter(),
+            },
+        }
+    }
+
+    /// Cross-purge: pop entries from the front while `is_expired` says so
+    /// (states are in arrival order, so the scan stops at the first
+    /// still-valid tuple), handing each expired tuple to `on_expired`.
+    /// Returns the number of front checks performed — the purge
+    /// timestamp-comparison count of the paper's cost model: one per popped
+    /// tuple plus one for the first survivor.
+    pub fn purge_expired(
+        &mut self,
+        mut is_expired: impl FnMut(&Tuple) -> bool,
+        mut on_expired: impl FnMut(Tuple),
+    ) -> u64 {
+        let mut comparisons = 0;
+        while let Some(front) = self.front() {
+            comparisons += 1;
+            if !is_expired(front) {
+                break;
+            }
+            let tuple = self.pop_front().expect("front exists");
+            on_expired(tuple);
+        }
+        comparisons
+    }
+
+    /// Drain every stored tuple, oldest first, resetting the index.  Used by
+    /// online chain migration to move state between slices.
+    pub fn drain_ordered(&mut self) -> Vec<Tuple> {
+        self.index.clear();
+        self.unindexed.clear();
+        self.head_seq = 0;
+        self.entries.drain(..).collect()
+    }
+
+    /// Replace the contents with `tuples` (which must be in timestamp
+    /// order), rebuilding the index.
+    pub fn load_ordered(&mut self, tuples: Vec<Tuple>) {
+        self.entries.clear();
+        self.index.clear();
+        self.unindexed.clear();
+        self.head_seq = 0;
+        for t in tuples {
+            self.push(t);
+        }
+    }
+}
+
+/// Iterator over probe candidates (see [`JoinState::probe_candidates`]).
+#[derive(Debug)]
+pub struct Candidates<'a> {
+    inner: CandidatesInner<'a>,
+}
+
+#[derive(Debug)]
+enum CandidatesInner<'a> {
+    Empty,
+    All(std::collections::vec_deque::Iter<'a, Tuple>),
+    Indexed {
+        entries: &'a VecDeque<Tuple>,
+        head_seq: u64,
+        bucket: Option<std::collections::vec_deque::Iter<'a, u64>>,
+        extra: std::collections::vec_deque::Iter<'a, u64>,
+    },
+}
+
+impl<'a> Candidates<'a> {
+    fn empty() -> Candidates<'a> {
+        Candidates {
+            inner: CandidatesInner::Empty,
+        }
+    }
+
+    fn all(entries: &'a VecDeque<Tuple>) -> Candidates<'a> {
+        Candidates {
+            inner: CandidatesInner::All(entries.iter()),
+        }
+    }
+}
+
+impl<'a> Iterator for Candidates<'a> {
+    type Item = &'a Tuple;
+
+    fn next(&mut self) -> Option<&'a Tuple> {
+        match &mut self.inner {
+            CandidatesInner::Empty => None,
+            CandidatesInner::All(iter) => iter.next(),
+            CandidatesInner::Indexed {
+                entries,
+                head_seq,
+                bucket,
+                extra,
+            } => {
+                if let Some(iter) = bucket {
+                    if let Some(&seq) = iter.next() {
+                        return Some(&entries[(seq - *head_seq) as usize]);
+                    }
+                }
+                extra
+                    .next()
+                    .map(|&seq| &entries[(seq - *head_seq) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Timestamp;
+    use crate::tuple::StreamId;
+
+    fn t(secs: u64, key: i64) -> Tuple {
+        Tuple::of_ints(Timestamp::from_secs(secs), StreamId::A, &[key])
+    }
+
+    fn tv(secs: u64, key: Value) -> Tuple {
+        Tuple::new(Timestamp::from_secs(secs), StreamId::A, vec![key])
+    }
+
+    fn candidate_secs(state: &JoinState, probe: &Tuple) -> Vec<u64> {
+        state
+            .probe_candidates(probe)
+            .map(|t| t.ts.as_micros() / 1_000_000)
+            .collect()
+    }
+
+    #[test]
+    fn equi_fields_respect_side_and_recurse_into_and() {
+        let equi = JoinCondition::Equi {
+            left_field: 1,
+            right_field: 2,
+        };
+        assert_eq!(equi_key_fields(&equi, true), Some((1, 2)));
+        assert_eq!(equi_key_fields(&equi, false), Some((2, 1)));
+        assert_eq!(equi_key_fields(&JoinCondition::Cross, true), None);
+        let theta = JoinCondition::Theta {
+            left_field: 0,
+            op: crate::predicate::CmpOp::Lt,
+            right_field: 0,
+        };
+        assert_eq!(equi_key_fields(&theta, true), None);
+        let both = JoinCondition::And(Box::new(theta), Box::new(equi));
+        assert_eq!(equi_key_fields(&both, false), Some((2, 1)));
+    }
+
+    #[test]
+    fn condition_selects_index_or_linear() {
+        assert!(JoinState::for_condition(&JoinCondition::equi(0), true).is_indexed());
+        assert!(!JoinState::for_condition(&JoinCondition::Cross, true).is_indexed());
+    }
+
+    #[test]
+    fn indexed_probe_returns_only_the_key_bucket() {
+        let mut s = JoinState::indexed(0, 0);
+        for (secs, key) in [(1, 7), (2, 8), (3, 7), (4, 9), (5, 7)] {
+            s.push(t(secs, key));
+        }
+        assert_eq!(s.len(), 5);
+        assert_eq!(candidate_secs(&s, &t(9, 7)), vec![1, 3, 5]);
+        assert_eq!(candidate_secs(&s, &t(9, 9)), vec![4]);
+        assert_eq!(candidate_secs(&s, &t(9, 42)), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn purging_keeps_buckets_consistent() {
+        let mut s = JoinState::indexed(0, 0);
+        for (secs, key) in [(1, 7), (2, 8), (3, 7)] {
+            s.push(t(secs, key));
+        }
+        assert_eq!(s.front().unwrap().ts, Timestamp::from_secs(1));
+        let popped = s.pop_front().unwrap();
+        assert_eq!(popped.ts, Timestamp::from_secs(1));
+        assert_eq!(candidate_secs(&s, &t(9, 7)), vec![3]);
+        assert_eq!(candidate_secs(&s, &t(9, 8)), vec![2]);
+        // Draining a key's last entry removes its bucket entirely.
+        s.pop_front();
+        s.pop_front();
+        assert!(s.is_empty());
+        assert!(s.index.is_empty());
+    }
+
+    #[test]
+    fn linear_mode_scans_everything() {
+        let mut s = JoinState::linear();
+        s.push(t(1, 7));
+        s.push(t(2, 8));
+        assert!(!s.is_indexed());
+        assert_eq!(candidate_secs(&s, &t(9, 7)), vec![1, 2]);
+    }
+
+    #[test]
+    fn int_and_float_keys_share_buckets() {
+        let mut s = JoinState::indexed(0, 0);
+        s.push(tv(1, Value::Int(3)));
+        s.push(tv(2, Value::Float(3.0)));
+        s.push(tv(3, Value::Float(-0.0)));
+        assert_eq!(candidate_secs(&s, &tv(9, Value::Float(3.0))), vec![1, 2]);
+        assert_eq!(candidate_secs(&s, &tv(9, Value::Int(3))), vec![1, 2]);
+        assert_eq!(candidate_secs(&s, &tv(9, Value::Int(0))), vec![3]);
+        assert_eq!(candidate_secs(&s, &tv(9, Value::Float(0.0))), vec![3]);
+    }
+
+    #[test]
+    fn nan_keys_never_produce_false_negatives() {
+        let mut s = JoinState::indexed(0, 0);
+        s.push(tv(1, Value::Int(5)));
+        s.push(tv(2, Value::Float(f64::NAN)));
+        // Value::compare equates NaN with every number, so the NaN entry must
+        // be a candidate for a numeric probe...
+        assert_eq!(candidate_secs(&s, &tv(9, Value::Int(5))), vec![1, 2]);
+        // ...and a NaN probe must see everything (full scan).
+        assert_eq!(
+            candidate_secs(&s, &tv(9, Value::Float(f64::NAN))),
+            vec![1, 2]
+        );
+        // Purging the NaN entry maintains the side list.
+        s.pop_front();
+        s.pop_front();
+        assert!(s.unindexed.is_empty());
+    }
+
+    #[test]
+    fn missing_probe_attribute_yields_no_candidates() {
+        let mut s = JoinState::indexed(1, 1);
+        // Stored tuple has no field 1: indexed under Missing, never probed.
+        s.push(t(1, 7));
+        assert_eq!(candidate_secs(&s, &t(9, 8)), Vec::<u64>::new());
+        // And purging it still balances the books.
+        s.pop_front();
+        assert!(s.index.is_empty());
+    }
+
+    #[test]
+    fn mixed_type_keys_use_distinct_buckets() {
+        let mut s = JoinState::indexed(0, 0);
+        s.push(tv(1, Value::str("x")));
+        s.push(tv(2, Value::Bool(true)));
+        s.push(tv(3, Value::Null));
+        assert_eq!(candidate_secs(&s, &tv(9, Value::str("x"))), vec![1]);
+        assert_eq!(candidate_secs(&s, &tv(9, Value::Bool(true))), vec![2]);
+        assert_eq!(candidate_secs(&s, &tv(9, Value::Null)), vec![3]);
+    }
+
+    #[test]
+    fn drain_and_load_round_trip_rebuilds_the_index() {
+        let mut s = JoinState::indexed(0, 0);
+        for (secs, key) in [(1, 7), (2, 8), (3, 7)] {
+            s.push(t(secs, key));
+        }
+        s.pop_front(); // advance head_seq so load resets it
+        let drained = s.drain_ordered();
+        assert_eq!(drained.len(), 2);
+        assert!(s.is_empty());
+        s.load_ordered(drained);
+        assert_eq!(s.len(), 2);
+        assert_eq!(candidate_secs(&s, &t(9, 7)), vec![3]);
+        assert_eq!(candidate_secs(&s, &t(9, 8)), vec![2]);
+    }
+
+    #[test]
+    fn random_probes_match_a_linear_reference() {
+        // Exhaustive cross-check on a pseudo-random workload: for every probe
+        // the indexed candidate set must contain every stored tuple the
+        // condition matches (no false negatives).
+        let cond = JoinCondition::equi(0);
+        let mut indexed = JoinState::for_condition(&cond, true);
+        let mut linear = JoinState::linear();
+        let mut seed = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for step in 0..500u64 {
+            let key = (next() % 11) as i64;
+            let tuple = t(step, key);
+            if next() % 4 == 0 && !indexed.is_empty() {
+                indexed.pop_front();
+                linear.pop_front();
+            }
+            let probe = t(step, (next() % 11) as i64);
+            let mut got: Vec<&Tuple> = indexed
+                .probe_candidates(&probe)
+                .filter(|s| cond.eval(s, &probe))
+                .collect();
+            let mut want: Vec<&Tuple> = linear.iter().filter(|s| cond.eval(s, &probe)).collect();
+            got.sort_by_key(|t| t.ts);
+            want.sort_by_key(|t| t.ts);
+            assert_eq!(got, want, "divergence at step {step}");
+            indexed.push(tuple.clone());
+            linear.push(tuple);
+        }
+    }
+}

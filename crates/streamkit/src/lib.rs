@@ -7,6 +7,8 @@
 //! * typed [`Tuple`]s carrying timestamps, payload values, a slice *lineage*
 //!   level and a *role* tag used for reference-copy pipelining,
 //! * [`Predicate`]s and [`JoinCondition`]s with explicit comparison counting,
+//! * hash-indexed window-join state ([`JoinState`]) giving O(1 + matches)
+//!   equi-join probes with a linear-scan fallback for other conditions,
 //! * a multi-port [`Operator`](operator::Operator) abstraction,
 //! * the classic continuous-query operators (selection, projection, split,
 //!   router, order-preserving union, sliding-window joins, sinks),
@@ -23,6 +25,7 @@
 
 pub mod error;
 pub mod executor;
+pub mod join_state;
 pub mod operator;
 pub mod ops;
 pub mod plan;
@@ -37,6 +40,7 @@ pub mod window;
 
 pub use error::{Result, StreamError};
 pub use executor::{ExecutionReport, Executor, ExecutorConfig};
+pub use join_state::JoinState;
 pub use operator::{OpContext, Operator, PortId};
 pub use plan::{NodeId, Plan, PlanBuilder};
 pub use predicate::{CmpOp, JoinCondition, Predicate};

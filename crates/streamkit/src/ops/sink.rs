@@ -82,7 +82,7 @@ impl Operator for SinkOp {
                     self.out_of_order += 1;
                 }
             }
-            if self.last_ts.map_or(true, |prev| t.ts >= prev) {
+            if self.last_ts.is_none_or(|prev| t.ts >= prev) {
                 self.last_ts = Some(t.ts);
             }
             if self.retain {

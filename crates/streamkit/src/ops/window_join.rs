@@ -10,8 +10,8 @@
 //! stream A keeps state (Section 4.1).
 
 use std::any::Any;
-use std::collections::VecDeque;
 
+use crate::join_state::JoinState;
 use crate::operator::{OpContext, Operator, PortId};
 use crate::predicate::JoinCondition;
 use crate::punctuation::Punctuation;
@@ -33,8 +33,8 @@ pub struct WindowJoinOp {
     window_a: WindowSpec,
     window_b: WindowSpec,
     condition: JoinCondition,
-    state_a: VecDeque<Tuple>,
-    state_b: VecDeque<Tuple>,
+    state_a: JoinState,
+    state_b: JoinState,
     peak_state: usize,
     results: u64,
     emit_punctuations: bool,
@@ -48,13 +48,18 @@ impl WindowJoinOp {
         window_b: WindowSpec,
         condition: JoinCondition,
     ) -> Self {
+        // State A stores tuples that appear on the *left* of condition
+        // evaluations, state B on the right; each gets a hash index when the
+        // condition has an equi component.
+        let state_a = JoinState::for_condition(&condition, true);
+        let state_b = JoinState::for_condition(&condition, false);
         WindowJoinOp {
             name: name.into(),
             window_a,
             window_b,
             condition,
-            state_a: VecDeque::new(),
-            state_b: VecDeque::new(),
+            state_a,
+            state_b,
             peak_state: 0,
             results: 0,
             emit_punctuations: false,
@@ -74,6 +79,16 @@ impl WindowJoinOp {
     /// downstream order-preserving union can make progress.
     pub fn with_punctuations(mut self) -> Self {
         self.emit_punctuations = true;
+        self
+    }
+
+    /// Disable the equi-join hash index and probe by linear scan, the
+    /// pre-index behaviour.  Benchmark/testing aid; call before processing
+    /// any tuples.
+    pub fn without_index(mut self) -> Self {
+        debug_assert!(self.state_a.is_empty() && self.state_b.is_empty());
+        self.state_a = JoinState::linear();
+        self.state_b = JoinState::linear();
         self
     }
 
@@ -104,22 +119,17 @@ impl WindowJoinOp {
         }
     }
 
-    /// Purge expired tuples from the opposite state.  States are in arrival
-    /// (timestamp) order, so purging scans from the front until the first
-    /// still-valid tuple; each scanned tuple costs one timestamp comparison.
+    /// Purge expired tuples from the opposite state; each scanned tuple
+    /// costs one timestamp comparison (see [`JoinState::purge_expired`]).
     fn cross_purge(
-        state: &mut VecDeque<Tuple>,
+        state: &mut JoinState,
         window: WindowSpec,
         arrival: &Tuple,
         ctx: &mut OpContext,
     ) {
-        while let Some(front) = state.front() {
-            ctx.counters.purge_comparisons += 1;
-            if window.contains(arrival.ts, front.ts) {
-                break;
-            }
-            state.pop_front();
-        }
+        let comparisons =
+            state.purge_expired(|front| !window.contains(arrival.ts, front.ts), |_| {});
+        ctx.counters.purge_comparisons += comparisons;
     }
 
     /// Full window-validity check for a candidate pair `(a, b)`: the pair
@@ -139,9 +149,13 @@ impl WindowJoinOp {
         }
     }
 
+    /// Probe the opposite state with an arrival.  For equi conditions the
+    /// state's hash index narrows the scan to the arrival's key bucket, so
+    /// the comparisons counted here scale with the matches produced rather
+    /// than with the state size.
     #[allow(clippy::too_many_arguments)]
     fn probe(
-        state: &VecDeque<Tuple>,
+        state: &JoinState,
         arrival: &Tuple,
         condition: &JoinCondition,
         arrival_is_left: bool,
@@ -151,7 +165,7 @@ impl WindowJoinOp {
         results: &mut u64,
         emit: &mut Vec<Tuple>,
     ) {
-        for stored in state {
+        for stored in state.probe_candidates(arrival) {
             let (a_ts, b_ts) = if arrival_is_left {
                 (arrival.ts, stored.ts)
             } else {
@@ -212,7 +226,7 @@ impl Operator for WindowJoinOp {
                 &mut self.results,
                 &mut out,
             );
-            self.state_a.push_back(tuple.clone());
+            self.state_a.push(tuple.clone());
         } else {
             // New B tuple: purge + probe A state, then insert into B state.
             Self::cross_purge(&mut self.state_a, self.window_a, &tuple, ctx);
@@ -227,7 +241,7 @@ impl Operator for WindowJoinOp {
                 &mut self.results,
                 &mut out,
             );
-            self.state_b.push_back(tuple.clone());
+            self.state_b.push(tuple.clone());
         }
         self.track_peak();
         for joined in out {
@@ -262,7 +276,7 @@ pub struct OneWayWindowJoinOp {
     name: String,
     window: WindowSpec,
     condition: JoinCondition,
-    state_a: VecDeque<Tuple>,
+    state_a: JoinState,
     peak_state: usize,
     results: u64,
 }
@@ -270,14 +284,24 @@ pub struct OneWayWindowJoinOp {
 impl OneWayWindowJoinOp {
     /// Build a one-way join with the given window on stream A.
     pub fn new(name: impl Into<String>, window: WindowSpec, condition: JoinCondition) -> Self {
+        // Stored A tuples are the left side of every condition evaluation.
+        let state_a = JoinState::for_condition(&condition, true);
         OneWayWindowJoinOp {
             name: name.into(),
             window,
             condition,
-            state_a: VecDeque::new(),
+            state_a,
             peak_state: 0,
             results: 0,
         }
+    }
+
+    /// Disable the equi-join hash index (linear-scan probes); benchmark and
+    /// testing aid, call before processing any tuples.
+    pub fn without_index(mut self) -> Self {
+        debug_assert!(self.state_a.is_empty());
+        self.state_a = JoinState::linear();
+        self
     }
 
     /// Number of joined results produced so far.
@@ -316,19 +340,17 @@ impl Operator for OneWayWindowJoinOp {
         ctx.counters.tuples_processed += 1;
         if port == 0 {
             // Stream A: insert only.
-            self.state_a.push_back(tuple);
+            self.state_a.push(tuple);
             self.peak_state = self.peak_state.max(self.state_a.len());
             return;
         }
         // Stream B: cross-purge then probe.
-        while let Some(front) = self.state_a.front() {
-            ctx.counters.purge_comparisons += 1;
-            if self.window.contains(tuple.ts, front.ts) {
-                break;
-            }
-            self.state_a.pop_front();
-        }
-        for stored in &self.state_a {
+        let window = self.window;
+        let comparisons = self
+            .state_a
+            .purge_expired(|front| !window.contains(tuple.ts, front.ts), |_| {});
+        ctx.counters.purge_comparisons += comparisons;
+        for stored in self.state_a.probe_candidates(&tuple) {
             // One-way semantics: only pairs where the stored A tuple is not
             // newer than the probing B tuple and still inside the window.
             if tuple.ts < stored.ts || !self.window.contains(tuple.ts, stored.ts) {
@@ -443,8 +465,42 @@ mod tests {
         op.process(0, a(2, 2).into(), &mut ctx);
         op.process(1, b(3, 2).into(), &mut ctx);
         assert_eq!(joined_pairs(&mut ctx).len(), 1);
-        // Probing the two stored A tuples costs two comparisons.
+        // The hash index narrows the probe to the key-2 bucket: one
+        // comparison instead of one per stored tuple.
+        assert_eq!(ctx.counters.probe_comparisons, 1);
+    }
+
+    #[test]
+    fn indexed_probe_comparisons_scale_with_matches_not_state() {
+        // 100 stored A tuples, only 2 share the probing key: an indexed probe
+        // costs 2 comparisons where the old linear scan cost 100.
+        let mut op =
+            WindowJoinOp::symmetric("join", WindowSpec::from_secs(1000), JoinCondition::equi(0));
+        let mut ctx = OpContext::new();
+        for i in 0..100u64 {
+            let key = if i % 50 == 0 { 7 } else { i as i64 + 100 };
+            op.process(0, a(i + 1, key).into(), &mut ctx);
+        }
+        ctx.counters.probe_comparisons = 0;
+        op.process(1, b(200, 7).into(), &mut ctx);
+        assert_eq!(joined_pairs(&mut ctx).len(), 2);
         assert_eq!(ctx.counters.probe_comparisons, 2);
+    }
+
+    #[test]
+    fn without_index_restores_linear_scan_costs() {
+        let mut op =
+            WindowJoinOp::symmetric("join", WindowSpec::from_secs(1000), JoinCondition::equi(0))
+                .without_index();
+        let mut ctx = OpContext::new();
+        for i in 0..10u64 {
+            op.process(0, a(i + 1, i as i64).into(), &mut ctx);
+        }
+        ctx.counters.probe_comparisons = 0;
+        op.process(1, b(100, 3).into(), &mut ctx);
+        // Linear mode evaluates the condition against all 10 stored tuples.
+        assert_eq!(ctx.counters.probe_comparisons, 10);
+        assert_eq!(joined_pairs(&mut ctx).len(), 1);
     }
 
     #[test]

@@ -22,16 +22,16 @@ fn tuple(stream: StreamId, secs_tenths: u64, key: i64, value: i64) -> Tuple {
     )
 }
 
-fn run_chain(
-    workload: &QueryWorkload,
-    spec: &ChainSpec,
-    input: &[Tuple],
-) -> Vec<(String, Vec<(Timestamp, TimeDelta, Timestamp)>)> {
+/// Per-query sorted result fingerprints: `(name, [(ts, span, max_input_ts)])`.
+type QueryFingerprints = Vec<(String, Vec<(Timestamp, TimeDelta, Timestamp)>)>;
+
+fn run_chain(workload: &QueryWorkload, spec: &ChainSpec, input: &[Tuple]) -> QueryFingerprints {
     let shared = SharedChainPlan::build(
         workload,
         spec,
         &PlannerOptions {
             retain_results: true,
+            ..PlannerOptions::default()
         },
     )
     .expect("plan builds");
@@ -49,10 +49,7 @@ fn run_chain(
         .collect()
 }
 
-fn oracle(
-    workload: &QueryWorkload,
-    input: &[Tuple],
-) -> Vec<(String, Vec<(Timestamp, TimeDelta, Timestamp)>)> {
+fn oracle(workload: &QueryWorkload, input: &[Tuple]) -> QueryFingerprints {
     let expected = expected_results(workload, input);
     workload
         .queries()
