@@ -1,17 +1,50 @@
-//! Persistent perf harness: hash-indexed vs linear-scan join probes.
+//! Persistent perf harness: hash-indexed join probes and sharded scaling.
 //!
-//! Runs the equi-join-heavy fig18-style workload under the state-slice chain
-//! and the selection pull-up baseline (each with and without the `JoinState`
-//! hash index), plus an operator microbench over state size × key
-//! cardinality, and writes the result to `BENCH_join.json` (or the path in
-//! `SS_BENCH_OUT`).
+//! Two modes:
 //!
-//! Usage: `cargo run --release -p ss_bench --bin bench_report`
-//! Set `SS_DURATION_SECS` to scale the stream length (default 30 s) and
-//! `SS_BENCH_RATE` to change the per-stream arrival rate (default 100 t/s).
+//! * **default** — runs the equi-join-heavy fig18-style workload under the
+//!   state-slice chain and the selection pull-up baseline (each with and
+//!   without the `JoinState` hash index), plus an operator microbench over
+//!   state size × key cardinality, and writes `BENCH_join.json`.
+//! * **`--shards N`** — runs the same fig18-style workload on the sharded
+//!   parallel chain for every power-of-two shard count up to `N` (so
+//!   `--shards 8` sweeps 1/2/4/8; a comma list like `--shards 1,2,4,8`
+//!   selects explicit counts) and writes `BENCH_shard.json` with the
+//!   service-rate scaling curve.
+//!
+//! Usage: `cargo run --release -p ss_bench --bin bench_report [-- --shards 8]`
+//! Set `SS_DURATION_SECS` to scale the stream length (default 30 s),
+//! `SS_BENCH_RATE` to change the per-stream arrival rate (default 100 t/s)
+//! and `SS_BENCH_OUT` to override the output path.
 
 use ss_bench::default_duration_secs;
-use ss_bench::report::run_join_bench;
+use ss_bench::report::{run_join_bench, run_shard_bench};
+
+/// Parse a `--shards` value: a comma list of counts, or a single maximum
+/// swept in powers of two starting at 1.  Unparsable or zero values are an
+/// error — silently substituting a default would overwrite the committed
+/// report with a sweep the operator did not ask for.
+fn shard_counts(arg: &str) -> Result<Vec<usize>, String> {
+    let parse = |part: &str| {
+        part.trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("invalid --shards value '{part}' (need a positive integer)"))
+    };
+    if arg.contains(',') {
+        arg.split(',').map(parse).collect()
+    } else {
+        let max = parse(arg)?;
+        let mut counts = Vec::new();
+        let mut n = 1;
+        while n <= max {
+            counts.push(n);
+            n *= 2;
+        }
+        Ok(counts)
+    }
+}
 
 fn main() {
     let duration = default_duration_secs();
@@ -20,8 +53,47 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .filter(|v: &f64| *v > 0.0)
         .unwrap_or(100.0);
-    let out_path = std::env::var("SS_BENCH_OUT").unwrap_or_else(|_| "BENCH_join.json".to_string());
 
+    let args: Vec<String> = std::env::args().collect();
+    let shards_arg = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    if let Some(arg) = shards_arg {
+        let counts = shard_counts(&arg).unwrap_or_else(|msg| {
+            eprintln!("bench_report: {msg}");
+            std::process::exit(2);
+        });
+        let out_path =
+            std::env::var("SS_BENCH_OUT").unwrap_or_else(|_| "BENCH_shard.json".to_string());
+        eprintln!(
+            "# bench_report: sharded fig18-style equi workload ({duration} s, {rate} t/s), shard counts {counts:?}"
+        );
+        let report = run_shard_bench(duration, rate, &counts).expect("shard bench harness");
+        for row in &report.rows {
+            eprintln!(
+                "{:>2} shard(s): service rate {:>12.1} t/s ({:.2}x), probes {}, outputs {}",
+                row.shards,
+                row.perf.service_rate,
+                report.speedup(row),
+                row.perf.probe_comparisons,
+                row.perf.total_outputs,
+            );
+        }
+        assert!(
+            report.results_match,
+            "per-sink results diverged across shard counts"
+        );
+        let json = report.to_json();
+        std::fs::write(&out_path, &json).expect("write BENCH_shard.json");
+        eprintln!("# wrote {out_path}");
+        print!("{json}");
+        return;
+    }
+
+    let out_path = std::env::var("SS_BENCH_OUT").unwrap_or_else(|_| "BENCH_join.json".to_string());
     eprintln!("# bench_report: fig18-style equi workload ({duration} s, {rate} t/s) + microbench");
     let report = run_join_bench(duration, rate).expect("bench harness");
     for s in &report.strategies {

@@ -14,7 +14,7 @@ use std::time::Instant;
 use ss_baselines::{PullUpPlanBuilder, ENTRY_A, ENTRY_B};
 use ss_workload::{Scenario, WindowDistribution};
 use state_slice_core::planner::{merge_streams, PlannerOptions, CHAIN_ENTRY};
-use state_slice_core::{ChainBuilder, SharedChainPlan};
+use state_slice_core::{ChainBuilder, ChainPlanFactory, SharedChainPlan};
 use streamkit::error::Result;
 use streamkit::ops::WindowJoinOp;
 use streamkit::tuple::StreamId;
@@ -252,6 +252,159 @@ pub fn run_join_bench(duration_secs: f64, rate: f64) -> Result<JoinBenchReport> 
     })
 }
 
+/// One row of the shard-scaling sweep: the fig18-style equi workload run on
+/// `shards` hash-partitioned parallel chain instances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRun {
+    /// Number of parallel shards.
+    pub shards: usize,
+    /// Performance counters of the merged run.
+    pub perf: RunPerf,
+    /// Per-sink result counts (query name, tuples delivered), in ascending
+    /// window order — must be identical for every shard count.
+    pub sink_counts: Vec<(String, u64)>,
+}
+
+/// The shard-scaling report written to `BENCH_shard.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardBenchReport {
+    /// Stream duration of the runs (seconds).
+    pub duration_secs: f64,
+    /// Arrival rate per stream (tuples/second).
+    pub rate: f64,
+    /// Join selectivity S⋈.
+    pub sel_join: f64,
+    /// Hardware threads available to the run (`std::thread::available_parallelism`).
+    /// Shard counts beyond this are time-sliced, not parallel — the scaling
+    /// curve flattens there by construction.
+    pub hardware_threads: usize,
+    /// One row per swept shard count (ascending).
+    pub rows: Vec<ShardRun>,
+    /// `true` iff every row delivered identical per-sink counts (the
+    /// shard-invariance property; pinned exhaustively by the proptest in
+    /// `tests/shard_equivalence.rs`).
+    pub results_match: bool,
+}
+
+impl ShardBenchReport {
+    /// Service-rate speedup of a row over the single-shard baseline (the
+    /// row with `shards == 1`; if the sweep did not include one, the first
+    /// row serves as the baseline).
+    pub fn speedup(&self, row: &ShardRun) -> f64 {
+        let base = self
+            .rows
+            .iter()
+            .find(|r| r.shards == 1)
+            .or_else(|| self.rows.first());
+        match base {
+            Some(base) if base.perf.service_rate > 0.0 => {
+                row.perf.service_rate / base.perf.service_rate
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// Run the Mem-Opt state-slice chain on `scenario` across `shards`
+/// hash-partitioned parallel instances.
+pub fn run_chain_sharded(scenario: &Scenario, shards: usize) -> Result<ShardRun> {
+    let workload = build_workload(scenario)?;
+    let spec = ChainBuilder::new(workload.clone()).memory_optimal();
+    let factory = ChainPlanFactory::new(
+        workload.clone(),
+        spec,
+        PlannerOptions::default().with_shards(shards),
+    );
+    let mut exec = factory.sharded_with_config(executor_config())?;
+    let (a, b) = scenario.generator().generate_pair();
+    exec.ingest_all(CHAIN_ENTRY, merge_streams(a, b))?;
+    let report = exec.run()?;
+    let sink_counts = workload
+        .queries()
+        .iter()
+        .map(|q| (q.name.clone(), report.sink_count(&q.name)))
+        .collect();
+    Ok(ShardRun {
+        shards,
+        perf: perf_of(&report),
+        sink_counts,
+    })
+}
+
+/// Run the shard-scaling sweep: the fig18-style equi workload once per
+/// requested shard count.
+pub fn run_shard_bench(
+    duration_secs: f64,
+    rate: f64,
+    shard_counts: &[usize],
+) -> Result<ShardBenchReport> {
+    let scenario = equi_heavy_scenario(duration_secs, rate);
+    let mut rows = Vec::with_capacity(shard_counts.len());
+    for &shards in shard_counts {
+        rows.push(run_chain_sharded(&scenario, shards)?);
+    }
+    let results_match = rows
+        .windows(2)
+        .all(|pair| pair[0].sink_counts == pair[1].sink_counts);
+    Ok(ShardBenchReport {
+        duration_secs,
+        rate,
+        sel_join: scenario.sel_join,
+        hardware_threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        rows,
+        results_match,
+    })
+}
+
+impl ShardBenchReport {
+    /// Serialise to the `BENCH_shard.json` format (stable key order, no
+    /// external JSON dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"benchmark\": \"sharded_chain\",\n");
+        out.push_str(&format!(
+            "  \"command\": \"SS_DURATION_SECS={:.0} cargo run --release -p ss_bench --bin bench_report -- --shards {}\",\n",
+            self.duration_secs,
+            self.rows.last().map(|r| r.shards).unwrap_or(1),
+        ));
+        out.push_str(&format!(
+            "  \"workload\": {{\"style\": \"fig18-equi\", \"duration_secs\": {:.1}, \"rate\": {:.1}, \"sel_join\": {}, \"distribution\": \"Uniform\", \"num_queries\": 3, \"selections\": false}},\n",
+            self.duration_secs, self.rate, self.sel_join
+        ));
+        out.push_str(&format!(
+            "  \"hardware_threads\": {},\n  \"results_match\": {},\n",
+            self.hardware_threads, self.results_match
+        ));
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let sinks = row
+                .sink_counts
+                .iter()
+                .map(|(name, count)| format!("\"{name}\": {count}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "    {{\n      \"shards\": {},\n      \"service_rate\": {:.1},\n      \"speedup\": {:.2},\n      \"elapsed_secs\": {:.4},\n      \"probe_comparisons\": {},\n      \"total_comparisons\": {},\n      \"total_outputs\": {},\n      \"peak_state_tuples\": {},\n      \"sink_counts\": {{{}}}\n    }}{}\n",
+                row.shards,
+                row.perf.service_rate,
+                self.speedup(row),
+                row.perf.elapsed_secs,
+                row.perf.probe_comparisons,
+                row.perf.total_comparisons,
+                row.perf.total_outputs,
+                row.perf.peak_state_tuples,
+                sinks,
+                if i + 1 < self.rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
 fn json_run(perf: &RunPerf, indent: &str) -> String {
     format!(
         "{{\n{indent}  \"service_rate\": {:.1},\n{indent}  \"elapsed_secs\": {:.4},\n{indent}  \"probe_comparisons\": {},\n{indent}  \"total_comparisons\": {},\n{indent}  \"total_outputs\": {},\n{indent}  \"peak_state_tuples\": {}\n{indent}}}",
@@ -341,6 +494,27 @@ mod tests {
         let row = microbench_row(1_000, 500);
         assert!(row.scan_cmp_per_tuple > 10.0 * row.indexed_cmp_per_tuple);
         assert!(row.indexed_tps > 0.0 && row.scan_tps > 0.0);
+    }
+
+    #[test]
+    fn shard_counts_do_not_change_results() {
+        let report = run_shard_bench(4.0, 40.0, &[1, 2, 4]).unwrap();
+        assert!(report.results_match);
+        assert_eq!(report.rows.len(), 3);
+        assert!(report.rows[0].perf.total_outputs > 0);
+        // Equi probes touch the same key buckets regardless of the layout.
+        for row in &report.rows {
+            assert_eq!(
+                row.perf.probe_comparisons,
+                report.rows[0].perf.probe_comparisons
+            );
+            assert_eq!(row.perf.total_outputs, report.rows[0].perf.total_outputs);
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"benchmark\": \"sharded_chain\""));
+        assert!(json.contains("\"results_match\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

@@ -8,11 +8,15 @@
 //! [`ss_cost_model::chain::edge_cost`].
 
 use ss_cost_model::chain::{chain_cost_with_model, edge_cost_with_model, ChainParams, ProbeModel};
-use streamkit::error::Result;
+use streamkit::error::{Result, StreamError};
 use streamkit::join_state::equi_key_fields;
+use streamkit::shard::{ShardSpec, ShardedExecutor};
+use streamkit::tuple::StreamId;
+use streamkit::ExecutorConfig;
 
 use crate::chain::ChainSpec;
 use crate::dijkstra::{brute_force_shortest_path, shortest_path};
+use crate::planner::{PlannerOptions, SharedChainPlan};
 use crate::query::QueryWorkload;
 
 /// Runtime statistics the CPU-Opt optimizer needs (arrival rates, join
@@ -141,6 +145,104 @@ impl ChainBuilder {
     pub fn estimate_state_tuples(&self, cost: &CostConfig) -> f64 {
         (cost.lambda_a + cost.lambda_b) * self.workload.max_window().as_secs_f64()
     }
+
+    /// A reusable plan factory for the given slicing of this workload: the
+    /// instantiation path sharded parallel execution needs (one plan
+    /// instance per shard).
+    pub fn plan_factory(&self, spec: ChainSpec, options: PlannerOptions) -> ChainPlanFactory {
+        ChainPlanFactory::new(self.workload.clone(), spec, options)
+    }
+}
+
+/// Materialises the same shared chain plan any number of times.
+///
+/// A [`SharedChainPlan`] owns boxed operators and cannot be cloned, so
+/// parallel execution — which needs one structurally identical plan instance
+/// per shard — goes through this factory instead: [`instantiate`] builds one
+/// fresh instance, [`sharded`] builds `options.shards` of them and wraps them
+/// in a [`ShardedExecutor`] that hash-partitions the chain input by the
+/// workload's canonical equi-join key.
+///
+/// [`instantiate`]: ChainPlanFactory::instantiate
+/// [`sharded`]: ChainPlanFactory::sharded
+#[derive(Debug, Clone)]
+pub struct ChainPlanFactory {
+    workload: QueryWorkload,
+    spec: ChainSpec,
+    options: PlannerOptions,
+}
+
+impl ChainPlanFactory {
+    /// Wrap a workload, a slicing and the planner options.
+    pub fn new(workload: QueryWorkload, spec: ChainSpec, options: PlannerOptions) -> Self {
+        ChainPlanFactory {
+            workload,
+            spec,
+            options,
+        }
+    }
+
+    /// The wrapped workload.
+    pub fn workload(&self) -> &QueryWorkload {
+        &self.workload
+    }
+
+    /// The wrapped slicing.
+    pub fn spec(&self) -> &ChainSpec {
+        &self.spec
+    }
+
+    /// The wrapped planner options.
+    pub fn options(&self) -> &PlannerOptions {
+        &self.options
+    }
+
+    /// Build one fresh plan instance.
+    pub fn instantiate(&self) -> Result<SharedChainPlan> {
+        SharedChainPlan::build(&self.workload, &self.spec, &self.options)
+    }
+
+    /// The partitioning spec for this workload's join condition, or `None`
+    /// when the condition has no equi component (not hash-partitionable).
+    pub fn shard_spec(&self) -> Option<ShardSpec> {
+        ShardSpec::from_condition(self.workload.join_condition(), StreamId::A, StreamId::B)
+    }
+
+    /// Build a [`ShardedExecutor`] over `options.shards` plan instances with
+    /// the default executor configuration.
+    pub fn sharded(&self) -> Result<ShardedExecutor> {
+        self.sharded_with_config(ExecutorConfig::default())
+    }
+
+    /// Build a [`ShardedExecutor`] over `options.shards` plan instances with
+    /// an explicit executor configuration.
+    ///
+    /// Fails for a shard count of zero, and for multi-shard requests on
+    /// workloads whose join condition has no equi component (cross products
+    /// and pure band joins relate arbitrary keys, so no hash partition
+    /// preserves their results; run those on one shard).
+    pub fn sharded_with_config(&self, config: ExecutorConfig) -> Result<ShardedExecutor> {
+        let shards = self.options.shards;
+        if shards == 0 {
+            return Err(StreamError::InvalidConfig(
+                "shard count must be at least 1".to_string(),
+            ));
+        }
+        let spec = match self.shard_spec() {
+            Some(spec) => spec,
+            None if shards == 1 => ShardSpec::symmetric(0), // routing is irrelevant
+            None => {
+                return Err(StreamError::InvalidConfig(format!(
+                    "cannot hash-partition a join without an equi component \
+                     across {shards} shards"
+                )));
+            }
+        };
+        let plans = (0..shards)
+            .map(|_| self.instantiate().map(|shared| shared.plan))
+            .collect::<Result<Vec<_>>>()?;
+        ShardedExecutor::with_config(plans, spec, config)
+    }
 }
 
 #[cfg(test)]
@@ -267,5 +369,51 @@ mod tests {
         let b = ChainBuilder::new(workload(&[5, 10, 30]));
         let cfg = CostConfig::default();
         assert!((b.estimate_state_tuples(&cfg) - 40.0 * 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_factory_materialises_identical_instances() {
+        let b = ChainBuilder::new(workload(&[5, 10, 30]));
+        let factory = b.plan_factory(b.memory_optimal(), PlannerOptions::default());
+        let one = factory.instantiate().unwrap();
+        let two = factory.instantiate().unwrap();
+        assert_eq!(one.plan.num_nodes(), two.plan.num_nodes());
+        assert_eq!(one.sink_names, two.sink_names);
+        let names = |p: &crate::planner::SharedChainPlan| {
+            p.plan
+                .nodes()
+                .iter()
+                .map(|n| n.operator.name().to_string())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(names(&one), names(&two));
+    }
+
+    #[test]
+    fn sharded_factory_builds_n_shards_and_rejects_bad_configs() {
+        let b = ChainBuilder::new(workload(&[5, 10]));
+        let factory = b.plan_factory(b.memory_optimal(), PlannerOptions::default().with_shards(3));
+        assert!(factory.shard_spec().is_some());
+        let exec = factory.sharded().unwrap();
+        assert_eq!(exec.num_shards(), 3);
+        // Zero shards is a configuration error.
+        let zero = b.plan_factory(b.memory_optimal(), PlannerOptions::default().with_shards(0));
+        assert!(zero.sharded().is_err());
+        // A cross join cannot be hash-partitioned across several shards...
+        let cross = QueryWorkload::new(
+            vec![JoinQuery::new("Q1", TimeDelta::from_secs(5))],
+            JoinCondition::Cross,
+        )
+        .unwrap();
+        let cross_spec = ChainSpec::memory_optimal(&cross);
+        let multi = ChainPlanFactory::new(
+            cross.clone(),
+            cross_spec.clone(),
+            PlannerOptions::default().with_shards(2),
+        );
+        assert!(multi.sharded().is_err());
+        // ...but a single-shard run of it is fine.
+        let single = ChainPlanFactory::new(cross, cross_spec, PlannerOptions::default());
+        assert_eq!(single.sharded().unwrap().num_shards(), 1);
     }
 }

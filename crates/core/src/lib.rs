@@ -66,12 +66,13 @@ pub mod sliced_binary;
 pub mod sliced_one_way;
 pub mod verify;
 
-pub use builder::{BuiltChain, ChainBuilder, CostConfig};
+pub use builder::{BuiltChain, ChainBuilder, ChainPlanFactory, CostConfig};
 pub use chain::{ChainSpec, SliceSpec};
 pub use dijkstra::{shortest_path, ShortestPath};
 pub use lineage::{LineageAnnotatorOp, LineageGateOp};
 pub use migration::{
-    merge_slice_operators, merge_spec_slices, split_slice_operator, split_spec_slice,
+    merge_slice_operators, merge_spec_slices, rehash_shard_states, split_slice_operator,
+    split_spec_slice,
 };
 pub use planner::{merge_streams, PlannerOptions, SharedChainPlan, CHAIN_ENTRY};
 pub use query::{JoinQuery, QueryWorkload};

@@ -15,8 +15,21 @@
 //!
 //! Both primitives are exposed at two levels: on [`ChainSpec`]s (planning
 //! level) and on [`SlicedBinaryJoinOp`] operators (runtime level).
+//!
+//! A third runtime primitive serves **sharded parallel execution**
+//! ([`streamkit::shard`]): [`rehash_shard_states`] redistributes the window
+//! states of the per-shard instances of one sliced join across a new shard
+//! count by draining every instance ([`SlicedBinaryJoinOp::drain_states`]),
+//! re-hashing each tuple's canonical join key, and loading the merged
+//! timestamp-ordered runs into fresh instances
+//! ([`SlicedBinaryJoinOp::load_states`]).  Scale-up (split a shard's state)
+//! and scale-down (merge shards) are the same operation with different
+//! target counts.
 
 use streamkit::error::{Result, StreamError};
+use streamkit::operator::Operator;
+use streamkit::shard::ShardSpec;
+use streamkit::tuple::Tuple;
 use streamkit::TimeDelta;
 
 use crate::chain::ChainSpec;
@@ -156,6 +169,93 @@ pub fn split_slice_operator(
     left.set_has_next(true);
     let _ = left_name; // the left operator keeps its identity (and state)
     Ok((left, right))
+}
+
+/// Merge per-old-shard timestamp-ordered runs into one ordered vector.
+/// The sort is stable over the concatenation, so equal timestamps keep the
+/// lower shard index first and the result is deterministic.
+fn merge_ordered_runs(runs: Vec<Vec<Tuple>>) -> Vec<Tuple> {
+    let mut merged: Vec<Tuple> = runs.into_iter().flatten().collect();
+    merged.sort_by_key(|t| t.ts);
+    merged
+}
+
+/// Redistribute the states of the per-shard instances of **one** sliced join
+/// across `new_shards` shards (runtime primitive for shard scale-up/down).
+///
+/// `shards` holds the current instances — structurally identical operators
+/// (same window, condition, streams, chain flags and index mode) whose
+/// states partition the slice's window by join key.  All instances are
+/// drained, every tuple is routed to `spec.shard_of(tuple, new_shards)`, and
+/// each new instance is loaded with its tuples in timestamp order.  The
+/// union of the states is preserved exactly; only the partition changes.
+///
+/// Scale-down to one shard (`new_shards == 1`) is the "merge" direction;
+/// scale-up from one shard is the "split by re-hashing keys" direction.
+pub fn rehash_shard_states(
+    mut shards: Vec<SlicedBinaryJoinOp>,
+    new_shards: usize,
+    spec: &ShardSpec,
+) -> Result<Vec<SlicedBinaryJoinOp>> {
+    let Some(template) = shards.first() else {
+        return Err(StreamError::InvalidConfig(
+            "rehash needs at least one current shard instance".to_string(),
+        ));
+    };
+    if new_shards == 0 {
+        return Err(StreamError::InvalidConfig(
+            "cannot rescale to zero shards".to_string(),
+        ));
+    }
+    let window = template.window();
+    let condition = template.condition().clone();
+    let (stream_a, stream_b) = template.streams();
+    let chain_head = template.is_chain_head();
+    let has_next = template.has_next();
+    let indexed = template.is_indexed();
+    let name = template.name().to_string();
+    for op in &shards {
+        if op.window() != window
+            || op.condition() != &condition
+            || op.streams() != (stream_a, stream_b)
+            || op.is_chain_head() != chain_head
+            || op.has_next() != has_next
+            || op.is_indexed() != indexed
+        {
+            return Err(StreamError::InvalidConfig(
+                "cannot rehash shard instances of different sliced joins".to_string(),
+            ));
+        }
+    }
+    // Drain every instance, then re-partition each side by the new hash.
+    let mut runs_a: Vec<Vec<Tuple>> = Vec::with_capacity(shards.len());
+    let mut runs_b: Vec<Vec<Tuple>> = Vec::with_capacity(shards.len());
+    for op in &mut shards {
+        let (a, b) = op.drain_states();
+        runs_a.push(a);
+        runs_b.push(b);
+    }
+    let mut new_a: Vec<Vec<Tuple>> = vec![Vec::new(); new_shards];
+    let mut new_b: Vec<Vec<Tuple>> = vec![Vec::new(); new_shards];
+    for tuple in merge_ordered_runs(runs_a) {
+        new_a[spec.shard_of(&tuple, new_shards)].push(tuple);
+    }
+    for tuple in merge_ordered_runs(runs_b) {
+        new_b[spec.shard_of(&tuple, new_shards)].push(tuple);
+    }
+    let mut out = Vec::with_capacity(new_shards);
+    for (state_a, state_b) in new_a.into_iter().zip(new_b) {
+        let mut op =
+            SlicedBinaryJoinOp::new(name.clone(), window, condition.clone(), stream_a, stream_b);
+        if !indexed {
+            op = op.without_index();
+        }
+        op.set_chain_head(chain_head);
+        op.set_has_next(has_next);
+        op.load_states(state_a, state_b);
+        out.push(op);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -351,6 +451,64 @@ mod tests {
         let op =
             SlicedBinaryJoinOp::for_ab("J", SliceWindow::from_secs(0, 10), JoinCondition::Cross);
         assert!(split_slice_operator(op, TimeDelta::from_secs(10), "l", "r").is_err());
+    }
+
+    fn keyed(secs: u64, stream: StreamId, key: i64) -> Tuple {
+        Tuple::of_ints(Timestamp::from_secs(secs), stream, &[key])
+    }
+
+    #[test]
+    fn rehash_round_trips_state_through_scale_up_and_down() {
+        let cond = JoinCondition::equi(0);
+        let spec = ShardSpec::from_condition(&cond, StreamId::A, StreamId::B).unwrap();
+        let mut op = SlicedBinaryJoinOp::for_ab("J", SliceWindow::from_secs(0, 50), cond.clone())
+            .chain_head();
+        let state_a: Vec<Tuple> = (1..=20)
+            .map(|s| keyed(s, StreamId::A, (s % 6) as i64))
+            .collect();
+        let state_b: Vec<Tuple> = (1..=15)
+            .map(|s| keyed(s, StreamId::B, (s % 6) as i64))
+            .collect();
+        op.load_states(state_a.clone(), state_b.clone());
+        // Scale up 1 -> 4: states split by re-hashed key, time order kept.
+        let shards = rehash_shard_states(vec![op], 4, &spec).unwrap();
+        assert_eq!(shards.len(), 4);
+        let total: usize = shards.iter().map(|s| s.state_len()).sum();
+        assert_eq!(total, state_a.len() + state_b.len());
+        for shard in &shards {
+            assert!(shard.is_chain_head());
+            assert!(shard.has_next());
+            assert!(shard.is_indexed());
+            let (ts_a, ts_b) = shard.state_timestamps();
+            assert!(ts_a.windows(2).all(|w| w[0] <= w[1]), "A side time-ordered");
+            assert!(ts_b.windows(2).all(|w| w[0] <= w[1]), "B side time-ordered");
+        }
+        // Every tuple sits exactly on the shard its key hashes to.
+        for (i, shard) in shards.iter().enumerate() {
+            let (tuples_a, tuples_b) = shard.state_tuples();
+            for tuple in tuples_a.iter().chain(&tuples_b) {
+                assert_eq!(spec.shard_of(tuple, 4), i, "tuple on wrong shard");
+            }
+        }
+        // Scale down 4 -> 1 restores the exact original states.
+        let merged = rehash_shard_states(shards, 1, &spec).unwrap();
+        assert_eq!(merged.len(), 1);
+        let (ts_a, ts_b) = merged[0].state_timestamps();
+        assert_eq!(ts_a, state_a.iter().map(|t| t.ts).collect::<Vec<_>>());
+        assert_eq!(ts_b, state_b.iter().map(|t| t.ts).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rehash_rejects_mismatched_or_empty_instances() {
+        let cond = JoinCondition::equi(0);
+        let spec = ShardSpec::from_condition(&cond, StreamId::A, StreamId::B).unwrap();
+        assert!(rehash_shard_states(Vec::new(), 2, &spec).is_err());
+        let one = SlicedBinaryJoinOp::for_ab("J", SliceWindow::from_secs(0, 5), cond.clone());
+        assert!(rehash_shard_states(vec![one], 0, &spec).is_err());
+        // Instances of different slices cannot be rehashed together.
+        let left = SlicedBinaryJoinOp::for_ab("J", SliceWindow::from_secs(0, 5), cond.clone());
+        let other = SlicedBinaryJoinOp::for_ab("J", SliceWindow::from_secs(5, 10), cond);
+        assert!(rehash_shard_states(vec![left, other], 2, &spec).is_err());
     }
 
     #[test]

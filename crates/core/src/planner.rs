@@ -48,6 +48,12 @@ pub struct PlannerOptions {
     /// Disable to get the pre-index linear-scan probes, for A/B
     /// benchmarking and equivalence testing.
     pub index_join_state: bool,
+    /// Number of hash-partitioned parallel shards the chain should run on
+    /// (default 1 = the classic single-threaded executor).  Consumed by
+    /// [`ChainPlanFactory::sharded`](crate::builder::ChainPlanFactory) —
+    /// plan *generation* is identical for every shard; only execution
+    /// parallelism changes.
+    pub shards: usize,
 }
 
 impl Default for PlannerOptions {
@@ -55,7 +61,16 @@ impl Default for PlannerOptions {
         PlannerOptions {
             retain_results: false,
             index_join_state: true,
+            shards: 1,
         }
+    }
+}
+
+impl PlannerOptions {
+    /// A copy with the given shard count (builder-style convenience).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
     }
 }
 

@@ -208,6 +208,15 @@ impl SlicedBinaryJoinOp {
         )
     }
 
+    /// Copies of the tuples currently held in the two states (oldest first);
+    /// verification aid for migration and shard-rescaling tooling.
+    pub fn state_tuples(&self) -> (Vec<Tuple>, Vec<Tuple>) {
+        (
+            self.state_a.iter().cloned().collect(),
+            self.state_b.iter().cloned().collect(),
+        )
+    }
+
     fn track_peak(&mut self) {
         let total = self.state_a.len() + self.state_b.len();
         if total > self.peak_state {

@@ -81,6 +81,50 @@ impl ExecutionReport {
     pub fn sink_count(&self, name: &str) -> u64 {
         self.sink_counts.get(name).copied().unwrap_or(0)
     }
+
+    /// Merge the reports of partitions of one logical run (e.g. the
+    /// per-shard reports of a [`ShardedExecutor`](crate::shard::ShardedExecutor))
+    /// into one report with the same schema:
+    ///
+    /// * counters, sink counts and ingest counts are summed,
+    /// * per-node statistics are summed position-wise (partitions execute
+    ///   instances of the same plan, so node `i` is the same operator in
+    ///   every partition),
+    /// * memory peaks/averages are summed (see [`MemoryStats::merge`]),
+    /// * `elapsed_secs` is the maximum — partitions run concurrently, so the
+    ///   slowest one determines the wall clock and the service rate stays a
+    ///   *total-throughput / wall-clock* metric,
+    /// * `rounds` is the maximum for the same reason.
+    pub fn merge(reports: Vec<ExecutionReport>) -> ExecutionReport {
+        let mut iter = reports.into_iter();
+        let Some(mut merged) = iter.next() else {
+            return ExecutionReport {
+                totals: CostCounters::default(),
+                node_stats: Vec::new(),
+                memory: MemoryStats::default(),
+                sink_counts: HashMap::new(),
+                ingested: 0,
+                elapsed_secs: 0.0,
+                rounds: 0,
+            };
+        };
+        for report in iter {
+            merged.totals.add(&report.totals);
+            for (into, from) in merged.node_stats.iter_mut().zip(&report.node_stats) {
+                into.counters.add(&from.counters);
+                into.state_tuples += from.state_tuples;
+                into.peak_state_tuples += from.peak_state_tuples;
+            }
+            merged.memory.merge(&report.memory);
+            for (name, count) in report.sink_counts {
+                *merged.sink_counts.entry(name).or_insert(0) += count;
+            }
+            merged.ingested += report.ingested;
+            merged.elapsed_secs = merged.elapsed_secs.max(report.elapsed_secs);
+            merged.rounds = merged.rounds.max(report.rounds);
+        }
+        merged
+    }
 }
 
 /// Runs a [`Plan`] to quiescence over externally ingested input.
@@ -166,14 +210,22 @@ impl Executor {
     }
 
     /// Push an item into a named entry point.
+    ///
+    /// Only data tuples count towards [`ExecutionReport::ingested`] (and thus
+    /// the service-rate denominator's throughput term); punctuations are
+    /// progress metadata, not workload.
     pub fn ingest(&mut self, entry: &str, item: impl Into<StreamItem>) -> Result<()> {
         let (node, port) = self.plan.entry(entry)?;
-        self.queues[node.0][port].push(item.into());
-        self.ingested += 1;
+        let item = item.into();
+        if !item.is_punctuation() {
+            self.ingested += 1;
+        }
+        self.queues[node.0][port].push(item);
         Ok(())
     }
 
-    /// Push a batch of items into a named entry point.
+    /// Push a batch of items into a named entry point.  Like
+    /// [`Executor::ingest`], punctuations are not counted as ingested tuples.
     pub fn ingest_all<I>(&mut self, entry: &str, items: I) -> Result<()>
     where
         I: IntoIterator,
@@ -181,8 +233,11 @@ impl Executor {
     {
         let (node, port) = self.plan.entry(entry)?;
         for item in items {
-            self.queues[node.0][port].push(item.into());
-            self.ingested += 1;
+            let item = item.into();
+            if !item.is_punctuation() {
+                self.ingested += 1;
+            }
+            self.queues[node.0][port].push(item);
         }
         Ok(())
     }
@@ -433,6 +488,28 @@ mod tests {
         assert!(report.memory.peak_state_tuples >= 2);
         assert!(report.rounds >= 1);
         assert_eq!(report.node_stats.len(), 2);
+    }
+
+    #[test]
+    fn punctuations_do_not_count_as_ingested() {
+        use crate::punctuation::Punctuation;
+        let mut exec = Executor::new(join_plan());
+        exec.ingest("A", a(1, 7)).unwrap();
+        exec.ingest("A", Punctuation::new(Timestamp::from_secs(2)))
+            .unwrap();
+        exec.ingest_all(
+            "B",
+            vec![
+                StreamItem::from(b(3, 7)),
+                StreamItem::from(Punctuation::new(Timestamp::from_secs(4))),
+            ],
+        )
+        .unwrap();
+        let report = exec.run().unwrap();
+        // Two data tuples were ingested; the two punctuations must not
+        // inflate the ingest count (and through it the service rate).
+        assert_eq!(report.ingested, 2);
+        assert_eq!(report.sink_count("q1"), 1);
     }
 
     #[test]

@@ -110,6 +110,37 @@ fn canonical_bits(f: f64) -> Option<u64> {
     }
 }
 
+/// Deterministic hash of a join-key value over the *same* equivalence
+/// classes as the [`JoinState`] bucket mapping: two key values that
+/// [`Value::compare`](crate::tuple::Value) as `Equal` hash identically
+/// (`Int(3)` with `Float(3.0)`, `-0.0` with `+0.0`, ...).
+///
+/// This is the partitioning primitive of hash-sharded parallel execution
+/// ([`shard`](crate::shard)): all tuples whose keys can equi-join land on the
+/// same shard.  Returns `None` for `NaN` keys — under this tree's comparison
+/// semantics `NaN` equi-joins *every* number, so no hash partition can route
+/// it correctly (the caller decides how to degrade).
+///
+/// The hash is FNV-1a over a type-tagged canonical encoding, fixed across
+/// runs and platforms so shard assignments are reproducible.
+pub fn canonical_key_hash(v: &Value) -> Option<u64> {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn fnv(hash: u64, bytes: &[u8]) -> u64 {
+        bytes
+            .iter()
+            .fold(hash, |h, &b| (h ^ b as u64).wrapping_mul(FNV_PRIME))
+    }
+    let key = IndexKey::for_value(v)?;
+    Some(match key {
+        IndexKey::Null => fnv(FNV_OFFSET, &[0]),
+        IndexKey::Missing => fnv(FNV_OFFSET, &[1]),
+        IndexKey::Bool(b) => fnv(FNV_OFFSET, &[2, b as u8]),
+        IndexKey::Num(bits) => fnv(fnv(FNV_OFFSET, &[3]), &bits.to_le_bytes()),
+        IndexKey::Str(s) => fnv(fnv(FNV_OFFSET, &[4]), s.as_bytes()),
+    })
+}
+
 /// One stream's window-join state: a time-ordered tuple store with an
 /// optional incrementally-maintained hash index on the equi-join key.
 ///
@@ -529,6 +560,38 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert_eq!(candidate_secs(&s, &t(9, 7)), vec![3]);
         assert_eq!(candidate_secs(&s, &t(9, 8)), vec![2]);
+    }
+
+    #[test]
+    fn canonical_key_hash_follows_value_equivalence() {
+        // Values that compare Equal must hash identically...
+        assert_eq!(
+            canonical_key_hash(&Value::Int(3)),
+            canonical_key_hash(&Value::Float(3.0))
+        );
+        assert_eq!(
+            canonical_key_hash(&Value::Float(-0.0)),
+            canonical_key_hash(&Value::Int(0))
+        );
+        // ...distinct values get (with overwhelming likelihood) distinct
+        // hashes, NaN is unhashable, and the function is deterministic.
+        assert_ne!(
+            canonical_key_hash(&Value::Int(3)),
+            canonical_key_hash(&Value::Int(4))
+        );
+        assert_ne!(
+            canonical_key_hash(&Value::str("3")),
+            canonical_key_hash(&Value::Int(3))
+        );
+        assert_ne!(
+            canonical_key_hash(&Value::Null),
+            canonical_key_hash(&Value::Bool(false))
+        );
+        assert_eq!(canonical_key_hash(&Value::Float(f64::NAN)), None);
+        assert_eq!(
+            canonical_key_hash(&Value::str("abc")),
+            canonical_key_hash(&Value::str("abc"))
+        );
     }
 
     #[test]

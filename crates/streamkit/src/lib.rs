@@ -15,7 +15,10 @@
 //! * an operator-DAG [`Plan`](plan::Plan) with per-port queues,
 //! * a round-robin [`Scheduler`](scheduler::RoundRobinScheduler) and an
 //!   [`Executor`](executor::Executor) with statistics collection (state
-//!   memory, comparison counts, throughput / service rate).
+//!   memory, comparison counts, throughput / service rate),
+//! * a [`ShardedExecutor`](shard::ShardedExecutor) running N instances of
+//!   one plan in parallel worker threads over input hash-partitioned by the
+//!   canonical equi-join key, with per-shard reports merged back into one.
 //!
 //! The cost drivers the paper reasons about — join probing, cross-purging,
 //! routing, filtering and union merging — are all surfaced as explicit counter
@@ -33,6 +36,7 @@ pub mod predicate;
 pub mod punctuation;
 pub mod queue;
 pub mod scheduler;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod tuple;
@@ -46,6 +50,7 @@ pub use plan::{NodeId, Plan, PlanBuilder};
 pub use predicate::{CmpOp, JoinCondition, Predicate};
 pub use punctuation::Punctuation;
 pub use queue::StreamItem;
+pub use shard::{ShardSpec, ShardedExecutor};
 pub use stats::{CostCounters, MemoryStats, NodeStats};
 pub use time::{TimeDelta, Timestamp};
 pub use tuple::{Field, Schema, StreamId, Tuple, TupleRole, Value};

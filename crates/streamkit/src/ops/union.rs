@@ -41,12 +41,21 @@ pub struct UnionOp {
     /// Emit punctuations downstream whenever the merged watermark advances.
     forward_punctuations: bool,
     buffered: usize,
+    /// Items received on a port this union does not have (and dropped).
+    foreign_port_drops: u64,
 }
 
 impl UnionOp {
     /// Build a union over `inputs` ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is zero: a zero-port union is always a plan
+    /// construction bug, and the old behaviour of silently clamping to one
+    /// port let such plans pass validation with an input port nothing was
+    /// ever supposed to feed.
     pub fn new(name: impl Into<String>, inputs: usize) -> Self {
-        let inputs = inputs.max(1);
+        assert!(inputs >= 1, "UnionOp requires at least one input port");
         UnionOp {
             name: name.into(),
             inputs,
@@ -55,6 +64,7 @@ impl UnionOp {
             emitted_watermark: Timestamp::ZERO,
             forward_punctuations: false,
             buffered: 0,
+            foreign_port_drops: 0,
         }
     }
 
@@ -103,6 +113,13 @@ impl UnionOp {
     pub fn buffered_len(&self) -> usize {
         self.buffered
     }
+
+    /// Number of items that arrived on a non-existent port and were dropped
+    /// (always zero for plans that pass [`Plan`](crate::plan::Plan)
+    /// validation).
+    pub fn foreign_port_drops(&self) -> u64 {
+        self.foreign_port_drops
+    }
 }
 
 impl Operator for UnionOp {
@@ -115,7 +132,17 @@ impl Operator for UnionOp {
     }
 
     fn process(&mut self, port: PortId, item: StreamItem, ctx: &mut OpContext) {
-        let port = port.min(self.inputs - 1);
+        if port >= self.inputs {
+            // A mis-wired plan is feeding a foreign stream into this union.
+            // The old behaviour clamped to the last port, which silently
+            // merged the stream and corrupted that port's watermark; instead
+            // drop the item and surface the event through the counters.
+            // (Plan validation rejects such edges, so this can only happen
+            // when an operator is driven directly.)
+            self.foreign_port_drops += 1;
+            ctx.counters.items_dropped += 1;
+            return;
+        }
         match item {
             StreamItem::Tuple(t) => {
                 ctx.counters.tuples_processed += 1;
@@ -301,7 +328,7 @@ mod tests {
 
     #[test]
     fn single_input_union_is_a_pass_through_after_flush() {
-        let mut op = UnionOp::new("union", 0); // clamps to 1 port
+        let mut op = UnionOp::new("union", 1);
         assert_eq!(op.num_input_ports(), 1);
         let mut ctx = OpContext::new();
         for s in [3u64, 4, 9] {
@@ -309,5 +336,35 @@ mod tests {
         }
         op.flush(&mut ctx);
         assert_eq!(collect_ts(ctx.take_outputs()), vec![3, 4, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input port")]
+    fn zero_input_union_is_rejected() {
+        let _ = UnionOp::new("union", 0);
+    }
+
+    #[test]
+    fn out_of_range_ports_are_dropped_not_clamped() {
+        let mut op = UnionOp::new("union", 2);
+        let mut ctx = OpContext::new();
+        op.process(0, tup(1, 0).into(), &mut ctx);
+        // A foreign stream mis-wired into port 7 must not be merged into the
+        // last port (the old clamp corrupted port 1's watermark, releasing
+        // the port-0 tuple prematurely and merging the foreign tuple).
+        op.process(7, tup(9, 42).into(), &mut ctx);
+        op.process(
+            7,
+            Punctuation::new(Timestamp::from_secs(50)).into(),
+            &mut ctx,
+        );
+        assert!(collect_ts(ctx.take_outputs()).is_empty());
+        assert_eq!(op.foreign_port_drops(), 2);
+        assert_eq!(ctx.counters.items_dropped, 2);
+        assert_eq!(op.buffered_len(), 1);
+        // Port 1's watermark is untouched: only genuine progress on port 1
+        // releases the buffered tuple (up to the merged watermark of 1).
+        op.process(1, tup(3, 0).into(), &mut ctx);
+        assert_eq!(collect_ts(ctx.take_outputs()), vec![1]);
     }
 }

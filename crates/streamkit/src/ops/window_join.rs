@@ -127,8 +127,7 @@ impl WindowJoinOp {
         arrival: &Tuple,
         ctx: &mut OpContext,
     ) {
-        let comparisons =
-            state.purge_expired(|front| !window.contains(arrival.ts, front.ts), |_| {});
+        let comparisons = state.purge_expired(|front| window.expired(arrival.ts, front.ts), |_| {});
         ctx.counters.purge_comparisons += comparisons;
     }
 
@@ -348,12 +347,13 @@ impl Operator for OneWayWindowJoinOp {
         let window = self.window;
         let comparisons = self
             .state_a
-            .purge_expired(|front| !window.contains(tuple.ts, front.ts), |_| {});
+            .purge_expired(|front| window.expired(tuple.ts, front.ts), |_| {});
         ctx.counters.purge_comparisons += comparisons;
         for stored in self.state_a.probe_candidates(&tuple) {
             // One-way semantics: only pairs where the stored A tuple is not
-            // newer than the probing B tuple and still inside the window.
-            if tuple.ts < stored.ts || !self.window.contains(tuple.ts, stored.ts) {
+            // newer than the probing B tuple and still inside the window —
+            // exactly `contains`, which is false for newer stored tuples.
+            if !self.window.contains(tuple.ts, stored.ts) {
                 continue;
             }
             if self

@@ -1,0 +1,422 @@
+//! Hash-sharded parallel plan execution.
+//!
+//! The paper proves (Section 4.1, Lemma 1) that the results of a state-sliced
+//! chain are independent of operator scheduling, and its order-preserving
+//! union is driven purely by punctuations (Section 4.3).  For an equi-join
+//! workload this has a strong consequence: the input streams can be
+//! **hash-partitioned by the canonical join key**, and the same plan executed
+//! once per partition on its own worker thread, without changing any query's
+//! result multiset — two tuples can only join when their keys are equal, and
+//! equal keys land on the same shard.
+//!
+//! [`ShardedExecutor`] packages that: it owns `N` [`Executor`]s over `N`
+//! instances of the same [`Plan`], routes every ingested tuple to the shard
+//! owning its key ([`ShardSpec`]), broadcasts punctuations to all shards,
+//! runs the shards concurrently with scoped threads, and merges the per-shard
+//! [`ExecutionReport`]s into one report with the usual schema
+//! ([`ExecutionReport::merge`]).
+//!
+//! ## Key canonicalisation
+//!
+//! Routing reuses the [`join_state`](crate::join_state) key equivalence
+//! ([`canonical_key_hash`]): `Int(3)` and `Float(3.0)` land on the same
+//! shard, `-0.0` travels with `+0.0`, and so on — the same classes the
+//! hash-indexed join state buckets by, so a shard's index sees exactly the
+//! candidates the unsharded index would.  Two degenerate keys get special
+//! treatment:
+//!
+//! * a **missing key attribute** never satisfies an equi condition, so the
+//!   tuple's placement is irrelevant; it goes to shard 0,
+//! * a **`NaN` key** equi-joins *every* number under this tree's comparison
+//!   semantics, which no partition function can honour; such tuples also go
+//!   to shard 0 and the shard-invariance guarantee is void for workloads
+//!   that join on `NaN` keys (real deployments reject them at ingest).
+
+use crate::error::{Result, StreamError};
+use crate::executor::{ExecutionReport, Executor, ExecutorConfig};
+use crate::join_state::{canonical_key_hash, equi_key_fields};
+use crate::plan::Plan;
+use crate::predicate::JoinCondition;
+use crate::queue::StreamItem;
+use crate::tuple::{StreamId, Tuple};
+
+/// How to extract the partitioning key from an input tuple: one key field
+/// per join side (they differ for equi conditions like `A.x = B.y`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    stream_a: StreamId,
+    field_a: usize,
+    stream_b: StreamId,
+    field_b: usize,
+}
+
+impl ShardSpec {
+    /// Both streams carry the key in the same field (the common
+    /// `A.k = B.k` case).
+    pub fn symmetric(field: usize) -> ShardSpec {
+        ShardSpec {
+            stream_a: StreamId::A,
+            field_a: field,
+            stream_b: StreamId::B,
+            field_b: field,
+        }
+    }
+
+    /// Explicit per-stream key fields.
+    pub fn per_stream(
+        stream_a: StreamId,
+        field_a: usize,
+        stream_b: StreamId,
+        field_b: usize,
+    ) -> ShardSpec {
+        ShardSpec {
+            stream_a,
+            field_a,
+            stream_b,
+            field_b,
+        }
+    }
+
+    /// Derive the spec from a join condition's first equi component, or
+    /// `None` when the condition has no equi component — cross products and
+    /// pure band/theta joins relate arbitrary key values, so no hash
+    /// partition preserves their results.
+    pub fn from_condition(
+        cond: &JoinCondition,
+        stream_a: StreamId,
+        stream_b: StreamId,
+    ) -> Option<ShardSpec> {
+        let (field_a, field_b) = equi_key_fields(cond, true)?;
+        Some(ShardSpec {
+            stream_a,
+            field_a,
+            stream_b,
+            field_b,
+        })
+    }
+
+    /// The key field consulted for tuples of `stream` (tuples of unknown
+    /// streams use the A-side field).
+    pub fn key_field(&self, stream: StreamId) -> usize {
+        if stream == self.stream_b {
+            self.field_b
+        } else {
+            self.field_a
+        }
+    }
+
+    /// The shard (out of `shards`) owning `tuple`'s join key.
+    pub fn shard_of(&self, tuple: &Tuple, shards: usize) -> usize {
+        debug_assert!(shards >= 1);
+        let key = tuple.value(self.key_field(tuple.stream));
+        match key.and_then(canonical_key_hash) {
+            Some(hash) => (hash % shards as u64) as usize,
+            // Missing attribute (never joins) or NaN (unpartitionable, see
+            // the module docs): a fixed shard keeps routing deterministic.
+            None => 0,
+        }
+    }
+}
+
+/// Runs `N` instances of one plan in parallel over hash-partitioned input.
+///
+/// Build it from `N` structurally identical plans (e.g. materialised by a
+/// plan factory), ingest through the same entry names as a single
+/// [`Executor`], then [`run`](ShardedExecutor::run): each shard executes on
+/// its own worker thread and the merged report is returned.
+pub struct ShardedExecutor {
+    shards: Vec<Executor>,
+    spec: ShardSpec,
+}
+
+impl std::fmt::Debug for ShardedExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedExecutor")
+            .field("shards", &self.shards.len())
+            .field("spec", &self.spec)
+            .finish()
+    }
+}
+
+impl ShardedExecutor {
+    /// Wrap one executor per plan with the default configuration.
+    pub fn new(plans: Vec<Plan>, spec: ShardSpec) -> Result<Self> {
+        ShardedExecutor::with_config(plans, spec, ExecutorConfig::default())
+    }
+
+    /// Wrap one executor per plan with an explicit configuration.
+    ///
+    /// The plans must be instances of the same logical plan (same number of
+    /// nodes, same operator names in the same order): report merging sums
+    /// per-node statistics position-wise, and differing plans would produce
+    /// different results per shard anyway.
+    pub fn with_config(plans: Vec<Plan>, spec: ShardSpec, config: ExecutorConfig) -> Result<Self> {
+        if plans.is_empty() {
+            return Err(StreamError::InvalidConfig(
+                "a sharded executor needs at least one plan instance".to_string(),
+            ));
+        }
+        let reference: Vec<&str> = plans[0].nodes().iter().map(|n| n.operator.name()).collect();
+        for (i, plan) in plans.iter().enumerate().skip(1) {
+            let names: Vec<&str> = plan.nodes().iter().map(|n| n.operator.name()).collect();
+            if names != reference {
+                return Err(StreamError::InvalidConfig(format!(
+                    "shard plan {i} is not an instance of shard plan 0 \
+                     (operator lists differ)"
+                )));
+            }
+        }
+        Ok(ShardedExecutor {
+            shards: plans
+                .into_iter()
+                .map(|p| Executor::with_config(p, config.clone()))
+                .collect(),
+            spec,
+        })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The partitioning spec.
+    pub fn spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// The per-shard executors (shard index order).
+    pub fn shards(&self) -> &[Executor] {
+        &self.shards
+    }
+
+    /// The shard a tuple routes to.
+    pub fn shard_of(&self, tuple: &Tuple) -> usize {
+        self.spec.shard_of(tuple, self.shards.len())
+    }
+
+    /// Ingest one item: tuples go to the shard owning their join key,
+    /// punctuations are broadcast to every shard (a progress promise holds
+    /// for all partitions of the stream).
+    pub fn ingest(&mut self, entry: &str, item: impl Into<StreamItem>) -> Result<()> {
+        match item.into() {
+            StreamItem::Tuple(t) => {
+                let shard = self.spec.shard_of(&t, self.shards.len());
+                self.shards[shard].ingest(entry, t)
+            }
+            StreamItem::Punctuation(p) => {
+                for shard in &mut self.shards {
+                    shard.ingest(entry, p)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Ingest a batch of items (see [`ShardedExecutor::ingest`]).
+    pub fn ingest_all<I>(&mut self, entry: &str, items: I) -> Result<()>
+    where
+        I: IntoIterator,
+        I::Item: Into<StreamItem>,
+    {
+        for item in items {
+            self.ingest(entry, item)?;
+        }
+        Ok(())
+    }
+
+    /// Run every shard to quiescence — one worker thread per shard — and
+    /// merge the per-shard reports ([`ExecutionReport::merge`]).
+    pub fn run(&mut self) -> Result<ExecutionReport> {
+        if self.shards.len() == 1 {
+            // No parallelism to exploit; skip the thread machinery.
+            return self.shards[0].run();
+        }
+        let results: Vec<Result<ExecutionReport>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .map(|shard| scope.spawn(move || shard.run()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| {
+                    handle.join().unwrap_or_else(|_| {
+                        Err(StreamError::Execution(
+                            "a shard worker thread panicked".to_string(),
+                        ))
+                    })
+                })
+                .collect()
+        });
+        let mut reports = Vec::with_capacity(results.len());
+        for result in results {
+            reports.push(result?);
+        }
+        Ok(ExecutionReport::merge(reports))
+    }
+
+    /// All tuples the named retaining sink collected, gathered across shards
+    /// (shard index order; within a shard, the sink's delivery order).
+    pub fn sink_collected(&self, name: &str) -> Vec<Tuple> {
+        self.shards
+            .iter()
+            .filter_map(|shard| shard.plan().sink(name))
+            .flat_map(|sink| sink.collected().iter().cloned())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{SinkOp, WindowJoinOp};
+    use crate::predicate::JoinCondition;
+    use crate::punctuation::Punctuation;
+    use crate::time::Timestamp;
+    use crate::tuple::Value;
+    use crate::window::WindowSpec;
+
+    fn a(secs: u64, key: i64) -> Tuple {
+        Tuple::of_ints(Timestamp::from_secs(secs), StreamId::A, &[key])
+    }
+
+    fn b(secs: u64, key: i64) -> Tuple {
+        Tuple::of_ints(Timestamp::from_secs(secs), StreamId::B, &[key])
+    }
+
+    fn join_plan(retain: bool) -> Plan {
+        let mut builder = Plan::builder();
+        let join = builder.add_op(WindowJoinOp::symmetric(
+            "join",
+            WindowSpec::from_secs(10),
+            JoinCondition::equi(0),
+        ));
+        let sink = builder.add_op(if retain {
+            SinkOp::retaining("q1")
+        } else {
+            SinkOp::new("q1")
+        });
+        builder.connect(join, 0, sink, 0);
+        builder.entry("A", join, 0);
+        builder.entry("B", join, 1);
+        builder.build().unwrap()
+    }
+
+    fn inputs() -> (Vec<Tuple>, Vec<Tuple>) {
+        let aa: Vec<Tuple> = (0..60).map(|i| a(i, (i % 7) as i64)).collect();
+        let bb: Vec<Tuple> = (0..60).map(|i| b(i, (i % 5) as i64)).collect();
+        (aa, bb)
+    }
+
+    fn run_with_shards(n: usize) -> (ExecutionReport, Vec<Tuple>) {
+        let plans: Vec<Plan> = (0..n).map(|_| join_plan(true)).collect();
+        let mut exec = ShardedExecutor::new(plans, ShardSpec::symmetric(0)).unwrap();
+        let (aa, bb) = inputs();
+        exec.ingest_all("A", aa).unwrap();
+        exec.ingest_all("B", bb).unwrap();
+        let report = exec.run().unwrap();
+        (report, exec.sink_collected("q1"))
+    }
+
+    #[test]
+    fn sharded_run_matches_single_shard_results() {
+        let (single, mut single_tuples) = run_with_shards(1);
+        let (sharded, mut sharded_tuples) = run_with_shards(4);
+        assert_eq!(single.sink_count("q1"), sharded.sink_count("q1"));
+        assert_eq!(single.ingested, sharded.ingested);
+        assert!(single.sink_count("q1") > 0);
+        // Same result multiset, shard-count invisible.
+        let key = |t: &Tuple| (t.ts, t.origin_span);
+        single_tuples.sort_by_key(key);
+        sharded_tuples.sort_by_key(key);
+        assert_eq!(
+            single_tuples.iter().map(key).collect::<Vec<_>>(),
+            sharded_tuples.iter().map(key).collect::<Vec<_>>()
+        );
+        // Equi probes touch the same buckets in either layout.
+        assert_eq!(
+            single.totals.probe_comparisons,
+            sharded.totals.probe_comparisons
+        );
+        assert_eq!(sharded.node_stats.len(), single.node_stats.len());
+    }
+
+    #[test]
+    fn tuples_route_by_canonical_key_and_punctuations_broadcast() {
+        let plans: Vec<Plan> = (0..3).map(|_| join_plan(false)).collect();
+        let mut exec = ShardedExecutor::new(plans, ShardSpec::symmetric(0)).unwrap();
+        assert_eq!(exec.num_shards(), 3);
+        // Same canonical key -> same shard, Int/Float equivalence included.
+        let int_key = a(1, 9);
+        let float_key = Tuple::new(
+            Timestamp::from_secs(2),
+            StreamId::A,
+            vec![Value::Float(9.0)],
+        );
+        assert_eq!(exec.shard_of(&int_key), exec.shard_of(&float_key));
+        // NaN and missing keys route deterministically to shard 0.
+        let nan = Tuple::new(
+            Timestamp::from_secs(3),
+            StreamId::A,
+            vec![Value::Float(f64::NAN)],
+        );
+        assert_eq!(exec.shard_of(&nan), 0);
+        let missing = Tuple::new(Timestamp::from_secs(3), StreamId::A, vec![]);
+        assert_eq!(exec.shard_of(&missing), 0);
+        // Punctuations reach every shard; tuples exactly one.
+        exec.ingest("A", a(1, 4)).unwrap();
+        exec.ingest("A", Punctuation::new(Timestamp::from_secs(5)))
+            .unwrap();
+        let report = exec.run().unwrap();
+        assert_eq!(report.ingested, 1);
+    }
+
+    #[test]
+    fn per_stream_key_fields_follow_the_condition() {
+        // A.1 = B.0: A tuples key on field 1, B tuples on field 0.
+        let cond = JoinCondition::Equi {
+            left_field: 1,
+            right_field: 0,
+        };
+        let spec = ShardSpec::from_condition(&cond, StreamId::A, StreamId::B).unwrap();
+        assert_eq!(spec.key_field(StreamId::A), 1);
+        assert_eq!(spec.key_field(StreamId::B), 0);
+        let a_tuple = Tuple::of_ints(Timestamp::from_secs(1), StreamId::A, &[99, 5]);
+        let b_tuple = Tuple::of_ints(Timestamp::from_secs(2), StreamId::B, &[5, 42]);
+        for shards in [2usize, 3, 8] {
+            assert_eq!(
+                spec.shard_of(&a_tuple, shards),
+                spec.shard_of(&b_tuple, shards),
+                "joinable tuples must co-locate for {shards} shards"
+            );
+        }
+        // Non-equi conditions cannot be hash-partitioned.
+        assert!(
+            ShardSpec::from_condition(&JoinCondition::Cross, StreamId::A, StreamId::B).is_none()
+        );
+    }
+
+    #[test]
+    fn mismatched_plan_instances_are_rejected() {
+        let mut other = Plan::builder();
+        let sink = other.add_op(SinkOp::new("different"));
+        other.entry("A", sink, 0);
+        let plans = vec![join_plan(false), other.build().unwrap()];
+        assert!(ShardedExecutor::new(plans, ShardSpec::symmetric(0)).is_err());
+        assert!(ShardedExecutor::new(Vec::new(), ShardSpec::symmetric(0)).is_err());
+    }
+
+    #[test]
+    fn merged_report_sums_counts_and_takes_wall_clock_max() {
+        let (sharded, _) = run_with_shards(2);
+        let expected: u64 = sharded
+            .node_stats
+            .iter()
+            .map(|n| n.counters.tuples_processed)
+            .sum();
+        assert_eq!(sharded.totals.tuples_processed, expected);
+        assert!(sharded.elapsed_secs > 0.0);
+        assert!(sharded.service_rate() > 0.0);
+    }
+}

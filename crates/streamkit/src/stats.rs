@@ -32,6 +32,10 @@ pub struct CostCounters {
     pub tuples_processed: u64,
     /// Items emitted by operators (tuples + punctuations).
     pub items_emitted: u64,
+    /// Items an operator refused to process (e.g. a union receiving an item
+    /// on a port it does not have).  Always zero for well-formed plans; a
+    /// non-zero value in a report flags a mis-wired plan.
+    pub items_dropped: u64,
 }
 
 impl CostCounters {
@@ -55,6 +59,7 @@ impl CostCounters {
         self.union_comparisons += other.union_comparisons;
         self.tuples_processed += other.tuples_processed;
         self.items_emitted += other.items_emitted;
+        self.items_dropped += other.items_dropped;
     }
 }
 
@@ -82,6 +87,19 @@ impl MemoryStats {
         self.avg_state_tuples = (self.avg_state_tuples * n + state_tuples as f64) / (n + 1.0);
         self.samples += 1;
         self.final_state_tuples = state_tuples;
+    }
+
+    /// Absorb the statistics of another partition of the same run (used when
+    /// merging per-shard reports).  Sizes add up: the partitions hold
+    /// disjoint state concurrently, so the summed per-partition peaks bound
+    /// the true instantaneous total from above, and the summed time-averages
+    /// are the time-average of the total when the partitions sample evenly.
+    pub fn merge(&mut self, other: &MemoryStats) {
+        self.peak_state_tuples += other.peak_state_tuples;
+        self.peak_queue_items += other.peak_queue_items;
+        self.avg_state_tuples += other.avg_state_tuples;
+        self.final_state_tuples += other.final_state_tuples;
+        self.samples += other.samples;
     }
 }
 
@@ -113,6 +131,7 @@ mod tests {
             union_comparisons: 6,
             tuples_processed: 100,
             items_emitted: 50,
+            items_dropped: 0,
         };
         assert_eq!(c.total_comparisons(), 21);
     }
@@ -135,6 +154,21 @@ mod tests {
         assert_eq!(a.union_comparisons, 5);
         assert_eq!(a.tuples_processed, 2);
         assert_eq!(a.items_emitted, 7);
+    }
+
+    #[test]
+    fn merge_sums_partition_sizes() {
+        let mut a = MemoryStats::default();
+        a.record(10, 2);
+        a.record(20, 4);
+        let mut b = MemoryStats::default();
+        b.record(5, 1);
+        a.merge(&b);
+        assert_eq!(a.peak_state_tuples, 25);
+        assert_eq!(a.peak_queue_items, 5);
+        assert_eq!(a.final_state_tuples, 25);
+        assert_eq!(a.samples, 3);
+        assert!((a.avg_state_tuples - 20.0).abs() < 1e-9);
     }
 
     #[test]

@@ -27,10 +27,28 @@ impl WindowSpec {
         }
     }
 
-    /// `true` if a stored tuple with timestamp `stored` is still inside the
-    /// window when a probing tuple with timestamp `probe` arrives.
+    /// `true` if a stored tuple with timestamp `stored` is inside this
+    /// window when a probing tuple with timestamp `probe` arrives, i.e.
+    /// `0 <= probe - stored < range`.
+    ///
+    /// Containment is deliberately one-directional: a stored tuple *newer*
+    /// than the probe is never "in window" here.  Whether the pair joins via
+    /// the stored tuple's own window is a separate question the caller must
+    /// ask with the roles swapped — exactly what the binary window join's
+    /// two probe directions do.  (Previously the subtraction saturated to
+    /// zero for newer stored tuples, so any future tuple was accidentally
+    /// "in window" regardless of the range, making out-of-order semantics
+    /// asymmetric between the two join directions.)
     pub fn contains(&self, probe: Timestamp, stored: Timestamp) -> bool {
-        probe.saturating_sub(stored) < self.range
+        stored <= probe && probe.saturating_sub(stored) < self.range
+    }
+
+    /// `true` if a stored tuple has aged out of this window when `probe` is
+    /// processed (`probe - stored >= range`).  A stored tuple newer than the
+    /// probe has age zero and is never expired — purge paths must use this
+    /// (and not `!contains`) so tuples ahead of the probe are not purged.
+    pub fn expired(&self, probe: Timestamp, stored: Timestamp) -> bool {
+        probe.saturating_sub(stored) >= self.range
     }
 
     /// The full-window slice `[0, range)`.
@@ -122,7 +140,30 @@ mod tests {
         assert!(w.contains(probe, Timestamp::from_secs(11)));
         assert!(w.contains(probe, Timestamp::from_secs(20)));
         assert!(!w.contains(probe, Timestamp::from_secs(10))); // diff == 10 is out
-        assert!(w.contains(probe, Timestamp::from_secs(25))); // future tuples: diff saturates to 0
+        assert!(!w.contains(probe, Timestamp::from_secs(25))); // newer stored tuples are not in window
+    }
+
+    #[test]
+    fn contains_and_expired_are_consistent_for_both_directions() {
+        let w = WindowSpec::from_secs(10);
+        let probe = Timestamp::from_secs(20);
+        // Symmetry: the same pair checked from either side gives the same
+        // verdict once each side consults its own window.
+        let older = Timestamp::from_secs(15);
+        assert!(w.contains(probe, older));
+        // The same pair from the other side: the stored tuple is newer.
+        assert!(!w.contains(older, probe));
+        // Expiry is one-sided and never fires for newer stored tuples, so
+        // out-of-order arrivals cannot purge state that is still needed.
+        assert!(!w.expired(probe, Timestamp::from_secs(25)));
+        assert!(!w.expired(probe, Timestamp::from_secs(11)));
+        assert!(w.expired(probe, Timestamp::from_secs(10)));
+        assert!(w.expired(probe, Timestamp::from_secs(1)));
+        // In-window and expired partition the `stored <= probe` half-line.
+        for s in 0..=20u64 {
+            let stored = Timestamp::from_secs(s);
+            assert_ne!(w.contains(probe, stored), w.expired(probe, stored));
+        }
     }
 
     #[test]

@@ -37,6 +37,7 @@ fn run_chain(
         &PlannerOptions {
             retain_results: true,
             index_join_state: indexed,
+            ..PlannerOptions::default()
         },
     )
     .expect("plan builds");
