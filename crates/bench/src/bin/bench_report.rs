@@ -1,6 +1,7 @@
-//! Persistent perf harness: hash-indexed join probes and sharded scaling.
+//! Persistent perf harness: hash-indexed join probes, sharded scaling and
+//! batch-at-a-time execution.
 //!
-//! Two modes:
+//! Three modes:
 //!
 //! * **default** — runs the equi-join-heavy fig18-style workload under the
 //!   state-slice chain and the selection pull-up baseline (each with and
@@ -11,14 +12,20 @@
 //!   `--shards 8` sweeps 1/2/4/8; a comma list like `--shards 1,2,4,8`
 //!   selects explicit counts) and writes `BENCH_shard.json` with the
 //!   service-rate scaling curve.
+//! * **`--batch N`** — runs the same fig18-style workload once on the
+//!   item-at-a-time executor path and once per batch size on the vectorized
+//!   path, sweeping the 1/16/64/256 ladder up to `N` (a comma list selects
+//!   explicit sizes), and writes `BENCH_batch.json` with the service-rate
+//!   curve vs batch size.
 //!
-//! Usage: `cargo run --release -p ss_bench --bin bench_report [-- --shards 8]`
-//! Set `SS_DURATION_SECS` to scale the stream length (default 30 s),
-//! `SS_BENCH_RATE` to change the per-stream arrival rate (default 100 t/s)
-//! and `SS_BENCH_OUT` to override the output path.
+//! Usage: `cargo run --release -p ss_bench --bin bench_report
+//! [-- --shards 8 | --batch 256]`.  Set `SS_DURATION_SECS` to scale the
+//! stream length (default 30 s), `SS_BENCH_RATE` to change the per-stream
+//! arrival rate (default 100 t/s) and `SS_BENCH_OUT` to override the output
+//! path.
 
 use ss_bench::default_duration_secs;
-use ss_bench::report::{run_join_bench, run_shard_bench};
+use ss_bench::report::{run_batch_bench, run_join_bench, run_shard_bench};
 
 /// Parse a `--shards` value: a comma list of counts, or a single maximum
 /// swept in powers of two starting at 1.  Unparsable or zero values are an
@@ -46,6 +53,30 @@ fn shard_counts(arg: &str) -> Result<Vec<usize>, String> {
     }
 }
 
+/// Parse a `--batch` value: a comma list of batch sizes, or a single maximum
+/// swept over the 1/16/64/256 ladder (capped at the maximum, which is always
+/// included).
+fn batch_sizes(arg: &str) -> Result<Vec<usize>, String> {
+    let parse = |part: &str| {
+        part.trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("invalid --batch value '{part}' (need a positive integer)"))
+    };
+    if arg.contains(',') {
+        arg.split(',').map(parse).collect()
+    } else {
+        let max = parse(arg)?;
+        let mut sizes: Vec<usize> = [1usize, 16, 64, 256]
+            .into_iter()
+            .filter(|&n| n < max)
+            .collect();
+        sizes.push(max);
+        Ok(sizes)
+    }
+}
+
 fn main() {
     let duration = default_duration_secs();
     let rate = std::env::var("SS_BENCH_RATE")
@@ -55,11 +86,61 @@ fn main() {
         .unwrap_or(100.0);
 
     let args: Vec<String> = std::env::args().collect();
-    let shards_arg = args
-        .iter()
-        .position(|a| a == "--shards")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    // A flag with a missing value is an error, not a silent fall-through to
+    // the default join bench (which would run for minutes and overwrite the
+    // wrong report).
+    let flag_value = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("bench_report: {flag} requires a value");
+                std::process::exit(2);
+            })
+        })
+    };
+    let shards_arg = flag_value("--shards");
+    let batch_arg = flag_value("--batch");
+
+    if let Some(arg) = batch_arg {
+        let sizes = batch_sizes(&arg).unwrap_or_else(|msg| {
+            eprintln!("bench_report: {msg}");
+            std::process::exit(2);
+        });
+        let out_path =
+            std::env::var("SS_BENCH_OUT").unwrap_or_else(|_| "BENCH_batch.json".to_string());
+        eprintln!(
+            "# bench_report: batched fig18-style equi workload ({duration} s, {rate} t/s), batch sizes {sizes:?}"
+        );
+        let report = run_batch_bench(duration, rate, &sizes).expect("batch bench harness");
+        eprintln!(
+            "item-at-a-time: service rate {:>12.1} t/s, probes {}, outputs {}",
+            report.item.perf.service_rate,
+            report.item.perf.probe_comparisons,
+            report.item.perf.total_outputs,
+        );
+        for row in &report.rows {
+            eprintln!(
+                "batch {:>4}: service rate {:>12.1} t/s ({:.2}x), probes {}, outputs {}",
+                row.batch,
+                row.perf.service_rate,
+                report.speedup(row),
+                row.perf.probe_comparisons,
+                row.perf.total_outputs,
+            );
+        }
+        assert!(
+            report.results_match,
+            "per-sink results diverged between batch sizes and the item-at-a-time path"
+        );
+        assert!(
+            report.probes_match,
+            "probe comparisons diverged between batch sizes and the item-at-a-time path"
+        );
+        let json = report.to_json();
+        std::fs::write(&out_path, &json).expect("write BENCH_batch.json");
+        eprintln!("# wrote {out_path}");
+        print!("{json}");
+        return;
+    }
 
     if let Some(arg) = shards_arg {
         let counts = shard_counts(&arg).unwrap_or_else(|msg| {

@@ -103,7 +103,7 @@ fn executor_config() -> ExecutorConfig {
     ExecutorConfig {
         batch_per_visit: 64,
         memory_sample_every: 64,
-        max_rounds: u64::MAX,
+        ..ExecutorConfig::default()
     }
 }
 

@@ -21,7 +21,7 @@
 
 use std::any::Any;
 
-use streamkit::join_state::JoinState;
+use streamkit::join_state::{equi_key_fields, memoize_key, JoinState};
 use streamkit::operator::{OpContext, Operator, PortId};
 use streamkit::punctuation::Punctuation;
 use streamkit::queue::StreamItem;
@@ -246,8 +246,10 @@ impl SlicedBinaryJoinOp {
 
     /// Process a male tuple: purge + probe the opposite state, emit results,
     /// then propagate the male to the next slice.  Equi probes touch only the
-    /// male's key bucket of the opposite state (O(1 + matches)).
-    fn process_male(&mut self, male: Tuple, ctx: &mut OpContext) {
+    /// male's key bucket of the opposite state (O(1 + matches)).  When
+    /// `punctuate` is false the caller takes over punctuation emission (the
+    /// batch path coalesces them to one per run).
+    fn process_male(&mut self, male: Tuple, punctuate: bool, ctx: &mut OpContext) {
         let male_is_a = male.stream == self.stream_a;
         let opposite = if male_is_a {
             &mut self.state_b
@@ -274,7 +276,9 @@ impl SlicedBinaryJoinOp {
             }
         }
         // The male tuple acts as a punctuation for the union (Section 4.3).
-        ctx.emit(PORT_RESULTS, Punctuation::from_stream(male.ts, male.stream));
+        if punctuate {
+            ctx.emit(PORT_RESULTS, Punctuation::from_stream(male.ts, male.stream));
+        }
         if self.has_next {
             ctx.emit(PORT_NEXT_SLICE, male);
         }
@@ -288,6 +292,77 @@ impl SlicedBinaryJoinOp {
             self.state_b.push(female);
         }
         self.track_peak();
+    }
+
+    /// The equi-key field of a tuple from `stream` (its probe key against the
+    /// opposite state and its stored key in its own state are the same side
+    /// of the condition), or `None` for non-equi conditions.
+    fn key_field_of(&self, stream: StreamId) -> Option<usize> {
+        let (left, right) = equi_key_fields(&self.condition, true)?;
+        if stream == self.stream_a {
+            Some(left)
+        } else if stream == self.stream_b {
+            Some(right)
+        } else {
+            None
+        }
+    }
+
+    /// Process one item of a run (shared by `process` and `process_batch`).
+    ///
+    /// `memoize` is true at the chain head, where each arrival's canonical
+    /// equi-key hash is computed once; the male/female reference copies share
+    /// the memo, so every downstream slice's probe and insert — and the
+    /// shard router before the chain — reuse it instead of rehashing.
+    ///
+    /// `punctuate` controls per-male punctuation emission; when false (the
+    /// batch path) the last processed male is recorded in `last_male` and the
+    /// caller emits one coalesced punctuation for the whole run.
+    fn process_item(
+        &mut self,
+        item: StreamItem,
+        memoize: bool,
+        punctuate: bool,
+        last_male: &mut Option<(streamkit::Timestamp, StreamId)>,
+        ctx: &mut OpContext,
+    ) {
+        match item {
+            StreamItem::Tuple(mut t) => {
+                ctx.counters.tuples_processed += 1;
+                match t.role {
+                    TupleRole::Regular => {
+                        // Split into reference copies: the male purges and
+                        // probes first, then the female fills the state —
+                        // this matches Fig. 9, where an arriving tuple never
+                        // joins with itself.  At the chain head this is the
+                        // paper's split; mid-chain slices should only ever
+                        // see tagged copies, but treating a stray untagged
+                        // tuple the same way keeps standalone use working.
+                        if memoize {
+                            if let Some(field) = self.key_field_of(t.stream) {
+                                memoize_key(&mut t, field);
+                            }
+                        }
+                        *last_male = Some((t.ts, t.stream));
+                        let male = t.with_role(TupleRole::Male);
+                        t.role = TupleRole::Female;
+                        self.process_male(male, punctuate, ctx);
+                        self.process_female(t);
+                    }
+                    TupleRole::Male => {
+                        *last_male = Some((t.ts, t.stream));
+                        self.process_male(t, punctuate, ctx);
+                    }
+                    TupleRole::Female => self.process_female(t),
+                }
+            }
+            StreamItem::Punctuation(p) => {
+                ctx.emit(PORT_RESULTS, p);
+                if self.has_next {
+                    ctx.emit(PORT_NEXT_SLICE, p);
+                }
+            }
+        }
     }
 }
 
@@ -305,33 +380,36 @@ impl Operator for SlicedBinaryJoinOp {
     }
 
     fn process(&mut self, _port: PortId, item: StreamItem, ctx: &mut OpContext) {
-        match item {
-            StreamItem::Tuple(t) => {
-                ctx.counters.tuples_processed += 1;
-                match t.role {
-                    TupleRole::Regular => {
-                        // Split into reference copies: the male purges and
-                        // probes first, then the female fills the state —
-                        // this matches Fig. 9, where an arriving tuple never
-                        // joins with itself.  At the chain head this is the
-                        // paper's split; mid-chain slices should only ever
-                        // see tagged copies, but treating a stray untagged
-                        // tuple the same way keeps standalone use working.
-                        let male = t.with_role(TupleRole::Male);
-                        let female = t.with_role(TupleRole::Female);
-                        self.process_male(male, ctx);
-                        self.process_female(female);
-                    }
-                    TupleRole::Male => self.process_male(t, ctx),
-                    TupleRole::Female => self.process_female(t),
-                }
-            }
-            StreamItem::Punctuation(p) => {
-                ctx.emit(PORT_RESULTS, p);
-                if self.has_next {
-                    ctx.emit(PORT_NEXT_SLICE, p);
-                }
-            }
+        let mut last_male = None;
+        self.process_item(item, self.chain_head, true, &mut last_male, ctx);
+    }
+
+    /// Batch path: a statically dispatched tight loop over the run, with the
+    /// chain head memoising each arrival's canonical equi-key hash once for
+    /// the whole chain, and the per-male union punctuations coalesced into
+    /// **one punctuation per run** (a punctuation is a monotone progress
+    /// promise, so the run's last male promises everything the per-male
+    /// punctuations did — the same coarsening the order-preserving union's
+    /// own forwarding mode applies).
+    ///
+    /// Unlike the terminal window joins, the cross-purge stays interleaved
+    /// per male rather than running once at the run-maximum timestamp: a
+    /// purged female must enter the next slice's logical queue *before* the
+    /// male whose arrival expired it (Fig. 9's emission order), otherwise
+    /// results shift between slices and per-query slice attribution — which
+    /// query unions tap which slices — changes.  The purge is already O(1)
+    /// per male when nothing expires, so the batch win here is dispatch,
+    /// hashing and punctuation traffic, not purge arithmetic; equality of
+    /// results and final states between the two paths is pinned by
+    /// `tests/batch_equivalence.rs`.
+    fn process_batch(&mut self, _port: PortId, items: &mut Vec<StreamItem>, ctx: &mut OpContext) {
+        let memoize = self.chain_head;
+        let mut last_male = None;
+        for item in items.drain(..) {
+            self.process_item(item, memoize, false, &mut last_male, ctx);
+        }
+        if let Some((ts, stream)) = last_male {
+            ctx.emit(PORT_RESULTS, Punctuation::from_stream(ts, stream));
         }
     }
 

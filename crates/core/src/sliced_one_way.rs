@@ -13,7 +13,7 @@
 
 use std::any::Any;
 
-use streamkit::join_state::JoinState;
+use streamkit::join_state::{equi_key_fields, memoize_key, JoinState};
 use streamkit::operator::{OpContext, Operator, PortId};
 use streamkit::punctuation::Punctuation;
 use streamkit::queue::StreamItem;
@@ -189,6 +189,42 @@ impl Operator for SlicedOneWayJoinOp {
                 ctx.emit(PORT_RESULTS, p);
                 if self.has_next {
                     ctx.emit(PORT_NEXT_SLICE, p);
+                }
+            }
+        }
+    }
+
+    /// Batch path: a statically dispatched tight loop that memoises each
+    /// tuple's canonical equi-key hash once (stored key for A tuples, probe
+    /// key for B tuples) so every downstream slice reuses it.  The
+    /// cross-purge stays interleaved per probe tuple: the sliced probe has no
+    /// window check (purge exactness stands in for it, see
+    /// [`SlicedOneWayJoinOp::process_probe_tuple`]) and purged tuples must
+    /// reach the next slice's queue ahead of the probe that expired them, so
+    /// a single run-maximum purge would shift results between slices.
+    fn process_batch(&mut self, _port: PortId, items: &mut Vec<StreamItem>, ctx: &mut OpContext) {
+        let key_fields = equi_key_fields(&self.condition, true);
+        for item in items.drain(..) {
+            match item {
+                StreamItem::Tuple(mut t) => {
+                    ctx.counters.tuples_processed += 1;
+                    if t.stream == self.state_stream {
+                        if let Some((stored_field, _)) = key_fields {
+                            memoize_key(&mut t, stored_field);
+                        }
+                        self.process_state_tuple(t);
+                    } else {
+                        if let Some((_, probe_field)) = key_fields {
+                            memoize_key(&mut t, probe_field);
+                        }
+                        self.process_probe_tuple(t, ctx);
+                    }
+                }
+                StreamItem::Punctuation(p) => {
+                    ctx.emit(PORT_RESULTS, p);
+                    if self.has_next {
+                        ctx.emit(PORT_NEXT_SLICE, p);
+                    }
                 }
             }
         }

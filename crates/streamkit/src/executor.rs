@@ -24,6 +24,14 @@ pub struct ExecutorConfig {
     pub memory_sample_every: u64,
     /// Safety bound on scheduler rounds (guards against runaway plans).
     pub max_rounds: u64,
+    /// Batch-at-a-time execution (default): each visit pops whole
+    /// timestamp-contiguous runs from one port and hands them to
+    /// [`Operator::process_batch`](crate::operator::Operator), amortising
+    /// dispatch, queue and output-staging costs over the run.  Disable for
+    /// the strict item-at-a-time path — results and output-scaling counters
+    /// are identical either way (pinned by `tests/batch_equivalence.rs`);
+    /// the toggle exists so the speedup stays measurable.
+    pub vectorized: bool,
 }
 
 impl Default for ExecutorConfig {
@@ -36,6 +44,7 @@ impl Default for ExecutorConfig {
             batch_per_visit: 64,
             memory_sample_every: 256,
             max_rounds: u64::MAX,
+            vectorized: true,
         }
     }
 }
@@ -109,6 +118,14 @@ impl ExecutionReport {
             };
         };
         for report in iter {
+            // Position-wise summing is only meaningful over instances of the
+            // same plan; a length mismatch means the partition plans diverged
+            // and `zip` would silently truncate the per-node statistics.
+            debug_assert_eq!(
+                merged.node_stats.len(),
+                report.node_stats.len(),
+                "merged reports must cover the same plan (node_stats lengths differ)"
+            );
             merged.totals.add(&report.totals);
             for (into, from) in merged.node_stats.iter_mut().zip(&report.node_stats) {
                 into.counters.add(&from.counters);
@@ -141,12 +158,20 @@ pub struct Executor {
     memory: MemoryStats,
     ingested: u64,
     processed_since_sample: u64,
+    /// Per-node queued-item counts, maintained incrementally on every push
+    /// and pop so a scheduler round never rescans the queues.
+    node_backlog: Vec<usize>,
+    /// Total queued items across all nodes (the sum of `node_backlog`).
+    total_backlog: usize,
     /// Reusable operator context (output buffer + counters) for the hot loop.
     scratch_ctx: OpContext,
     /// Reusable output staging buffer.
     scratch_out: Vec<(PortId, StreamItem)>,
-    /// Reusable per-round buffers.
-    backlog_buf: Vec<usize>,
+    /// Reusable run buffer for the vectorized path.
+    scratch_run: Vec<StreamItem>,
+    /// Reusable fan-out grouping buffer for output dispatch.
+    scratch_group: Vec<StreamItem>,
+    /// Reusable per-round buffer.
     order_buf: Vec<usize>,
 }
 
@@ -192,9 +217,12 @@ impl Executor {
             memory: MemoryStats::default(),
             ingested: 0,
             processed_since_sample: 0,
+            node_backlog: vec![0; n],
+            total_backlog: 0,
             scratch_ctx: OpContext::new(),
             scratch_out: Vec::new(),
-            backlog_buf: Vec::new(),
+            scratch_run: Vec::new(),
+            scratch_group: Vec::new(),
             order_buf: Vec::new(),
         }
     }
@@ -221,6 +249,8 @@ impl Executor {
             self.ingested += 1;
         }
         self.queues[node.0][port].push(item);
+        self.node_backlog[node.0] += 1;
+        self.total_backlog += 1;
         Ok(())
     }
 
@@ -232,32 +262,33 @@ impl Executor {
         I::Item: Into<StreamItem>,
     {
         let (node, port) = self.plan.entry(entry)?;
+        let mut pushed = 0usize;
         for item in items {
             let item = item.into();
             if !item.is_punctuation() {
                 self.ingested += 1;
             }
             self.queues[node.0][port].push(item);
+            pushed += 1;
         }
+        self.node_backlog[node.0] += pushed;
+        self.total_backlog += pushed;
         Ok(())
     }
 
-    fn refresh_backlog(&mut self) -> usize {
-        self.backlog_buf.clear();
-        let mut total = 0;
-        for ports in &self.queues {
-            let n: usize = ports.iter().map(|q| q.len()).sum();
-            total += n;
-            self.backlog_buf.push(n);
-        }
-        total
-    }
-
+    /// Total queued items, maintained incrementally on push/pop (the old
+    /// implementation rescanned every queue of every node per call, once per
+    /// scheduler round plus once per memory sample).
     fn total_queue_items(&self) -> usize {
-        self.queues
-            .iter()
-            .map(|ports| ports.iter().map(|q| q.len()).sum::<usize>())
-            .sum()
+        debug_assert_eq!(
+            self.total_backlog,
+            self.queues
+                .iter()
+                .map(|ports| ports.iter().map(|q| q.len()).sum::<usize>())
+                .sum::<usize>(),
+            "incremental backlog total drifted from the queues"
+        );
+        self.total_backlog
     }
 
     fn sample_memory(&mut self) {
@@ -293,24 +324,96 @@ impl Executor {
         queues[port].pop().map(|item| (port, item))
     }
 
+    /// Pick the port the next run comes from and the run's inclusive
+    /// timestamp bound, replicating [`Executor::pop_oldest`]'s choice exactly:
+    /// the first port with the minimal head timestamp wins, and the run may
+    /// not overtake any other port's head — strictly for lower-indexed ports
+    /// (they win timestamp ties), inclusively for higher-indexed ones.
+    fn choose_run(queues: &[Queue]) -> Option<(PortId, Option<crate::time::Timestamp>)> {
+        use crate::time::Timestamp;
+        let mut best: Option<(PortId, Timestamp)> = None;
+        for (port, q) in queues.iter().enumerate() {
+            if let Some(ts) = q.peek_timestamp() {
+                match best {
+                    Some((_, best_ts)) if best_ts <= ts => {}
+                    _ => best = Some((port, ts)),
+                }
+            }
+        }
+        let (chosen, _) = best?;
+        let mut bound: Option<Timestamp> = None;
+        for (port, q) in queues.iter().enumerate() {
+            if port == chosen {
+                continue;
+            }
+            if let Some(head) = q.peek_timestamp() {
+                // A tie goes to the lower port index, so a lower-indexed
+                // port's head is a *strict* bound: convert to inclusive via
+                // the previous microsecond tick (heads are > the chosen
+                // port's head here, hence nonzero).
+                let limit = if port < chosen {
+                    Timestamp::from_micros(head.as_micros() - 1)
+                } else {
+                    head
+                };
+                bound = Some(bound.map_or(limit, |b| b.min(limit)));
+            }
+        }
+        Some((chosen, bound))
+    }
+
+    /// Route a batch of operator outputs into the destination queues,
+    /// grouping consecutive same-port outputs so each group costs one routing
+    /// lookup and one bulk push instead of one of each per item.
     fn dispatch_outputs(
         routing: &[Vec<Vec<(usize, PortId)>>],
         queues: &mut [Vec<Queue>],
+        node_backlog: &mut [usize],
+        total_backlog: &mut usize,
         node: usize,
         outputs: &mut Vec<(PortId, StreamItem)>,
+        group_buf: &mut Vec<StreamItem>,
     ) {
-        for (out_port, item) in outputs.drain(..) {
+        let mut iter = outputs.drain(..).peekable();
+        while let Some((out_port, item)) = iter.next() {
             let destinations = &routing[node][out_port];
             match destinations.len() {
-                0 => {} // dangling port: results intentionally discarded
+                0 => {
+                    // Dangling port: results intentionally discarded — skip
+                    // the rest of the run too.
+                    while iter.next_if(|(p, _)| *p == out_port).is_some() {}
+                }
                 1 => {
                     let (to, to_port) = destinations[0];
-                    queues[to][to_port].push(item);
+                    let queue = &mut queues[to][to_port];
+                    let before = queue.len();
+                    queue.push(item);
+                    while let Some((_, next)) = iter.next_if(|(p, _)| *p == out_port) {
+                        queue.push(next);
+                    }
+                    let pushed = queue.len() - before;
+                    node_backlog[to] += pushed;
+                    *total_backlog += pushed;
                 }
                 _ => {
-                    for &(to, to_port) in destinations {
-                        queues[to][to_port].push(item.clone());
+                    // Fan-out: gather the run once, then bulk-clone it into
+                    // every destination (the last destination takes the
+                    // originals).
+                    group_buf.clear();
+                    group_buf.push(item);
+                    while let Some((_, next)) = iter.next_if(|(p, _)| *p == out_port) {
+                        group_buf.push(next);
                     }
+                    let (last, rest) = destinations.split_last().expect("len >= 2");
+                    for &(to, to_port) in rest {
+                        queues[to][to_port].extend(group_buf.iter().cloned());
+                        node_backlog[to] += group_buf.len();
+                        *total_backlog += group_buf.len();
+                    }
+                    let &(to, to_port) = last;
+                    node_backlog[to] += group_buf.len();
+                    *total_backlog += group_buf.len();
+                    queues[to][to_port].extend(group_buf.drain(..));
                 }
             }
         }
@@ -318,19 +421,72 @@ impl Executor {
 
     /// Run one visit of the given node, consuming at most `batch` items.
     /// Returns the number of items consumed.
+    ///
+    /// In vectorized mode ([`ExecutorConfig::vectorized`]) each iteration
+    /// pops a whole timestamp-contiguous run from one port and hands it to
+    /// [`Operator::process_batch`](crate::operator::Operator); single-input
+    /// operators — every node of a sliced chain — consume the entire visit
+    /// budget in one call.  Item mode pops and processes one item at a time.
     fn visit_node(&mut self, idx: usize, batch: usize) -> usize {
+        if self.node_backlog[idx] == 0 {
+            // Nothing queued: skip the context churn a no-op visit would pay.
+            return 0;
+        }
         let mut consumed = 0;
         self.scratch_ctx.reset_counters();
-        while consumed < batch {
-            let Some((port, item)) = Self::pop_oldest(&mut self.queues[idx]) else {
-                break;
-            };
-            let node = &mut self.plan.nodes_mut_internal()[idx];
-            node.operator.process(port, item, &mut self.scratch_ctx);
-            consumed += 1;
-            self.scratch_ctx.swap_outputs(&mut self.scratch_out);
-            Self::dispatch_outputs(&self.routing, &mut self.queues, idx, &mut self.scratch_out);
+        if self.config.vectorized {
+            while consumed < batch {
+                let Some((port, bound)) = Self::choose_run(&self.queues[idx]) else {
+                    break;
+                };
+                let popped = self.queues[idx][port].pop_run_into(
+                    batch - consumed,
+                    bound,
+                    &mut self.scratch_run,
+                );
+                debug_assert!(popped > 0, "a chosen run is never empty");
+                let node = &mut self.plan.nodes_mut_internal()[idx];
+                node.operator
+                    .process_batch(port, &mut self.scratch_run, &mut self.scratch_ctx);
+                debug_assert!(
+                    self.scratch_run.is_empty(),
+                    "process_batch drains its input"
+                );
+                self.scratch_run.clear();
+                consumed += popped;
+                self.scratch_ctx.swap_outputs(&mut self.scratch_out);
+                Self::dispatch_outputs(
+                    &self.routing,
+                    &mut self.queues,
+                    &mut self.node_backlog,
+                    &mut self.total_backlog,
+                    idx,
+                    &mut self.scratch_out,
+                    &mut self.scratch_group,
+                );
+            }
+        } else {
+            while consumed < batch {
+                let Some((port, item)) = Self::pop_oldest(&mut self.queues[idx]) else {
+                    break;
+                };
+                let node = &mut self.plan.nodes_mut_internal()[idx];
+                node.operator.process(port, item, &mut self.scratch_ctx);
+                consumed += 1;
+                self.scratch_ctx.swap_outputs(&mut self.scratch_out);
+                Self::dispatch_outputs(
+                    &self.routing,
+                    &mut self.queues,
+                    &mut self.node_backlog,
+                    &mut self.total_backlog,
+                    idx,
+                    &mut self.scratch_out,
+                    &mut self.scratch_group,
+                );
+            }
         }
+        self.node_backlog[idx] -= consumed;
+        self.total_backlog -= consumed;
         self.node_counters[idx].add(&self.scratch_ctx.counters);
         self.processed_since_sample += consumed as u64;
         if self.processed_since_sample >= self.config.memory_sample_every {
@@ -350,7 +506,7 @@ impl Executor {
         let mut rounds = 0u64;
         self.sample_memory();
         loop {
-            if self.refresh_backlog() == 0 {
+            if self.total_backlog == 0 {
                 break;
             }
             if rounds >= self.config.max_rounds {
@@ -362,7 +518,7 @@ impl Executor {
             rounds += 1;
             let mut order = std::mem::take(&mut self.order_buf);
             order.clear();
-            scheduler.next_round(&self.backlog_buf, &mut order);
+            scheduler.next_round(&self.node_backlog, &mut order);
             let mut any = false;
             for &idx in &order {
                 if idx >= self.plan.num_nodes() {
@@ -390,11 +546,21 @@ impl Executor {
                 .flush(&mut self.scratch_ctx);
             self.node_counters[id.0].add(&self.scratch_ctx.counters);
             self.scratch_ctx.swap_outputs(&mut self.scratch_out);
-            Self::dispatch_outputs(&self.routing, &mut self.queues, id.0, &mut self.scratch_out);
+            Self::dispatch_outputs(
+                &self.routing,
+                &mut self.queues,
+                &mut self.node_backlog,
+                &mut self.total_backlog,
+                id.0,
+                &mut self.scratch_out,
+                &mut self.scratch_group,
+            );
             // Drain downstream work created by this flush before moving on.
-            while self.refresh_backlog() > 0 {
+            while self.total_backlog > 0 {
                 for idx in 0..self.plan.num_nodes() {
-                    self.visit_node(idx, self.config.batch_per_visit);
+                    if self.node_backlog[idx] > 0 {
+                        self.visit_node(idx, self.config.batch_per_visit);
+                    }
                 }
             }
         }
@@ -595,6 +761,7 @@ mod tests {
                 batch_per_visit: 1,
                 memory_sample_every: 1,
                 max_rounds: 0,
+                ..ExecutorConfig::default()
             },
         );
         exec.ingest("A", a(1, 1)).unwrap();

@@ -37,12 +37,26 @@
 //! * gives tuples whose key attribute is missing their own bucket that no
 //!   probe ever reads (a missing attribute never satisfies an equi
 //!   condition).
+//!
+//! ## One hash per tuple
+//!
+//! Buckets are keyed directly by the 64-bit [`canonical_key_hash`] (the map
+//! uses an identity hasher), and that hash is computed **once per tuple**:
+//! [`memoize_key`] stores it on the tuple ([`Tuple::key_hash`]), every
+//! insert/probe reuses the memo when its key field matches, and each stored
+//! entry remembers its hash so purging never rehashes the key it hashed on
+//! insert.  A chain of N slices and a hash-sharded router therefore share one
+//! hash per tuple instead of recomputing it at every hop.  Keying buckets by
+//! the hash can in principle alias two distinct key classes (a 64-bit
+//! collision); that only widens a candidate set, and callers re-evaluate the
+//! condition per candidate, so correctness is unaffected.
 
 use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 
 use crate::predicate::JoinCondition;
-use crate::tuple::{Tuple, Value};
+use crate::tuple::{KeyClass, Tuple, Value};
 
 /// The `(stored_field, probe_field)` pair of the first equi component of a
 /// join condition, from the perspective of a state that stores the
@@ -76,8 +90,6 @@ pub fn equi_key_fields(cond: &JoinCondition, stored_is_left: bool) -> Option<(us
 enum IndexKey {
     /// `Null` joins only `Null`.
     Null,
-    /// The tuple has no attribute at the key field; never matches anything.
-    Missing,
     /// Booleans.
     Bool(bool),
     /// Canonical numeric bits: `Int` and `Float` keys that compare `Equal`
@@ -110,6 +122,62 @@ fn canonical_bits(f: f64) -> Option<u64> {
     }
 }
 
+/// Canonical key class of `tuple.value(field)`, reusing the tuple's memo when
+/// it was computed for the same field.
+pub fn tuple_key(tuple: &Tuple, field: usize) -> KeyClass {
+    if let Some(class) = tuple.memoized_key(field) {
+        return class;
+    }
+    compute_key(tuple, field)
+}
+
+/// Compute (and memoise) the canonical key class of `tuple.value(field)`, so
+/// every later consumer keying on the same field — each slice of a chain, the
+/// shard router — reuses it instead of rehashing.
+pub fn memoize_key(tuple: &mut Tuple, field: usize) -> KeyClass {
+    if let Some(class) = tuple.memoized_key(field) {
+        return class;
+    }
+    let class = compute_key(tuple, field);
+    tuple.set_key_memo(field, class);
+    class
+}
+
+fn compute_key(tuple: &Tuple, field: usize) -> KeyClass {
+    match tuple.value(field) {
+        None => KeyClass::Missing,
+        Some(v) => match canonical_key_hash(v) {
+            Some(hash) => KeyClass::Hash(hash),
+            None => KeyClass::Nan,
+        },
+    }
+}
+
+/// Pass-through hasher for bucket maps keyed by an already-uniform
+/// [`canonical_key_hash`]: re-hashing a 64-bit FNV output through SipHash per
+/// map operation would only burn cycles.
+#[derive(Debug, Default, Clone)]
+pub struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only u64 keys are ever hashed; fold bytes in as a safety net.
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ b as u64;
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type IdentityBuild = BuildHasherDefault<IdentityHasher>;
+
 /// Deterministic hash of a join-key value over the *same* equivalence
 /// classes as the [`JoinState`] bucket mapping: two key values that
 /// [`Value::compare`](crate::tuple::Value) as `Equal` hash identically
@@ -134,12 +202,18 @@ pub fn canonical_key_hash(v: &Value) -> Option<u64> {
     let key = IndexKey::for_value(v)?;
     Some(match key {
         IndexKey::Null => fnv(FNV_OFFSET, &[0]),
-        IndexKey::Missing => fnv(FNV_OFFSET, &[1]),
+        // Tag 1 is reserved for stored tuples with a *missing* key attribute
+        // (`MISSING_KEY_HASH`), which no `Value` can produce.
         IndexKey::Bool(b) => fnv(FNV_OFFSET, &[2, b as u8]),
         IndexKey::Num(bits) => fnv(fnv(FNV_OFFSET, &[3]), &bits.to_le_bytes()),
         IndexKey::Str(s) => fnv(fnv(FNV_OFFSET, &[4]), s.as_bytes()),
     })
 }
+
+/// Bucket hash of stored tuples whose key attribute is missing: same
+/// type-tagged FNV scheme as [`canonical_key_hash`], tag 1 (no [`Value`] maps
+/// to this tag, and no probe ever looks the bucket up).
+const MISSING_KEY_HASH: u64 = 0xaf63_bc4c_8601_b62c;
 
 /// One stream's window-join state: a time-ordered tuple store with an
 /// optional incrementally-maintained hash index on the equi-join key.
@@ -149,11 +223,17 @@ pub fn canonical_key_hash(v: &Value) -> Option<u64> {
 /// `seq` lives at offset `seq - head_seq` in the deque.  Purging pops the
 /// global front, which — because arrival order equals insertion order — is
 /// also the front of whichever bucket (or side list) tracks it.
+///
+/// Buckets are keyed by the canonical 64-bit key hash; `keys` remembers each
+/// entry's [`KeyClass`] so removal reuses the hash computed on insert.
 #[derive(Debug, Default)]
 pub struct JoinState {
     entries: VecDeque<Tuple>,
     head_seq: u64,
-    index: HashMap<IndexKey, VecDeque<u64>>,
+    index: HashMap<u64, VecDeque<u64>, IdentityBuild>,
+    /// Per-entry key class, aligned with `entries` (indexed mode only), so
+    /// purging an entry never rehashes the key it hashed on insert.
+    keys: VecDeque<KeyClass>,
     /// Sequence numbers of entries with unindexable (`NaN`) keys, in time
     /// order; scanned by every probe in addition to its bucket.
     unindexed: VecDeque<u64>,
@@ -216,57 +296,60 @@ impl JoinState {
         self.entries.iter()
     }
 
+    /// The bucket hash of a stored entry's key class: `Missing` entries get
+    /// their own bucket no probe ever reads.
+    fn bucket_hash(class: KeyClass) -> Option<u64> {
+        match class {
+            KeyClass::Hash(h) => Some(h),
+            KeyClass::Missing => Some(MISSING_KEY_HASH),
+            KeyClass::Nan => None,
+        }
+    }
+
     /// Insert a tuple at the back.  Tuples must arrive in timestamp order
-    /// (the operator contract for all window joins).
-    pub fn push(&mut self, tuple: Tuple) {
+    /// (the operator contract for all window joins).  The canonical key hash
+    /// is taken from the tuple's memo when present ([`memoize_key`]) and
+    /// computed — and memoised on the stored copy — otherwise, so that a
+    /// purge forwarding this tuple to the next slice ships the hash along.
+    pub fn push(&mut self, mut tuple: Tuple) {
         if let Some(field) = self.stored_key_field {
             let seq = self.head_seq + self.entries.len() as u64;
-            match tuple.value(field).map(IndexKey::for_value) {
-                Some(Some(key)) => self.index.entry(key).or_default().push_back(seq),
-                Some(None) => self.unindexed.push_back(seq),
-                None => self
-                    .index
-                    .entry(IndexKey::Missing)
-                    .or_default()
-                    .push_back(seq),
+            let class = memoize_key(&mut tuple, field);
+            match Self::bucket_hash(class) {
+                Some(hash) => self.index.entry(hash).or_default().push_back(seq),
+                None => self.unindexed.push_back(seq),
             }
+            self.keys.push_back(class);
         }
         self.entries.push_back(tuple);
     }
 
-    /// Remove and return the oldest tuple, maintaining the index.
+    /// Remove and return the oldest tuple, maintaining the index.  The
+    /// entry's key class was recorded on insert, so no key is ever rehashed
+    /// on its way out.
     pub fn pop_front(&mut self) -> Option<Tuple> {
         let tuple = self.entries.pop_front()?;
         let seq = self.head_seq;
         self.head_seq += 1;
-        if let Some(field) = self.stored_key_field {
-            match tuple.value(field).map(IndexKey::for_value) {
-                Some(Some(key)) => {
+        if self.stored_key_field.is_some() {
+            let class = self.keys.pop_front().expect("keys aligned with entries");
+            match Self::bucket_hash(class) {
+                Some(hash) => {
                     let bucket = self
                         .index
-                        .get_mut(&key)
+                        .get_mut(&hash)
                         .expect("purged tuple's bucket exists");
                     let popped = bucket.pop_front();
                     debug_assert_eq!(popped, Some(seq), "buckets purge oldest-first");
                     if bucket.is_empty() {
                         // Drop empty buckets so the map doesn't grow with the
                         // key domain over the stream's lifetime.
-                        self.index.remove(&key);
+                        self.index.remove(&hash);
                     }
-                }
-                Some(None) => {
-                    let popped = self.unindexed.pop_front();
-                    debug_assert_eq!(popped, Some(seq), "side list purges oldest-first");
                 }
                 None => {
-                    let bucket = self
-                        .index
-                        .get_mut(&IndexKey::Missing)
-                        .expect("purged tuple's bucket exists");
-                    bucket.pop_front();
-                    if bucket.is_empty() {
-                        self.index.remove(&IndexKey::Missing);
-                    }
+                    let popped = self.unindexed.pop_front();
+                    debug_assert_eq!(popped, Some(seq), "side list purges oldest-first");
                 }
             }
         }
@@ -283,23 +366,22 @@ impl JoinState {
     ///
     /// Callers must still evaluate the full join condition (and any window
     /// validity check) per candidate: buckets may contain false positives.
+    /// The probe key hash is reused from the tuple's memo when present.
     pub fn probe_candidates(&self, probe: &Tuple) -> Candidates<'_> {
         let field = match self.probe_key_field {
             None => return Candidates::all(&self.entries),
             Some(field) => field,
         };
-        let key = match probe.value(field) {
-            None => return Candidates::empty(),
-            Some(v) => match IndexKey::for_value(v) {
-                None => return Candidates::all(&self.entries), // NaN probe
-                Some(key) => key,
-            },
+        let hash = match tuple_key(probe, field) {
+            KeyClass::Missing => return Candidates::empty(),
+            KeyClass::Nan => return Candidates::all(&self.entries), // NaN probe
+            KeyClass::Hash(hash) => hash,
         };
         Candidates {
             inner: CandidatesInner::Indexed {
                 entries: &self.entries,
                 head_seq: self.head_seq,
-                bucket: self.index.get(&key).map(|b| b.iter()),
+                bucket: self.index.get(&hash).map(|b| b.iter()),
                 extra: self.unindexed.iter(),
             },
         }
@@ -332,6 +414,7 @@ impl JoinState {
     /// online chain migration to move state between slices.
     pub fn drain_ordered(&mut self) -> Vec<Tuple> {
         self.index.clear();
+        self.keys.clear();
         self.unindexed.clear();
         self.head_seq = 0;
         self.entries.drain(..).collect()
@@ -342,6 +425,7 @@ impl JoinState {
     pub fn load_ordered(&mut self, tuples: Vec<Tuple>) {
         self.entries.clear();
         self.index.clear();
+        self.keys.clear();
         self.unindexed.clear();
         self.head_seq = 0;
         for t in tuples {
@@ -592,6 +676,36 @@ mod tests {
             canonical_key_hash(&Value::str("abc")),
             canonical_key_hash(&Value::str("abc"))
         );
+    }
+
+    #[test]
+    fn missing_bucket_hash_matches_the_fnv_scheme() {
+        // MISSING_KEY_HASH must stay disjoint from every Value-derived hash:
+        // it is the FNV of tag byte 1, which IndexKey::for_value never emits.
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        assert_eq!(MISSING_KEY_HASH, (FNV_OFFSET ^ 1).wrapping_mul(FNV_PRIME));
+    }
+
+    #[test]
+    fn push_memoizes_and_reuses_the_key_hash() {
+        let mut s = JoinState::indexed(0, 0);
+        s.push(t(1, 7));
+        // The stored copy carries the memo for the stored field...
+        let stored = s.front().unwrap();
+        let class = stored.memoized_key(0).expect("memoised on insert");
+        assert_eq!(
+            class,
+            KeyClass::Hash(canonical_key_hash(&Value::Int(7)).unwrap())
+        );
+        // ...and a pre-memoised probe takes the indexed path unchanged.
+        let mut probe = t(9, 7);
+        memoize_key(&mut probe, 0);
+        assert_eq!(candidate_secs(&s, &probe), vec![1]);
+        // Popping reuses the recorded class (exercised by the debug_asserts).
+        let popped = s.pop_front().unwrap();
+        assert_eq!(popped.memoized_key(0), Some(class));
+        assert!(s.index.is_empty() && s.keys.is_empty());
     }
 
     #[test]

@@ -79,6 +79,31 @@ pub trait Operator: Send {
     /// Process one item arriving on `port`.
     fn process(&mut self, port: PortId, item: StreamItem, ctx: &mut OpContext);
 
+    /// Process a timestamp-ordered run of items arriving on `port`, draining
+    /// `items`.  The executor's vectorized path feeds whole queue runs here
+    /// (see [`Queue::pop_run_into`](crate::queue::Queue::pop_run_into)) so
+    /// stateful operators can amortise per-run work (purges, watermark
+    /// merges, key hashing) over the batch.
+    ///
+    /// The default implementation loops over [`Operator::process`].  Default
+    /// trait methods are monomorphised per implementing type, so this is
+    /// already one virtual call per run with a statically dispatched inner
+    /// loop — simple per-item operators (selects, projections, sinks, ...)
+    /// need no override; only operators with genuinely amortisable work do.
+    ///
+    /// Overrides must be **item-at-a-time equivalent**: the emitted output
+    /// multiset, its timestamp order, and all output-scaling counters
+    /// (probe/filter/route/split/union comparisons) must match processing
+    /// the run one item at a time.  Internal bookkeeping that is monotone in
+    /// the input — cross-purge timestamp comparisons, transient peak-state,
+    /// punctuation granularity, and the relative order of *equal-timestamp*
+    /// items from different ports — may differ.
+    fn process_batch(&mut self, port: PortId, items: &mut Vec<StreamItem>, ctx: &mut OpContext) {
+        for item in items.drain(..) {
+            self.process(port, item, ctx);
+        }
+    }
+
     /// Called once when all input is exhausted, so operators can flush
     /// buffered output (e.g. the order-preserving union).
     fn flush(&mut self, _ctx: &mut OpContext) {}
@@ -142,6 +167,19 @@ mod tests {
         assert_eq!(out[0].0, 0);
         assert_eq!(out[0].1.as_tuple(), Some(&t));
         assert_eq!(ctx.pending_outputs(), 0);
+    }
+
+    #[test]
+    fn default_process_batch_loops_over_process() {
+        let mut ctx = OpContext::new();
+        let mut op = Echo;
+        let mut items: Vec<StreamItem> = (1..=3u64)
+            .map(|s| Tuple::of_ints(Timestamp::from_secs(s), StreamId::A, &[s as i64]).into())
+            .collect();
+        op.process_batch(0, &mut items, &mut ctx);
+        assert!(items.is_empty(), "batch input is drained");
+        assert_eq!(ctx.pending_outputs(), 3);
+        assert_eq!(ctx.counters.items_emitted, 3);
     }
 
     #[test]

@@ -39,6 +39,9 @@ impl ProjectOp {
             .collect();
         Tuple {
             values: Arc::from(values),
+            // The projected payload has a new field layout, so a key hash
+            // memoised over the input layout would be wrong.
+            key_hash: None,
             ..t.clone()
         }
     }

@@ -174,6 +174,63 @@ impl Operator for UnionOp {
         }
     }
 
+    /// Bulk reorder-buffer insert: append the whole run (one port, timestamp
+    /// order) and advance the port watermark to the run maximum, then do a
+    /// single release pass — one watermark merge and one release scan per
+    /// run instead of one per item.  Equivalent to item-at-a-time processing
+    /// up to equal-timestamp ties: the released multiset depends only on the
+    /// final buffer contents and merged watermark, and the release order is
+    /// globally timestamp-sorted either way, but when a run tuple ties with
+    /// a tuple already buffered from another port, the single release pass
+    /// may order the tie differently than interleaved per-item releases
+    /// would (both orders are valid timestamp orders; downstream ordering
+    /// guarantees are by timestamp only).  In punctuation-forwarding mode,
+    /// one merged punctuation summarises the run's progress (progress
+    /// promises are monotone, so coarser is safe).
+    fn process_batch(&mut self, port: PortId, items: &mut Vec<StreamItem>, ctx: &mut OpContext) {
+        if port >= self.inputs {
+            let dropped = items.len() as u64;
+            items.clear();
+            self.foreign_port_drops += dropped;
+            ctx.counters.items_dropped += dropped;
+            return;
+        }
+        let mut port_wm = self.watermarks[port];
+        let buffer = &mut self.buffers[port];
+        let mut inserted = 0usize;
+        for item in items.drain(..) {
+            match item {
+                StreamItem::Tuple(t) => {
+                    ctx.counters.tuples_processed += 1;
+                    if t.ts > port_wm {
+                        port_wm = t.ts;
+                    }
+                    buffer.push_back(t);
+                    inserted += 1;
+                }
+                StreamItem::Punctuation(p) => {
+                    if p.watermark > port_wm {
+                        port_wm = p.watermark;
+                    }
+                }
+            }
+        }
+        self.buffered += inserted;
+        self.watermarks[port] = port_wm;
+        let wm = self.merged_watermark();
+        if wm > self.emitted_watermark {
+            self.emitted_watermark = wm;
+            self.release_up_to(wm, ctx);
+            if self.forward_punctuations {
+                ctx.emit(0, Punctuation::new(wm));
+            }
+        } else if self.buffered > 0 {
+            // Late items at or below the already-emitted watermark are
+            // releasable immediately (see `process`).
+            self.release_up_to(self.emitted_watermark, ctx);
+        }
+    }
+
     fn flush(&mut self, ctx: &mut OpContext) {
         self.release_up_to(Timestamp::MAX, ctx);
         if self.forward_punctuations {

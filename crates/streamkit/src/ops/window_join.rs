@@ -11,11 +11,12 @@
 
 use std::any::Any;
 
-use crate::join_state::JoinState;
+use crate::join_state::{equi_key_fields, memoize_key, JoinState};
 use crate::operator::{OpContext, Operator, PortId};
 use crate::predicate::JoinCondition;
 use crate::punctuation::Punctuation;
 use crate::queue::StreamItem;
+use crate::time::Timestamp;
 use crate::tuple::{StreamId, Tuple};
 use crate::window::WindowSpec;
 
@@ -148,6 +149,15 @@ impl WindowJoinOp {
         }
     }
 
+    /// The equi-key field of tuples arriving on `port` (both their probe key
+    /// against the opposite state and their stored key in their own state —
+    /// the same field on the same side of the condition), or `None` when the
+    /// condition has no equi component.
+    fn key_field(&self, port: PortId) -> Option<usize> {
+        let (left, right) = equi_key_fields(&self.condition, true)?;
+        Some(if port == 0 { left } else { right })
+    }
+
     /// Probe the opposite state with an arrival.  For equi conditions the
     /// state's hash index narrows the scan to the arrival's key bucket, so
     /// the comparisons counted here scale with the matches produced rather
@@ -248,6 +258,74 @@ impl Operator for WindowJoinOp {
         }
         if self.emit_punctuations {
             ctx.emit(0, Punctuation::from_stream(tuple.ts, tuple.stream));
+        }
+    }
+
+    /// Batch path: per-tuple probes against the opposite state, then **one
+    /// cross-purge per run** at the run-maximum timestamp instead of one per
+    /// tuple.
+    ///
+    /// Deferring the purge is result-identical because every probe re-checks
+    /// window validity per candidate ([`WindowJoinOp::pair_in_window`]) —
+    /// expired-but-unpurged candidates are filtered before the condition is
+    /// evaluated, so `probe_comparisons` is unchanged too — and purging is
+    /// monotone in the probe timestamp, so one purge at the run maximum
+    /// leaves exactly the state that per-tuple purging would.  (Transient
+    /// `peak_state` may read slightly higher: expired tuples linger until the
+    /// end of the run.)
+    fn process_batch(&mut self, port: PortId, items: &mut Vec<StreamItem>, ctx: &mut OpContext) {
+        let mut max_ts: Option<Timestamp> = None;
+        let key_field = self.key_field(port);
+        let mut out = Vec::new();
+        for item in items.drain(..) {
+            let mut tuple = match item {
+                StreamItem::Tuple(t) => t,
+                StreamItem::Punctuation(p) => {
+                    ctx.emit(0, p);
+                    continue;
+                }
+            };
+            ctx.counters.tuples_processed += 1;
+            // One canonical key hash per tuple, shared by the probe below and
+            // the insert into this side's state.
+            if let Some(field) = key_field {
+                memoize_key(&mut tuple, field);
+            }
+            max_ts = Some(tuple.ts); // runs are timestamp-ordered
+            let (opposite, own, arrival_is_left) = if port == 0 {
+                (&self.state_b, &mut self.state_a, true)
+            } else {
+                (&self.state_a, &mut self.state_b, false)
+            };
+            Self::probe(
+                opposite,
+                &tuple,
+                &self.condition,
+                arrival_is_left,
+                self.window_a,
+                self.window_b,
+                ctx,
+                &mut self.results,
+                &mut out,
+            );
+            let (ts, stream) = (tuple.ts, tuple.stream);
+            own.push(tuple);
+            for joined in out.drain(..) {
+                ctx.emit(0, joined);
+            }
+            if self.emit_punctuations {
+                ctx.emit(0, Punctuation::from_stream(ts, stream));
+            }
+        }
+        self.track_peak();
+        if let Some(ts) = max_ts {
+            let (opposite, window) = if port == 0 {
+                (&mut self.state_b, self.window_b)
+            } else {
+                (&mut self.state_a, self.window_a)
+            };
+            let comparisons = opposite.purge_expired(|front| window.expired(ts, front.ts), |_| {});
+            ctx.counters.purge_comparisons += comparisons;
         }
     }
 
@@ -363,6 +441,66 @@ impl Operator for OneWayWindowJoinOp {
                 self.results += 1;
                 ctx.emit(0, Tuple::join(stored, &tuple, JOINED_STREAM));
             }
+        }
+    }
+
+    /// Batch path: stream-A runs are a tight insert loop; stream-B runs probe
+    /// per tuple and cross-purge **once per run** at the run-maximum
+    /// timestamp.  Identical results and probe counts for the same reason as
+    /// [`WindowJoinOp::process_batch`]: the probe's `contains` check filters
+    /// expired candidates before the condition is evaluated, and purging is
+    /// monotone in the probe timestamp.
+    fn process_batch(&mut self, port: PortId, items: &mut Vec<StreamItem>, ctx: &mut OpContext) {
+        let key_fields = equi_key_fields(&self.condition, true);
+        if port == 0 {
+            for item in items.drain(..) {
+                match item {
+                    StreamItem::Tuple(mut t) => {
+                        ctx.counters.tuples_processed += 1;
+                        if let Some((stored_field, _)) = key_fields {
+                            memoize_key(&mut t, stored_field);
+                        }
+                        self.state_a.push(t);
+                    }
+                    StreamItem::Punctuation(p) => ctx.emit(0, p),
+                }
+            }
+            self.peak_state = self.peak_state.max(self.state_a.len());
+            return;
+        }
+        let mut max_ts: Option<Timestamp> = None;
+        for item in items.drain(..) {
+            let mut tuple = match item {
+                StreamItem::Tuple(t) => t,
+                StreamItem::Punctuation(p) => {
+                    ctx.emit(0, p);
+                    continue;
+                }
+            };
+            ctx.counters.tuples_processed += 1;
+            if let Some((_, probe_field)) = key_fields {
+                memoize_key(&mut tuple, probe_field);
+            }
+            max_ts = Some(tuple.ts); // runs are timestamp-ordered
+            for stored in self.state_a.probe_candidates(&tuple) {
+                if !self.window.contains(tuple.ts, stored.ts) {
+                    continue;
+                }
+                if self
+                    .condition
+                    .eval_counted(stored, &tuple, &mut ctx.counters.probe_comparisons)
+                {
+                    self.results += 1;
+                    ctx.emit(0, Tuple::join(stored, &tuple, JOINED_STREAM));
+                }
+            }
+        }
+        if let Some(ts) = max_ts {
+            let window = self.window;
+            let comparisons = self
+                .state_a
+                .purge_expired(|front| window.expired(ts, front.ts), |_| {});
+            ctx.counters.purge_comparisons += comparisons;
         }
     }
 
@@ -546,6 +684,77 @@ mod tests {
         assert_eq!(op.state_len(), 1);
         assert_eq!(op.results(), 4);
         assert!(op.peak_state() >= 3);
+    }
+
+    #[test]
+    fn batched_runs_match_item_at_a_time_with_one_purge_per_run() {
+        // Same A-run and B-run, processed item-at-a-time vs as batches: the
+        // joined output and probe comparisons must match exactly, and the
+        // deferred batch purge must leave the same final state.
+        let make =
+            || WindowJoinOp::symmetric("join", WindowSpec::from_secs(5), JoinCondition::equi(0));
+        let a_run: Vec<Tuple> = (1..=20u64).map(|s| a(s, (s % 3) as i64)).collect();
+        let b_run: Vec<Tuple> = (10..=30u64).map(|s| b(s, (s % 3) as i64)).collect();
+
+        let mut item_op = make();
+        let mut item_ctx = OpContext::new();
+        for t in &a_run {
+            item_op.process(0, t.clone().into(), &mut item_ctx);
+        }
+        for t in &b_run {
+            item_op.process(1, t.clone().into(), &mut item_ctx);
+        }
+
+        let mut batch_op = make();
+        let mut batch_ctx = OpContext::new();
+        let mut items: Vec<StreamItem> = a_run.iter().cloned().map(Into::into).collect();
+        batch_op.process_batch(0, &mut items, &mut batch_ctx);
+        let mut items: Vec<StreamItem> = b_run.iter().cloned().map(Into::into).collect();
+        batch_op.process_batch(1, &mut items, &mut batch_ctx);
+
+        assert_eq!(joined_pairs(&mut item_ctx), joined_pairs(&mut batch_ctx));
+        assert_eq!(
+            item_ctx.counters.probe_comparisons,
+            batch_ctx.counters.probe_comparisons
+        );
+        // The batch purge at the run maximum leaves the identical state...
+        assert_eq!(item_op.state_a_len(), batch_op.state_a_len());
+        assert_eq!(item_op.state_b_len(), batch_op.state_b_len());
+        assert_eq!(item_op.results(), batch_op.results());
+        // ...with (far) fewer purge comparisons: one pass per run.
+        assert!(batch_ctx.counters.purge_comparisons < item_ctx.counters.purge_comparisons);
+    }
+
+    #[test]
+    fn one_way_batched_runs_match_item_at_a_time() {
+        let make =
+            || OneWayWindowJoinOp::new("oneway", WindowSpec::from_secs(4), JoinCondition::equi(0));
+        let a_run: Vec<Tuple> = (1..=15u64).map(|s| a(s, (s % 2) as i64)).collect();
+        let b_run: Vec<Tuple> = (5..=20u64).map(|s| b(s, (s % 2) as i64)).collect();
+
+        let mut item_op = make();
+        let mut item_ctx = OpContext::new();
+        for t in &a_run {
+            item_op.process(0, t.clone().into(), &mut item_ctx);
+        }
+        for t in &b_run {
+            item_op.process(1, t.clone().into(), &mut item_ctx);
+        }
+
+        let mut batch_op = make();
+        let mut batch_ctx = OpContext::new();
+        let mut items: Vec<StreamItem> = a_run.iter().cloned().map(Into::into).collect();
+        batch_op.process_batch(0, &mut items, &mut batch_ctx);
+        let mut items: Vec<StreamItem> = b_run.iter().cloned().map(Into::into).collect();
+        batch_op.process_batch(1, &mut items, &mut batch_ctx);
+
+        assert_eq!(joined_pairs(&mut item_ctx), joined_pairs(&mut batch_ctx));
+        assert_eq!(
+            item_ctx.counters.probe_comparisons,
+            batch_ctx.counters.probe_comparisons
+        );
+        assert_eq!(item_op.state_len(), batch_op.state_len());
+        assert_eq!(item_op.results(), batch_op.results());
     }
 
     #[test]

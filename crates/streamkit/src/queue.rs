@@ -92,6 +92,53 @@ impl Queue {
         self.items.pop_front()
     }
 
+    /// Pop a timestamp-contiguous run from the front into `out`: up to `max`
+    /// items whose timestamps do not exceed `min_other_ts` (no bound when
+    /// `None`).  Returns the number of items popped.
+    ///
+    /// This is the batched counterpart of popping one item at a time while
+    /// this port stays the oldest across its node's input ports: each port
+    /// delivers items in timestamp order, so the executor can hand a whole
+    /// run to [`Operator::process_batch`](crate::operator::Operator) without
+    /// overtaking any other port's head.  Punctuations participate like
+    /// tuples, ordered by their watermark.
+    pub fn pop_run_into(
+        &mut self,
+        max: usize,
+        min_other_ts: Option<Timestamp>,
+        out: &mut Vec<StreamItem>,
+    ) -> usize {
+        let mut popped = 0;
+        while popped < max {
+            match self.items.front() {
+                Some(item) if min_other_ts.is_none_or(|bound| item.timestamp() <= bound) => {
+                    out.push(self.items.pop_front().expect("front exists"));
+                    popped += 1;
+                }
+                _ => break,
+            }
+        }
+        popped
+    }
+
+    /// Allocating convenience wrapper around [`Queue::pop_run_into`].
+    pub fn pop_run(&mut self, max: usize, min_other_ts: Option<Timestamp>) -> Vec<StreamItem> {
+        let mut out = Vec::new();
+        self.pop_run_into(max, min_other_ts, &mut out);
+        out
+    }
+
+    /// Append every item of an iterator (bulk [`Queue::push`]).
+    pub fn extend<I: IntoIterator<Item = StreamItem>>(&mut self, items: I) {
+        for item in items {
+            self.items.push_back(item);
+            self.total_enqueued += 1;
+        }
+        if self.items.len() > self.peak_len {
+            self.peak_len = self.items.len();
+        }
+    }
+
     /// Timestamp of the oldest item without removing it.
     pub fn peek_timestamp(&self) -> Option<Timestamp> {
         self.items.front().map(|i| i.timestamp())
@@ -137,6 +184,83 @@ mod tests {
         assert!(p.is_punctuation());
         assert_eq!(p.as_tuple(), None);
         assert_eq!(p.into_tuple(), None);
+    }
+
+    fn at(secs: u64) -> StreamItem {
+        Tuple::of_ints(Timestamp::from_secs(secs), StreamId::A, &[0]).into()
+    }
+
+    #[test]
+    fn pop_run_stops_at_the_other_ports_head() {
+        let mut q = Queue::new();
+        for s in [1u64, 2, 4, 7] {
+            q.push(at(s));
+        }
+        // Bound 4 (inclusive): the run is 1, 2, 4; 7 stays queued.
+        let run = q.pop_run(10, Some(Timestamp::from_secs(4)));
+        let ts: Vec<u64> = run
+            .iter()
+            .map(|i| i.timestamp().as_micros() / 1_000_000)
+            .collect();
+        assert_eq!(ts, vec![1, 2, 4]);
+        assert_eq!(q.len(), 1);
+        // Nothing at or below the bound left: empty run, queue untouched.
+        assert!(q.pop_run(10, Some(Timestamp::from_secs(6))).is_empty());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pop_run_includes_equal_timestamps_and_respects_max() {
+        let mut q = Queue::new();
+        for s in [3u64, 3, 3, 5] {
+            q.push(at(s));
+        }
+        // Equal timestamps are all part of one run (inclusive bound)...
+        let run = q.pop_run(10, Some(Timestamp::from_secs(3)));
+        assert_eq!(run.len(), 3);
+        // ...and `max` caps a run mid-way without losing order.
+        q.push(at(5));
+        let run = q.pop_run(1, None);
+        assert_eq!(run.len(), 1);
+        assert_eq!(run[0].timestamp(), Timestamp::from_secs(5));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pop_run_with_empty_other_port_drains_everything() {
+        let mut q = Queue::new();
+        for s in [1u64, 9, 20] {
+            q.push(at(s));
+        }
+        // No other-port head (bound None): the run is the whole queue.
+        let run = q.pop_run(10, None);
+        assert_eq!(run.len(), 3);
+        assert!(q.is_empty());
+        assert!(q.pop_run(10, None).is_empty());
+    }
+
+    #[test]
+    fn pop_run_orders_punctuations_by_watermark() {
+        let mut q = Queue::new();
+        q.push(at(1));
+        q.push(Punctuation::new(Timestamp::from_secs(2)).into());
+        q.push(at(4));
+        // The punctuation's watermark is its run timestamp: a bound of 2
+        // takes the tuple and the punctuation but not the later tuple.
+        let run = q.pop_run(10, Some(Timestamp::from_secs(2)));
+        assert_eq!(run.len(), 2);
+        assert!(run[1].is_punctuation());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn extend_bulk_pushes_and_tracks_stats() {
+        let mut q = Queue::new();
+        q.extend([at(1), at(2), at(3)]);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peak_len(), 3);
+        assert_eq!(q.total_enqueued(), 3);
+        assert_eq!(q.peek_timestamp(), Some(Timestamp::from_secs(1)));
     }
 
     #[test]

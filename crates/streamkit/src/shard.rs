@@ -34,11 +34,11 @@
 
 use crate::error::{Result, StreamError};
 use crate::executor::{ExecutionReport, Executor, ExecutorConfig};
-use crate::join_state::{canonical_key_hash, equi_key_fields};
+use crate::join_state::{equi_key_fields, memoize_key, tuple_key};
 use crate::plan::Plan;
 use crate::predicate::JoinCondition;
 use crate::queue::StreamItem;
-use crate::tuple::{StreamId, Tuple};
+use crate::tuple::{KeyClass, StreamId, Tuple};
 
 /// How to extract the partitioning key from an input tuple: one key field
 /// per join side (they differ for equi conditions like `A.x = B.y`).
@@ -105,15 +105,27 @@ impl ShardSpec {
         }
     }
 
-    /// The shard (out of `shards`) owning `tuple`'s join key.
+    /// The shard (out of `shards`) owning `tuple`'s join key, reusing the
+    /// tuple's memoised canonical key hash when present.
     pub fn shard_of(&self, tuple: &Tuple, shards: usize) -> usize {
         debug_assert!(shards >= 1);
-        let key = tuple.value(self.key_field(tuple.stream));
-        match key.and_then(canonical_key_hash) {
-            Some(hash) => (hash % shards as u64) as usize,
+        Self::shard_for_class(tuple_key(tuple, self.key_field(tuple.stream)), shards)
+    }
+
+    /// Like [`ShardSpec::shard_of`], but memoises the canonical key hash on
+    /// the tuple, so the shard's join states (and every slice of a chain)
+    /// reuse the one hash computed at the routing step.
+    pub fn route(&self, tuple: &mut Tuple, shards: usize) -> usize {
+        debug_assert!(shards >= 1);
+        Self::shard_for_class(memoize_key(tuple, self.key_field(tuple.stream)), shards)
+    }
+
+    fn shard_for_class(class: KeyClass, shards: usize) -> usize {
+        match class {
+            KeyClass::Hash(hash) => (hash % shards as u64) as usize,
             // Missing attribute (never joins) or NaN (unpartitionable, see
             // the module docs): a fixed shard keeps routing deterministic.
-            None => 0,
+            KeyClass::Nan | KeyClass::Missing => 0,
         }
     }
 }
@@ -197,11 +209,13 @@ impl ShardedExecutor {
 
     /// Ingest one item: tuples go to the shard owning their join key,
     /// punctuations are broadcast to every shard (a progress promise holds
-    /// for all partitions of the stream).
+    /// for all partitions of the stream).  The canonical key hash computed
+    /// for routing is memoised on the tuple, so the shard's join states
+    /// never recompute it.
     pub fn ingest(&mut self, entry: &str, item: impl Into<StreamItem>) -> Result<()> {
         match item.into() {
-            StreamItem::Tuple(t) => {
-                let shard = self.spec.shard_of(&t, self.shards.len());
+            StreamItem::Tuple(mut t) => {
+                let shard = self.spec.route(&mut t, self.shards.len());
                 self.shards[shard].ingest(entry, t)
             }
             StreamItem::Punctuation(p) => {

@@ -267,8 +267,37 @@ pub enum TupleRole {
 /// contribute to under selection push-down.  `u32::MAX` means "unrestricted".
 pub const LINEAGE_ALL: u32 = u32::MAX;
 
+/// The canonical equi-join key class of one payload field, memoised on the
+/// tuple so the hash is computed once (at ingest / at the chain head) and
+/// reused by every slice's join-state insert and probe, and by hash-shard
+/// routing, instead of being recomputed at every hop.
+///
+/// The classes mirror
+/// [`canonical_key_hash`](crate::join_state::canonical_key_hash): values that
+/// [`Value::compare`] as `Equal` share a `Hash`, `NaN` is unhashable, and a
+/// missing attribute is remembered as such (it never satisfies an equi
+/// condition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyClass {
+    /// Canonical 64-bit hash of the key value.
+    Hash(u64),
+    /// The key is `NaN`: unindexable, probes degrade to a full scan.
+    Nan,
+    /// The tuple has no attribute at the key field.
+    Missing,
+}
+
+/// A memoised key hash: valid only for consumers keying on the same `field`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyHash {
+    /// The payload field the hash was computed over.
+    pub field: u32,
+    /// The canonical key class of that field's value.
+    pub class: KeyClass,
+}
+
 /// The unit of data flowing through a plan.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Tuple {
     /// Arrival timestamp (for joined tuples: max of the input timestamps).
     pub ts: Timestamp,
@@ -282,6 +311,23 @@ pub struct Tuple {
     pub role: TupleRole,
     /// Selection push-down lineage level (see [`LINEAGE_ALL`]).
     pub lineage: u32,
+    /// Memoised canonical equi-key hash (see [`KeyHash`]).  A cache, not part
+    /// of the tuple's identity: excluded from equality, cleared whenever the
+    /// payload layout changes (projection, join concatenation).
+    pub key_hash: Option<KeyHash>,
+}
+
+/// Payload equality only — the [`Tuple::key_hash`] memo is a cache and two
+/// tuples differing only in whether the hash has been computed yet are equal.
+impl PartialEq for Tuple {
+    fn eq(&self, other: &Tuple) -> bool {
+        self.ts == other.ts
+            && self.stream == other.stream
+            && self.values == other.values
+            && self.origin_span == other.origin_span
+            && self.role == other.role
+            && self.lineage == other.lineage
+    }
 }
 
 impl Tuple {
@@ -294,7 +340,27 @@ impl Tuple {
             origin_span: TimeDelta::ZERO,
             role: TupleRole::Regular,
             lineage: LINEAGE_ALL,
+            key_hash: None,
         }
+    }
+
+    /// The memoised key class for `field`, if one has been computed for that
+    /// field (see [`crate::join_state::memoize_key`]).
+    pub fn memoized_key(&self, field: usize) -> Option<KeyClass> {
+        match self.key_hash {
+            Some(memo) if memo.field as usize == field => Some(memo.class),
+            _ => None,
+        }
+    }
+
+    /// Memoise the key class of `field` (overwrites a memo for another field;
+    /// one field per tuple is enough for every join in this tree, since a
+    /// stream's tuples key on one side of the condition throughout a chain).
+    pub fn set_key_memo(&mut self, field: usize, class: KeyClass) {
+        self.key_hash = Some(KeyHash {
+            field: field as u32,
+            class,
+        });
     }
 
     /// Build a tuple with integer payloads (convenient in tests).
@@ -332,18 +398,26 @@ impl Tuple {
 
     /// Join two tuples: concatenates payloads, assigns `max(Ta, Tb)` as the
     /// result timestamp (paper Section 2) and records |Ta - Tb| as the origin
-    /// span for downstream routing.
+    /// span for downstream routing.  The key memo is not propagated: the
+    /// concatenated payload has a new field layout.
     pub fn join(left: &Tuple, right: &Tuple, out_stream: StreamId) -> Tuple {
-        let mut values = Vec::with_capacity(left.values.len() + right.values.len());
-        values.extend(left.values.iter().cloned());
-        values.extend(right.values.iter().cloned());
+        // Collecting the exact-size chain builds the shared slice in one
+        // allocation (no Vec round-trip); joins dominate result handling, so
+        // this path is hot.
+        let values: Arc<[Value]> = left
+            .values
+            .iter()
+            .chain(right.values.iter())
+            .cloned()
+            .collect();
         Tuple {
             ts: left.ts.max(right.ts),
             stream: out_stream,
-            values: Arc::from(values),
+            values,
             origin_span: left.ts.abs_diff(right.ts),
             role: TupleRole::Regular,
             lineage: left.lineage.min(right.lineage),
+            key_hash: None,
         }
     }
 }
@@ -438,6 +512,28 @@ mod tests {
         assert_eq!(limited.lineage, 2);
         assert!(Arc::ptr_eq(&a.values, &male.values));
         assert!(Arc::ptr_eq(&a.values, &limited.values));
+    }
+
+    #[test]
+    fn key_memo_is_per_field_and_invisible_to_equality() {
+        let mut a = Tuple::of_ints(Timestamp::from_secs(1), StreamId::A, &[7, 8]);
+        let plain = a.clone();
+        assert_eq!(a.memoized_key(0), None);
+        a.set_key_memo(0, KeyClass::Hash(42));
+        assert_eq!(a.memoized_key(0), Some(KeyClass::Hash(42)));
+        // A memo for field 0 says nothing about field 1.
+        assert_eq!(a.memoized_key(1), None);
+        // The memo is a cache, not identity.
+        assert_eq!(a, plain);
+        // Role/lineage copies share the memo (same payload, same layout)...
+        assert_eq!(
+            a.with_role(TupleRole::Male).memoized_key(0),
+            Some(KeyClass::Hash(42))
+        );
+        assert_eq!(a.with_lineage(3).memoized_key(0), Some(KeyClass::Hash(42)));
+        // ...but a join result has a new layout and drops it.
+        let j = Tuple::join(&a, &plain, StreamId(9));
+        assert_eq!(j.key_hash, None);
     }
 
     #[test]

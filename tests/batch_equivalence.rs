@@ -1,0 +1,268 @@
+//! Property test for batch-at-a-time execution: the vectorized executor path
+//! (`ExecutorConfig::vectorized`, whole timestamp-contiguous runs handed to
+//! `Operator::process_batch`) is indistinguishable from strict item-at-a-time
+//! execution.  For random sliced-chain workloads and batch sizes, the two
+//! paths must produce:
+//!
+//! * identical per-sink result multisets,
+//! * identical output-scaling comparison counters (`probe`, `route`,
+//!   `filter`, `split`, `union`) and `tuples_processed` — the batch joins
+//!   defer cross-purging to one pass per run, but probes window-check every
+//!   candidate *before* evaluating the condition, so deferred purges never
+//!   change probe work,
+//! * identical final join states in every slice (`drain_states`), which is
+//!   exactly the purge-monotonicity claim: one purge at the run-maximum
+//!   timestamp leaves the same state as purging once per tuple.
+//!
+//! `purge_comparisons` is the one counter allowed to differ: the batched
+//! window joins pay one purge scan per run instead of one per tuple (the test
+//! pins `vectorized <= item`).  `items_emitted` may also differ — the batch
+//! path coalesces the per-male union punctuations into one per run, which is
+//! a coarser but equally valid progress promise.
+
+use proptest::prelude::*;
+use state_slice_repro::core::planner::{merge_streams, PlannerOptions, CHAIN_ENTRY};
+use state_slice_repro::core::{ChainSpec, JoinQuery, QueryWorkload, SharedChainPlan};
+use state_slice_repro::streamkit::operator::OpContext;
+use state_slice_repro::streamkit::ops::WindowJoinOp;
+use state_slice_repro::streamkit::plan::NodeId;
+use state_slice_repro::streamkit::queue::StreamItem;
+use state_slice_repro::streamkit::tuple::StreamId;
+use state_slice_repro::streamkit::{
+    CostCounters, Executor, ExecutorConfig, JoinCondition, Predicate, TimeDelta, Timestamp, Tuple,
+    WindowSpec,
+};
+
+fn tuple(stream: StreamId, tenths: u64, key: i64, value: i64) -> Tuple {
+    Tuple::of_ints(Timestamp::from_millis(tenths * 100), stream, &[key, value])
+}
+
+/// Per-query sorted result fingerprints, merged cost counters, and the final
+/// per-slice join states (A side, B side — `Tuple` equality ignores the key
+/// memo, so hash-memoisation differences are invisible here by design).
+type Outcome = (
+    Vec<(String, Vec<(Timestamp, TimeDelta)>)>,
+    CostCounters,
+    Vec<(Vec<Tuple>, Vec<Tuple>)>,
+);
+
+fn run_mode(
+    workload: &QueryWorkload,
+    spec: &ChainSpec,
+    input: &[Tuple],
+    vectorized: bool,
+    batch_per_visit: usize,
+) -> Outcome {
+    let shared = SharedChainPlan::build(
+        workload,
+        spec,
+        &PlannerOptions {
+            retain_results: true,
+            ..PlannerOptions::default()
+        },
+    )
+    .expect("plan builds");
+    let mut exec = Executor::with_config(
+        shared.plan,
+        ExecutorConfig {
+            vectorized,
+            batch_per_visit,
+            ..ExecutorConfig::default()
+        },
+    );
+    exec.ingest_all(CHAIN_ENTRY, input.to_vec())
+        .expect("ingest");
+    let report = exec.run().expect("run");
+    let results = workload
+        .queries()
+        .iter()
+        .map(|q| {
+            let sink = exec.plan().sink(&q.name).expect("sink exists");
+            assert_eq!(sink.out_of_order(), 0, "query {} out of order", q.name);
+            let mut fp: Vec<(Timestamp, TimeDelta)> = sink
+                .collected()
+                .iter()
+                .map(|t| (t.ts, t.origin_span))
+                .collect();
+            fp.sort_unstable();
+            assert_eq!(fp.len() as u64, report.sink_count(&q.name));
+            (q.name.clone(), fp)
+        })
+        .collect();
+    let mut states = Vec::new();
+    for idx in 0..exec.plan().num_nodes() {
+        let node = exec.plan_mut().node_mut(NodeId(idx)).expect("node exists");
+        if let Some(slice) = node
+            .operator
+            .as_any_mut()
+            .downcast_mut::<state_slice_repro::core::SlicedBinaryJoinOp>()
+        {
+            states.push(slice.drain_states());
+        }
+    }
+    (results, report.totals, states)
+}
+
+fn assert_batch_invariant(item: &Outcome, vectorized: &Outcome) {
+    // Identical per-sink result multisets.
+    assert_eq!(item.0, vectorized.0);
+    // Output-scaling comparison counters match exactly.
+    assert_eq!(item.1.probe_comparisons, vectorized.1.probe_comparisons);
+    assert_eq!(item.1.route_comparisons, vectorized.1.route_comparisons);
+    assert_eq!(item.1.filter_comparisons, vectorized.1.filter_comparisons);
+    assert_eq!(item.1.split_comparisons, vectorized.1.split_comparisons);
+    assert_eq!(item.1.union_comparisons, vectorized.1.union_comparisons);
+    assert_eq!(item.1.tuples_processed, vectorized.1.tuples_processed);
+    assert_eq!(item.1.items_dropped, 0);
+    assert_eq!(vectorized.1.items_dropped, 0);
+    // One purge per run can only do less front-checking (monotone purging).
+    assert!(vectorized.1.purge_comparisons <= item.1.purge_comparisons);
+    // Identical final join state per slice: the batch purge at the
+    // run-maximum timestamp leaves exactly the per-tuple-purge state.
+    assert_eq!(item.2, vectorized.2);
+}
+
+#[test]
+fn vectorized_matches_item_at_a_time_on_a_fixed_stream() {
+    let workload = QueryWorkload::new(
+        vec![
+            JoinQuery::new("Q1", TimeDelta::from_secs(2)),
+            JoinQuery::with_filter("Q2", TimeDelta::from_secs(7), Predicate::gt(1, 3i64)),
+        ],
+        JoinCondition::equi(0),
+    )
+    .unwrap();
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for i in 0..300u64 {
+        a.push(tuple(StreamId::A, i * 2, (i % 9) as i64, (i % 8) as i64));
+        b.push(tuple(StreamId::B, i * 2 + 1, (i * 5 % 9) as i64, 0));
+    }
+    let input = merge_streams(a, b);
+    let spec = ChainSpec::memory_optimal(&workload);
+    let item = run_mode(&workload, &spec, &input, false, 64);
+    for batch in [1usize, 7, 64, 256] {
+        let vectorized = run_mode(&workload, &spec, &input, true, batch);
+        assert_batch_invariant(&item, &vectorized);
+    }
+    assert!(item.0.iter().any(|(_, r)| !r.is_empty()));
+    assert!(item.1.probe_comparisons > 0);
+    assert!(!item.2.is_empty(), "chain plans expose their slices");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property: for random streams, random window sets, optional selections,
+    /// both Mem-Opt and fully merged slicings and a random batch size, the
+    /// vectorized executor path is indistinguishable from item-at-a-time
+    /// execution (per-sink multisets, output-scaling counters, final slice
+    /// states).
+    #[test]
+    fn batch_size_is_invisible(
+        a_arrivals in prop::collection::vec((0u64..300, 0i64..8, 0i64..8), 1..60),
+        b_arrivals in prop::collection::vec((0u64..300, 0i64..8), 1..60),
+        windows in prop::collection::btree_set(1u64..15, 1..4),
+        with_filter in proptest::bool::ANY,
+        merge_all in proptest::bool::ANY,
+        batch in 1usize..100,
+    ) {
+        let mut a: Vec<Tuple> = a_arrivals
+            .iter()
+            .map(|&(t, k, v)| tuple(StreamId::A, t, k, v))
+            .collect();
+        let mut b: Vec<Tuple> = b_arrivals
+            .iter()
+            .map(|&(t, k)| tuple(StreamId::B, t, k, 0))
+            .collect();
+        a.sort_by_key(|t| t.ts);
+        b.sort_by_key(|t| t.ts);
+        let queries: Vec<JoinQuery> = windows
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                let window = TimeDelta::from_secs(w);
+                if with_filter && i > 0 {
+                    JoinQuery::with_filter(format!("Q{i}"), window, Predicate::gt(1, 3i64))
+                } else {
+                    JoinQuery::new(format!("Q{i}"), window)
+                }
+            })
+            .collect();
+        let workload = QueryWorkload::new(queries, JoinCondition::equi(0)).unwrap();
+        let input = merge_streams(a, b);
+        let spec = if merge_all {
+            ChainSpec::fully_merged(&workload)
+        } else {
+            ChainSpec::memory_optimal(&workload)
+        };
+        let item = run_mode(&workload, &spec, &input, false, 64);
+        let vectorized = run_mode(&workload, &spec, &input, true, batch);
+        assert_batch_invariant(&item, &vectorized);
+    }
+
+    /// Purge monotonicity in isolation: feeding a window join a run and
+    /// purging once at the run-maximum timestamp (the `process_batch` path)
+    /// leaves exactly the state per-tuple purging leaves, with identical
+    /// results and probe comparisons.
+    #[test]
+    fn one_purge_at_run_max_equals_per_tuple_purge(
+        a_run in prop::collection::vec((0u64..100, 0i64..5), 1..40),
+        b_run in prop::collection::vec((50u64..200, 0i64..5), 1..40),
+        window in 1u64..12,
+    ) {
+        let mut a: Vec<Tuple> = a_run
+            .iter()
+            .map(|&(t, k)| tuple(StreamId::A, t, k, 0))
+            .collect();
+        let mut b: Vec<Tuple> = b_run
+            .iter()
+            .map(|&(t, k)| tuple(StreamId::B, t, k, 0))
+            .collect();
+        a.sort_by_key(|t| t.ts);
+        b.sort_by_key(|t| t.ts);
+        let make = || {
+            WindowJoinOp::symmetric(
+                "join",
+                WindowSpec::new(TimeDelta::from_secs(window)),
+                JoinCondition::equi(0),
+            )
+        };
+
+        let mut item_op = make();
+        let mut item_ctx = OpContext::new();
+        for t in &a {
+            item_op.process(0, t.clone().into(), &mut item_ctx);
+        }
+        for t in &b {
+            item_op.process(1, t.clone().into(), &mut item_ctx);
+        }
+
+        use state_slice_repro::streamkit::operator::Operator;
+        let mut batch_op = make();
+        let mut batch_ctx = OpContext::new();
+        let mut run: Vec<StreamItem> = a.iter().cloned().map(Into::into).collect();
+        batch_op.process_batch(0, &mut run, &mut batch_ctx);
+        let mut run: Vec<StreamItem> = b.iter().cloned().map(Into::into).collect();
+        batch_op.process_batch(1, &mut run, &mut batch_ctx);
+
+        let fp = |ctx: &mut OpContext| {
+            let mut out: Vec<(Timestamp, TimeDelta)> = ctx
+                .take_outputs()
+                .into_iter()
+                .filter_map(|(_, i)| i.into_tuple())
+                .map(|t| (t.ts, t.origin_span))
+                .collect();
+            out.sort_unstable();
+            out
+        };
+        prop_assert_eq!(fp(&mut item_ctx), fp(&mut batch_ctx));
+        prop_assert_eq!(
+            item_ctx.counters.probe_comparisons,
+            batch_ctx.counters.probe_comparisons
+        );
+        prop_assert_eq!(item_op.state_a_len(), batch_op.state_a_len());
+        prop_assert_eq!(item_op.state_b_len(), batch_op.state_b_len());
+        prop_assert_eq!(item_op.results(), batch_op.results());
+    }
+}
