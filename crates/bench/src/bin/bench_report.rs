@@ -1,7 +1,7 @@
-//! Persistent perf harness: hash-indexed join probes, sharded scaling and
-//! batch-at-a-time execution.
+//! Persistent perf harness: hash-indexed join probes, sharded scaling,
+//! batch-at-a-time execution and live query churn.
 //!
-//! Three modes:
+//! Four modes:
 //!
 //! * **default** — runs the equi-join-heavy fig18-style workload under the
 //!   state-slice chain and the selection pull-up baseline (each with and
@@ -17,13 +17,21 @@
 //!   path, sweeping the 1/16/64/256 ladder up to `N` (a comma list selects
 //!   explicit sizes), and writes `BENCH_batch.json` with the service-rate
 //!   curve vs batch size.
+//! * **`--churn I`** — runs the same fig18-style workload on a live
+//!   reslicing executor while queries enter/leave by a Poisson process with
+//!   mean interval `I` seconds (a comma list sweeps explicit intervals,
+//!   0 = no churn; a single value sweeps `0,I`), checks every query
+//!   instance's results against a statically-planned oracle, and writes
+//!   `BENCH_churn.json` with service rate and migration pause time vs churn
+//!   rate.
 //!
 //! Usage: `cargo run --release -p ss_bench --bin bench_report
-//! [-- --shards 8 | --batch 256]`.  Set `SS_DURATION_SECS` to scale the
+//! [-- --shards 8 | --batch 256 | --churn 10,30]`.  Set `SS_DURATION_SECS` to scale the
 //! stream length (default 30 s), `SS_BENCH_RATE` to change the per-stream
 //! arrival rate (default 100 t/s) and `SS_BENCH_OUT` to override the output
 //! path.
 
+use ss_bench::churn::run_churn_bench;
 use ss_bench::default_duration_secs;
 use ss_bench::report::{run_batch_bench, run_join_bench, run_shard_bench};
 
@@ -77,6 +85,31 @@ fn batch_sizes(arg: &str) -> Result<Vec<usize>, String> {
     }
 }
 
+/// Parse a `--churn` value: a comma list of mean churn-event intervals in
+/// seconds (0 = no churn), or a single positive interval which is swept
+/// against the no-churn baseline.
+fn churn_intervals(arg: &str) -> Result<Vec<f64>, String> {
+    let parse = |part: &str| {
+        part.trim()
+            .parse::<f64>()
+            .ok()
+            .filter(|n| n.is_finite() && *n >= 0.0)
+            .ok_or_else(|| {
+                format!("invalid --churn value '{part}' (need a non-negative interval in seconds)")
+            })
+    };
+    if arg.contains(',') {
+        arg.split(',').map(parse).collect()
+    } else {
+        let interval = parse(arg)?;
+        if interval == 0.0 {
+            Ok(vec![0.0])
+        } else {
+            Ok(vec![0.0, interval])
+        }
+    }
+}
+
 fn main() {
     let duration = default_duration_secs();
     let rate = std::env::var("SS_BENCH_RATE")
@@ -99,6 +132,42 @@ fn main() {
     };
     let shards_arg = flag_value("--shards");
     let batch_arg = flag_value("--batch");
+    let churn_arg = flag_value("--churn");
+
+    if let Some(arg) = churn_arg {
+        let intervals = churn_intervals(&arg).unwrap_or_else(|msg| {
+            eprintln!("bench_report: {msg}");
+            std::process::exit(2);
+        });
+        let out_path =
+            std::env::var("SS_BENCH_OUT").unwrap_or_else(|_| "BENCH_churn.json".to_string());
+        eprintln!(
+            "# bench_report: live query churn on the fig18-style equi workload ({duration} s, {rate} t/s), mean churn intervals {intervals:?} s"
+        );
+        let report = run_churn_bench(duration, rate, &intervals).expect("churn bench harness");
+        for row in &report.rows {
+            eprintln!(
+                "churn every {:>5.1}s: {:>2} events, service rate {:>12.1} t/s ({:.3}x), pause avg {:.2} ms / max {:.2} ms, moved {} tuples, results_match={}",
+                row.mean_interval_secs,
+                row.events,
+                row.perf.service_rate,
+                report.relative_service_rate(row),
+                row.avg_pause_ms,
+                row.max_pause_ms,
+                row.tuples_moved,
+                row.results_match,
+            );
+        }
+        assert!(
+            report.results_match,
+            "live-migrated chains diverged from the statically-planned oracle"
+        );
+        let json = report.to_json();
+        std::fs::write(&out_path, &json).expect("write BENCH_churn.json");
+        eprintln!("# wrote {out_path}");
+        print!("{json}");
+        return;
+    }
 
     if let Some(arg) = batch_arg {
         let sizes = batch_sizes(&arg).unwrap_or_else(|msg| {

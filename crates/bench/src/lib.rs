@@ -5,7 +5,10 @@
 //! * [`figures`] — the sweeps behind Figures 11, 17, 18 and 19,
 //! * [`table2`] — the execution trace of Table 2,
 //! * [`report`] — the persistent perf harness comparing hash-indexed vs
-//!   linear-scan join probes (written to `BENCH_join.json`).
+//!   linear-scan join probes (written to `BENCH_join.json`),
+//! * [`churn`] — the live-query-churn harness: online add/remove of queries
+//!   with in-executor chain re-slicing vs a statically-planned oracle
+//!   (written to `BENCH_churn.json`).
 //!
 //! The binaries `fig11`, `fig17`, `fig18`, `fig19` and `table2` print the
 //! corresponding rows and `bench_report` writes the perf trajectory; the
@@ -13,11 +16,13 @@
 //! sweeps plus the `probe_scaling` state-size × key-cardinality grid.
 //! `EXPERIMENTS.md` records the paper-vs-measured comparison.
 
+pub mod churn;
 pub mod figures;
 pub mod report;
 pub mod runner;
 pub mod table2;
 
+pub use churn::{run_churn_bench, ChurnBenchReport, ChurnRun, InstanceCheck};
 pub use figures::{
     fig11_rows, figure_17_18_panels, figure_18_extra_panels, figure_19_panels, format_rows,
     measure_fig19, measure_panels, Fig11Row, MeasuredRow,

@@ -116,7 +116,10 @@ fn perf_of(report: &streamkit::ExecutionReport) -> RunPerf {
     }
 }
 
-fn executor_config() -> ExecutorConfig {
+/// The executor configuration shared by every measured run of this crate
+/// (figures, join/shard/batch/churn benches), so the rows of different
+/// reports stay comparable.
+pub(crate) fn executor_config() -> ExecutorConfig {
     ExecutorConfig {
         batch_per_visit: 64,
         memory_sample_every: 64,

@@ -7,7 +7,9 @@ use state_slice_core::{
     ChainBuilder, ChainSpec, CostConfig, JoinQuery, PlannerOptions, QueryWorkload, SharedChainPlan,
 };
 use streamkit::error::Result;
-use streamkit::{Executor, ExecutorConfig, JoinCondition};
+use streamkit::{Executor, JoinCondition};
+
+use crate::report::executor_config;
 
 use ss_baselines::{PullUpPlanBuilder, PushDownPlanBuilder, UnsharedPlanBuilder, ENTRY_A, ENTRY_B};
 
@@ -96,14 +98,6 @@ pub fn cost_config(scenario: &Scenario) -> CostConfig {
         lambda_b: scenario.rate,
         sel_join: scenario.sel_join,
         csys: 10.0,
-    }
-}
-
-fn executor_config() -> ExecutorConfig {
-    ExecutorConfig {
-        batch_per_visit: 64,
-        memory_sample_every: 64,
-        ..ExecutorConfig::default()
     }
 }
 

@@ -21,6 +21,8 @@
 //! * [`planner`] — turning a chain spec into an executable
 //!   [`streamkit`] plan with per-query unions, routers and sinks,
 //! * [`migration`] — online merging / splitting of slices (Section 5.3),
+//! * [`live`] — live query churn: online add/remove of queries against a
+//!   running executor via chain re-slicing ([`live::LiveReslicer`]),
 //! * [`verify`] — a brute-force equivalence oracle used by tests.
 //!
 //! # Example
@@ -59,6 +61,7 @@ pub mod builder;
 pub mod chain;
 pub mod dijkstra;
 pub mod lineage;
+pub mod live;
 pub mod migration;
 pub mod planner;
 pub mod query;
@@ -70,9 +73,13 @@ pub use builder::{BuiltChain, ChainBuilder, ChainPlanFactory, CostConfig};
 pub use chain::{ChainSpec, SliceSpec};
 pub use dijkstra::{shortest_path, ShortestPath};
 pub use lineage::{LineageAnnotatorOp, LineageGateOp};
+pub use live::{
+    ChainEdit, ChainEditPlan, ChurnOutcome, LiveOptions, LiveReslicer, MigrationMode,
+    MigrationRecord, QueryResults, SliceStrategy,
+};
 pub use migration::{
     merge_slice_operators, merge_spec_slices, rehash_shard_states, split_slice_operator,
-    split_spec_slice,
+    split_slice_operator_eager, split_spec_slice, PurgeWatermarks,
 };
 pub use planner::{merge_streams, PlannerOptions, SharedChainPlan, CHAIN_ENTRY};
 pub use query::{JoinQuery, QueryWorkload};

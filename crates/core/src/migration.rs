@@ -30,7 +30,7 @@ use streamkit::error::{Result, StreamError};
 use streamkit::operator::Operator;
 use streamkit::shard::ShardSpec;
 use streamkit::tuple::Tuple;
-use streamkit::TimeDelta;
+use streamkit::{TimeDelta, Timestamp};
 
 use crate::chain::ChainSpec;
 use crate::query::QueryWorkload;
@@ -168,6 +168,83 @@ pub fn split_slice_operator(
     left.set_window(left_window);
     left.set_has_next(true);
     let _ = left_name; // the left operator keeps its identity (and state)
+    Ok((left, right))
+}
+
+/// A chain instance's purge progress: the timestamp of the last *male* tuple
+/// seen from each stream.  Purging is **cross**-purging (Fig. 9): a male from
+/// stream B purges the A-side state and vice versa, so each side's "age" is
+/// measured against the *opposite* stream's last male, not a single global
+/// watermark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PurgeWatermarks {
+    /// Timestamp of the last male from stream A (drives B-side purges).
+    pub male_a: Timestamp,
+    /// Timestamp of the last male from stream B (drives A-side purges).
+    pub male_b: Timestamp,
+}
+
+impl PurgeWatermarks {
+    /// Fold one processed tuple (every arrival's male copy is a purge
+    /// driver) into the watermarks.
+    pub fn observe(&mut self, stream: streamkit::tuple::StreamId, ts: Timestamp) {
+        if stream == streamkit::tuple::StreamId::B {
+            if ts > self.male_b {
+                self.male_b = ts;
+            }
+        } else if ts > self.male_a {
+            self.male_a = ts;
+        }
+    }
+
+    /// The later of the two watermarks.
+    pub fn max(&self) -> Timestamp {
+        self.male_a.max(self.male_b)
+    }
+
+    /// Both sides pinned to the same timestamp.
+    pub fn uniform(ts: Timestamp) -> PurgeWatermarks {
+        PurgeWatermarks {
+            male_a: ts,
+            male_b: ts,
+        }
+    }
+}
+
+/// Split one sliced join operator at window offset `at`, **eagerly** moving
+/// the state that already belongs to the right half (runtime primitive).
+///
+/// The lazy protocol of [`split_slice_operator`] leaves the whole state in
+/// the left half and lets subsequent cross-purging fill the right half up.
+/// The eager variant re-cuts the state immediately using the chain's purge
+/// watermarks: a stored tuple whose age — measured against the opposite
+/// stream's last male, the tuple that would next purge it — has reached `at`
+/// would already have been purged out of the shrunk left window, so it
+/// starts out in the right half.  The resulting pair of states is exactly
+/// what a chain *freshly built* with this boundary would hold at the same
+/// quiescent point, which is what makes differential
+/// (live-migrated ≡ freshly-planned) testing exact.
+pub fn split_slice_operator_eager(
+    op: SlicedBinaryJoinOp,
+    at: TimeDelta,
+    watermarks: PurgeWatermarks,
+    left_name: impl Into<String>,
+    right_name: impl Into<String>,
+) -> Result<(SlicedBinaryJoinOp, SlicedBinaryJoinOp)> {
+    let (mut left, mut right) = split_slice_operator(op, at, left_name, right_name)?;
+    // States drain oldest-first, and "expired out of [start, at)" is monotone
+    // in the timestamp, so each side's state splits at one cut point: the
+    // old prefix belongs to the right (older) slice, the rest stays left.
+    let (state_a, state_b) = left.drain_states();
+    let cut = |mut state: Vec<Tuple>, purger: Timestamp| {
+        let cut = state.partition_point(|t: &Tuple| purger.saturating_sub(t.ts) >= at);
+        let keep = state.split_off(cut);
+        (keep, state)
+    };
+    let (left_a, right_a) = cut(state_a, watermarks.male_b);
+    let (left_b, right_b) = cut(state_b, watermarks.male_a);
+    left.load_states(left_a, left_b);
+    right.load_states(right_a, right_b);
     Ok((left, right))
 }
 
@@ -444,6 +521,43 @@ mod tests {
         }
         assert_eq!(right_results, 1);
         // Together: both pairs, as the unsplit join would have produced.
+    }
+
+    #[test]
+    fn eager_split_recuts_state_by_age_against_the_watermark() {
+        let cond = JoinCondition::Cross;
+        let mut op = SlicedBinaryJoinOp::for_ab("J", SliceWindow::from_secs(0, 10), cond)
+            .chain_head()
+            .last_in_chain();
+        // A-side ages are measured against the last B male (20s): a@16 → 4
+        // (left of 5), a@15 → 5 (exactly the boundary: expired, right),
+        // a@12 → 8 (right).  B-side ages use the last A male (23s):
+        // b@13 → 10 (right), b@18 → 5 (right, exactly at the boundary).
+        op.load_states(vec![a(12), a(15), a(16)], vec![b(13), b(18)]);
+        let (left, right) = split_slice_operator_eager(
+            op,
+            TimeDelta::from_secs(5),
+            PurgeWatermarks {
+                male_a: Timestamp::from_secs(23),
+                male_b: Timestamp::from_secs(20),
+            },
+            "l",
+            "r",
+        )
+        .unwrap();
+        assert_eq!(left.window(), SliceWindow::from_secs(0, 5));
+        assert_eq!(right.window(), SliceWindow::from_secs(5, 10));
+        let (la, lb) = left.state_timestamps();
+        let (ra, rb) = right.state_timestamps();
+        let secs = |v: Vec<Timestamp>| -> Vec<u64> {
+            v.into_iter().map(|t| t.as_micros() / 1_000_000).collect()
+        };
+        assert_eq!(secs(la), vec![16]);
+        assert_eq!(secs(ra), vec![12, 15]);
+        assert_eq!(secs(lb), Vec::<u64>::new());
+        assert_eq!(secs(rb), vec![13, 18]);
+        assert!(left.has_next());
+        assert!(!right.has_next());
     }
 
     #[test]

@@ -168,6 +168,15 @@ impl Parser {
             "h" | "hour" | "hours" => amount * 3600.0,
             other => return Err(StreamError::Parse(format!("unknown time unit '{other}'"))),
         };
+        // `TimeDelta::from_secs_f64` saturates; a window the engine cannot
+        // represent must be rejected here, not silently clamped to ~584k
+        // years.
+        let micros = seconds * 1e6;
+        if !micros.is_finite() || micros >= u64::MAX as f64 {
+            return Err(StreamError::Parse(format!(
+                "window length {seconds} seconds is out of range"
+            )));
+        }
         Ok(TimeDelta::from_secs_f64(seconds))
     }
 }

@@ -62,9 +62,18 @@ pub struct ExecutionReport {
     pub sink_counts: HashMap<String, u64>,
     /// Number of external items ingested.
     pub ingested: u64,
-    /// Wall-clock running time in seconds.
+    /// Wall-clock running time in seconds, accumulated over every
+    /// [`Executor::run`] call of this executor's lifetime.  Incremental
+    /// (ingest → run → ingest → run) usage therefore reports one consistent
+    /// cumulative figure: counters, sink counts and elapsed time all cover
+    /// the whole history, and the service rate stays exact across epochs.
     pub elapsed_secs: f64,
-    /// Scheduler rounds executed.
+    /// Wall-clock seconds spent explicitly paused ([`Executor::pause`] /
+    /// [`Executor::resume`]), e.g. during online chain migration.  Never part
+    /// of `elapsed_secs`, so migration stalls cannot inflate (or deflate)
+    /// the service rate.
+    pub paused_secs: f64,
+    /// Scheduler rounds executed (cumulative, like `elapsed_secs`).
     pub rounds: u64,
 }
 
@@ -114,6 +123,7 @@ impl ExecutionReport {
                 sink_counts: HashMap::new(),
                 ingested: 0,
                 elapsed_secs: 0.0,
+                paused_secs: 0.0,
                 rounds: 0,
             };
         };
@@ -138,6 +148,7 @@ impl ExecutionReport {
             }
             merged.ingested += report.ingested;
             merged.elapsed_secs = merged.elapsed_secs.max(report.elapsed_secs);
+            merged.paused_secs = merged.paused_secs.max(report.paused_secs);
             merged.rounds = merged.rounds.max(report.rounds);
         }
         merged
@@ -158,6 +169,20 @@ pub struct Executor {
     memory: MemoryStats,
     ingested: u64,
     processed_since_sample: u64,
+    /// Cumulative in-run wall clock over this executor's lifetime.
+    active_secs: f64,
+    /// Cumulative explicitly-paused wall clock (migration stalls).
+    paused_secs: f64,
+    /// Start of the pause currently in progress, if any.
+    pause_started: Option<Instant>,
+    /// Scheduler rounds accumulated over every run.
+    total_rounds: u64,
+    /// Counters of operators retired by [`Executor::swap_plan`], folded into
+    /// every subsequent report's totals.
+    carried_totals: CostCounters,
+    /// Sink deliveries of plans retired by [`Executor::swap_plan`], folded
+    /// into every subsequent report's sink counts.
+    carried_sinks: HashMap<String, u64>,
     /// Per-node queued-item counts, maintained incrementally on every push
     /// and pop so a scheduler round never rescans the queues.
     node_backlog: Vec<usize>,
@@ -183,29 +208,8 @@ impl Executor {
 
     /// Wrap a plan with an explicit configuration.
     pub fn with_config(plan: Plan, config: ExecutorConfig) -> Self {
-        let queues: Vec<Vec<Queue>> = plan
-            .nodes()
-            .iter()
-            .map(|n| {
-                (0..n.operator.num_input_ports())
-                    .map(|_| Queue::new())
-                    .collect()
-            })
-            .collect();
-        let routing: Vec<Vec<Vec<(usize, PortId)>>> = plan
-            .nodes()
-            .iter()
-            .map(|n| {
-                (0..n.operator.num_output_ports())
-                    .map(|port| {
-                        plan.downstream(n.id, port)
-                            .into_iter()
-                            .map(|(to, to_port)| (to.0, to_port))
-                            .collect()
-                    })
-                    .collect()
-            })
-            .collect();
+        let queues = Self::build_queues(&plan);
+        let routing = Self::build_routing(&plan);
         let n = plan.num_nodes();
         Executor {
             plan,
@@ -217,6 +221,12 @@ impl Executor {
             memory: MemoryStats::default(),
             ingested: 0,
             processed_since_sample: 0,
+            active_secs: 0.0,
+            paused_secs: 0.0,
+            pause_started: None,
+            total_rounds: 0,
+            carried_totals: CostCounters::default(),
+            carried_sinks: HashMap::new(),
             node_backlog: vec![0; n],
             total_backlog: 0,
             scratch_ctx: OpContext::new(),
@@ -225,6 +235,108 @@ impl Executor {
             scratch_group: Vec::new(),
             order_buf: Vec::new(),
         }
+    }
+
+    fn build_queues(plan: &Plan) -> Vec<Vec<Queue>> {
+        plan.nodes()
+            .iter()
+            .map(|n| {
+                (0..n.operator.num_input_ports())
+                    .map(|_| Queue::new())
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn build_routing(plan: &Plan) -> Vec<Vec<Vec<(usize, PortId)>>> {
+        plan.nodes()
+            .iter()
+            .map(|n| {
+                (0..n.operator.num_output_ports())
+                    .map(|port| {
+                        plan.downstream(n.id, port)
+                            .into_iter()
+                            .map(|(to, to_port)| (to.0, to_port))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// `true` if every input queue is empty (a safe point for plan surgery).
+    pub fn is_drained(&self) -> bool {
+        self.total_backlog == 0
+    }
+
+    /// Mark the start of an execution pause (e.g. an online chain migration
+    /// stall).  Paused wall clock accumulates into
+    /// [`ExecutionReport::paused_secs`] and is never counted as running time;
+    /// idempotent while already paused.
+    pub fn pause(&mut self) {
+        if self.pause_started.is_none() {
+            self.pause_started = Some(Instant::now());
+        }
+    }
+
+    /// End an execution pause started with [`Executor::pause`].  Running the
+    /// executor also resumes implicitly.
+    pub fn resume(&mut self) {
+        if let Some(start) = self.pause_started.take() {
+            self.paused_secs += start.elapsed().as_secs_f64();
+        }
+    }
+
+    /// Cumulative explicitly-paused wall clock so far (completed pauses only).
+    pub fn paused_secs(&self) -> f64 {
+        self.paused_secs
+    }
+
+    /// Cumulative in-run wall clock so far.
+    pub fn active_secs(&self) -> f64 {
+        self.active_secs
+    }
+
+    /// Replace the executed plan with a new one, returning the old plan (so
+    /// the caller can harvest operator state — the online chain migration
+    /// path drains the old slices' states into the new plan's slices).
+    ///
+    /// Requires every input queue to be drained: in-flight items belong to
+    /// the old plan's topology and cannot be re-addressed.  Statistics
+    /// continuity: the old plan's operator counters and sink deliveries are
+    /// folded into carried totals so subsequent reports remain cumulative
+    /// over the executor's whole lifetime; per-node statistics and peaks
+    /// restart with the new plan (the node lists are not comparable).
+    pub fn swap_plan(&mut self, plan: Plan) -> Result<Plan> {
+        if self.total_backlog != 0 {
+            return Err(StreamError::Execution(format!(
+                "cannot swap the plan with {} items still queued; drain first",
+                self.total_backlog
+            )));
+        }
+        for counters in &self.node_counters {
+            self.carried_totals.add(counters);
+        }
+        for (name, id) in self.plan.sinks() {
+            if let Some(sink) = self
+                .plan
+                .node(id)?
+                .operator
+                .as_any()
+                .downcast_ref::<crate::ops::SinkOp>()
+            {
+                *self.carried_sinks.entry(name).or_insert(0) += sink.count();
+            }
+        }
+        let old = std::mem::replace(&mut self.plan, plan);
+        self.queues = Self::build_queues(&self.plan);
+        self.routing = Self::build_routing(&self.plan);
+        let n = self.plan.num_nodes();
+        self.node_counters = vec![CostCounters::default(); n];
+        self.peak_state = vec![0; n];
+        self.node_backlog = vec![0; n];
+        self.total_backlog = 0;
+        Ok(old)
     }
 
     /// The wrapped plan.
@@ -502,6 +614,8 @@ impl Executor {
         &mut self,
         scheduler: &mut S,
     ) -> Result<ExecutionReport> {
+        // Running implicitly ends a migration pause.
+        self.resume();
         let start = Instant::now();
         let mut rounds = 0u64;
         self.sample_memory();
@@ -565,9 +679,10 @@ impl Executor {
             }
         }
         self.sample_memory();
-        let elapsed_secs = start.elapsed().as_secs_f64();
+        self.active_secs += start.elapsed().as_secs_f64();
+        self.total_rounds += rounds;
 
-        let mut sink_counts = HashMap::new();
+        let mut sink_counts = self.carried_sinks.clone();
         for (name, id) in self.plan.sinks() {
             if let Some(sink) = self
                 .plan
@@ -576,10 +691,10 @@ impl Executor {
                 .as_any()
                 .downcast_ref::<crate::ops::SinkOp>()
             {
-                sink_counts.insert(name, sink.count());
+                *sink_counts.entry(name).or_insert(0) += sink.count();
             }
         }
-        let mut totals = CostCounters::default();
+        let mut totals = self.carried_totals;
         let mut node_stats = Vec::with_capacity(self.plan.num_nodes());
         for (i, node) in self.plan.nodes().iter().enumerate() {
             totals.add(&self.node_counters[i]);
@@ -596,8 +711,9 @@ impl Executor {
             memory: self.memory,
             sink_counts,
             ingested: self.ingested,
-            elapsed_secs,
-            rounds,
+            elapsed_secs: self.active_secs,
+            paused_secs: self.paused_secs,
+            rounds: self.total_rounds,
         })
     }
 
@@ -751,6 +867,79 @@ mod tests {
         let sel_stats = &report.node_stats[0];
         assert_eq!(sel_stats.name, "sigma");
         assert_eq!(sel_stats.counters.filter_comparisons, 10);
+    }
+
+    #[test]
+    fn multi_run_elapsed_accumulates_and_pauses_are_excluded() {
+        // Regression: a live (ingest → run → migrate → ingest → run) workload
+        // produces cumulative sink counts, so the report's elapsed time must
+        // also be cumulative over the runs — a per-run elapsed would divide
+        // the whole run's output by the last epoch's wall clock and inflate
+        // the service rate; counting the migration stall would deflate it.
+        let mut exec = Executor::new(join_plan());
+        exec.ingest_all("A", vec![a(1, 7), a(2, 8)]).unwrap();
+        exec.ingest_all("B", vec![b(3, 7)]).unwrap();
+        let first = exec.run().unwrap();
+        // Simulated migration stall between the epochs.
+        exec.pause();
+        std::thread::sleep(std::time::Duration::from_millis(25));
+        exec.resume();
+        exec.ingest_all("B", vec![b(4, 8)]).unwrap();
+        let second = exec.run().unwrap();
+        assert_eq!(second.ingested, 4);
+        assert_eq!(second.sink_count("q1"), 2);
+        assert!(second.elapsed_secs >= first.elapsed_secs);
+        assert!(second.rounds >= first.rounds);
+        // The stall is accounted as paused time, not running time.
+        assert!(second.paused_secs >= 0.025, "stall not recorded as pause");
+        assert!(
+            second.elapsed_secs < second.paused_secs,
+            "two tiny runs ({}s) must cost less than the 25ms stall ({}s); \
+             the stall leaked into the running time",
+            second.elapsed_secs,
+            second.paused_secs
+        );
+        // Service rate is computed over active time only.
+        assert!(second.service_rate() > (6.0 / second.paused_secs));
+        // pause() is idempotent and run() implicitly resumes.
+        exec.pause();
+        exec.pause();
+        let third = exec.run().unwrap();
+        assert!(third.paused_secs >= second.paused_secs);
+        assert_eq!(exec.active_secs(), third.elapsed_secs);
+    }
+
+    #[test]
+    fn swap_plan_carries_totals_and_sink_counts() {
+        let mut exec = Executor::new(join_plan());
+        exec.ingest_all("A", vec![a(1, 7)]).unwrap();
+        exec.ingest_all("B", vec![b(2, 7)]).unwrap();
+        let before = exec.run().unwrap();
+        assert_eq!(before.sink_count("q1"), 1);
+        assert!(before.totals.probe_comparisons > 0);
+        assert!(exec.is_drained());
+        let old = exec.swap_plan(join_plan()).unwrap();
+        // The old plan is handed back for state harvesting.
+        assert!(old.sink("q1").is_some());
+        assert_eq!(old.sink("q1").unwrap().count(), 1);
+        // The fresh plan starts empty, but reports stay cumulative.
+        exec.ingest_all("A", vec![a(10, 3)]).unwrap();
+        exec.ingest_all("B", vec![b(11, 3)]).unwrap();
+        let after = exec.run().unwrap();
+        assert_eq!(after.sink_count("q1"), 2);
+        assert_eq!(after.ingested, 4);
+        assert!(after.totals.probe_comparisons >= before.totals.probe_comparisons);
+        assert_eq!(exec.plan().sink("q1").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn swap_plan_refuses_undrained_queues() {
+        let mut exec = Executor::new(join_plan());
+        exec.ingest("A", a(1, 7)).unwrap();
+        assert!(!exec.is_drained());
+        assert!(exec.swap_plan(join_plan()).is_err());
+        exec.run().unwrap();
+        assert!(exec.swap_plan(join_plan()).is_ok());
     }
 
     #[test]

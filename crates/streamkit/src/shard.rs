@@ -163,21 +163,7 @@ impl ShardedExecutor {
     /// per-node statistics position-wise, and differing plans would produce
     /// different results per shard anyway.
     pub fn with_config(plans: Vec<Plan>, spec: ShardSpec, config: ExecutorConfig) -> Result<Self> {
-        if plans.is_empty() {
-            return Err(StreamError::InvalidConfig(
-                "a sharded executor needs at least one plan instance".to_string(),
-            ));
-        }
-        let reference: Vec<&str> = plans[0].nodes().iter().map(|n| n.operator.name()).collect();
-        for (i, plan) in plans.iter().enumerate().skip(1) {
-            let names: Vec<&str> = plan.nodes().iter().map(|n| n.operator.name()).collect();
-            if names != reference {
-                return Err(StreamError::InvalidConfig(format!(
-                    "shard plan {i} is not an instance of shard plan 0 \
-                     (operator lists differ)"
-                )));
-            }
-        }
+        Self::validate_instances(plans.iter())?;
         Ok(ShardedExecutor {
             shards: plans
                 .into_iter()
@@ -185,6 +171,41 @@ impl ShardedExecutor {
                 .collect(),
             spec,
         })
+    }
+
+    /// Wrap already-built executors (e.g. a single running [`Executor`] being
+    /// promoted into a live-reslicing session).  The executors' plans must be
+    /// instances of the same logical plan, like
+    /// [`ShardedExecutor::with_config`].
+    pub fn from_executors(executors: Vec<Executor>, spec: ShardSpec) -> Result<Self> {
+        Self::validate_instances(executors.iter().map(|e| e.plan()))?;
+        Ok(ShardedExecutor {
+            shards: executors,
+            spec,
+        })
+    }
+
+    fn validate_instances<'a>(plans: impl Iterator<Item = &'a Plan>) -> Result<()> {
+        let mut reference: Option<Vec<&str>> = None;
+        for (i, plan) in plans.enumerate() {
+            let names: Vec<&str> = plan.nodes().iter().map(|n| n.operator.name()).collect();
+            match &reference {
+                None => reference = Some(names),
+                Some(first) if &names != first => {
+                    return Err(StreamError::InvalidConfig(format!(
+                        "shard plan {i} is not an instance of shard plan 0 \
+                         (operator lists differ)"
+                    )));
+                }
+                Some(_) => {}
+            }
+        }
+        if reference.is_none() {
+            return Err(StreamError::InvalidConfig(
+                "a sharded executor needs at least one plan instance".to_string(),
+            ));
+        }
+        Ok(())
     }
 
     /// Number of shards.
@@ -202,6 +223,65 @@ impl ShardedExecutor {
         &self.shards
     }
 
+    /// Mutable access to the per-shard executors (used by online chain
+    /// migration to swap plans and transplant operator state).
+    pub fn shards_mut(&mut self) -> &mut [Executor] {
+        &mut self.shards
+    }
+
+    /// Decompose into the per-shard executors and the partitioning spec
+    /// (shard-count rescaling rebuilds the wrapper from scratch).
+    pub fn into_parts(self) -> (Vec<Executor>, ShardSpec) {
+        (self.shards, self.spec)
+    }
+
+    /// `true` if every shard's queues are drained (safe for plan surgery).
+    pub fn is_drained(&self) -> bool {
+        self.shards.iter().all(|s| s.is_drained())
+    }
+
+    /// Mark the start of an execution pause on every shard (see
+    /// [`Executor::pause`]).
+    pub fn pause(&mut self) {
+        for shard in &mut self.shards {
+            shard.pause();
+        }
+    }
+
+    /// End a pause on every shard (see [`Executor::resume`]).
+    pub fn resume(&mut self) {
+        for shard in &mut self.shards {
+            shard.resume();
+        }
+    }
+
+    /// Replace every shard's plan with a fresh instance, returning the old
+    /// plans in shard order for state harvesting.  All shards must be
+    /// drained; the instance count must match the shard count (rescaling the
+    /// shard count instead redistributes states by re-hashing keys and
+    /// rebuilds the wrapper via [`ShardedExecutor::into_parts`]).  Statistics
+    /// stay cumulative per shard ([`Executor::swap_plan`]).
+    pub fn swap_plans(&mut self, plans: Vec<Plan>) -> Result<Vec<Plan>> {
+        if plans.len() != self.shards.len() {
+            return Err(StreamError::InvalidConfig(format!(
+                "got {} plan instances for {} shards",
+                plans.len(),
+                self.shards.len()
+            )));
+        }
+        Self::validate_instances(plans.iter())?;
+        if !self.is_drained() {
+            return Err(StreamError::Execution(
+                "cannot swap plans with items still queued; drain first".to_string(),
+            ));
+        }
+        let mut old = Vec::with_capacity(plans.len());
+        for (shard, plan) in self.shards.iter_mut().zip(plans) {
+            old.push(shard.swap_plan(plan)?);
+        }
+        Ok(old)
+    }
+
     /// The shard a tuple routes to.
     pub fn shard_of(&self, tuple: &Tuple) -> usize {
         self.spec.shard_of(tuple, self.shards.len())
@@ -213,16 +293,29 @@ impl ShardedExecutor {
     /// for routing is memoised on the tuple, so the shard's join states
     /// never recompute it.
     pub fn ingest(&mut self, entry: &str, item: impl Into<StreamItem>) -> Result<()> {
+        self.ingest_routed(entry, item).map(|_| ())
+    }
+
+    /// Like [`ShardedExecutor::ingest`], but reports where the item went:
+    /// `Some(shard index)` for a tuple, `None` for a broadcast punctuation.
+    /// Live chain migration uses this to maintain per-shard progress
+    /// watermarks without re-deriving the routing.
+    pub fn ingest_routed(
+        &mut self,
+        entry: &str,
+        item: impl Into<StreamItem>,
+    ) -> Result<Option<usize>> {
         match item.into() {
             StreamItem::Tuple(mut t) => {
                 let shard = self.spec.route(&mut t, self.shards.len());
-                self.shards[shard].ingest(entry, t)
+                self.shards[shard].ingest(entry, t)?;
+                Ok(Some(shard))
             }
             StreamItem::Punctuation(p) => {
                 for shard in &mut self.shards {
                     shard.ingest(entry, p)?;
                 }
-                Ok(())
+                Ok(None)
             }
         }
     }
@@ -419,6 +512,39 @@ mod tests {
         let plans = vec![join_plan(false), other.build().unwrap()];
         assert!(ShardedExecutor::new(plans, ShardSpec::symmetric(0)).is_err());
         assert!(ShardedExecutor::new(Vec::new(), ShardSpec::symmetric(0)).is_err());
+    }
+
+    #[test]
+    fn routed_ingest_reports_the_shard_and_swap_plans_checks_shape() {
+        let plans: Vec<Plan> = (0..2).map(|_| join_plan(false)).collect();
+        let mut exec = ShardedExecutor::new(plans, ShardSpec::symmetric(0)).unwrap();
+        let t = a(1, 4);
+        let expected = exec.shard_of(&t);
+        assert_eq!(exec.ingest_routed("A", t).unwrap(), Some(expected));
+        assert_eq!(
+            exec.ingest_routed("A", Punctuation::new(Timestamp::from_secs(2)))
+                .unwrap(),
+            None
+        );
+        // Swapping while undrained is refused; after a run it succeeds.
+        let fresh: Vec<Plan> = (0..2).map(|_| join_plan(false)).collect();
+        assert!(!exec.is_drained());
+        assert!(exec.swap_plans(fresh).is_err());
+        exec.run().unwrap();
+        assert!(exec.is_drained());
+        let fresh: Vec<Plan> = (0..2).map(|_| join_plan(false)).collect();
+        let old = exec.swap_plans(fresh).unwrap();
+        assert_eq!(old.len(), 2);
+        // Wrong instance count is rejected up front.
+        assert!(exec.swap_plans(vec![join_plan(false)]).is_err());
+        // Pause/resume fan out to every shard.
+        exec.pause();
+        exec.resume();
+        // from_executors round-trips through into_parts.
+        let (executors, spec) = exec.into_parts();
+        let rebuilt = ShardedExecutor::from_executors(executors, spec).unwrap();
+        assert_eq!(rebuilt.num_shards(), 2);
+        assert!(ShardedExecutor::from_executors(Vec::new(), ShardSpec::symmetric(0)).is_err());
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Query churn schedules: queries entering and leaving the system by a
+//! Poisson process.
+//!
+//! The paper's chain maintenance (Section 5.3) exists because real workloads
+//! are not fixed at plan time — "queries may enter or leave the system".
+//! This module generates reproducible churn schedules over a base scenario:
+//! churn *events* arrive as a Poisson process (like the tuples themselves,
+//! Section 7.1), and each event either registers a query with a window drawn
+//! from a pool or deregisters a previously churned query.  The base
+//! scenario's own queries — in particular the one with the largest window —
+//! are never touched, so the chain's coverage stays constant and a live
+//! migration is always a pure merge/split re-slicing.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use streamkit::{TimeDelta, Timestamp};
+
+use crate::poisson::PoissonArrivals;
+
+/// Configuration of a churn schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnConfig {
+    /// Mean seconds between churn events (Poisson).  Non-finite or
+    /// non-positive means no churn.
+    pub mean_interval_secs: f64,
+    /// Schedule horizon: no event at or after this time.
+    pub duration_secs: f64,
+    /// Whole-second windows churned queries may use.  Must be distinct from
+    /// each other and from the base workload's windows, and smaller than the
+    /// base workload's largest window (so churn never changes coverage).
+    pub window_pool_secs: Vec<u64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ChurnConfig {
+    /// Name churned queries use for a pool window (`C<secs>`): one name per
+    /// window, reused across instances of that window.
+    pub fn query_name(window_secs: u64) -> String {
+        format!("C{window_secs}")
+    }
+}
+
+/// What one churn event does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChurnAction {
+    /// Register a query with the given pool window.
+    Add {
+        /// Query name ([`ChurnConfig::query_name`]).
+        name: String,
+        /// Window in whole seconds.
+        window_secs: u64,
+    },
+    /// Deregister a previously added query.
+    Remove {
+        /// Query name.
+        name: String,
+    },
+}
+
+/// One scheduled churn event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnEvent {
+    /// When the event fires (input tuples up to here are processed first).
+    pub at: Timestamp,
+    /// The workload change.
+    pub action: ChurnAction,
+}
+
+impl ChurnEvent {
+    /// The window of an added query, as a [`TimeDelta`].
+    pub fn window(&self) -> Option<TimeDelta> {
+        match &self.action {
+            ChurnAction::Add { window_secs, .. } => Some(TimeDelta::from_secs(*window_secs)),
+            ChurnAction::Remove { .. } => None,
+        }
+    }
+}
+
+/// Generate the deterministic churn schedule for a configuration.
+///
+/// Events alternate stochastically between adds and removes: with no churned
+/// query active the event must add, with the pool exhausted it must remove,
+/// otherwise a fair coin decides.  Windows are drawn uniformly from the
+/// currently inactive part of the pool.
+pub fn churn_schedule(config: &ChurnConfig) -> Vec<ChurnEvent> {
+    if !config.mean_interval_secs.is_finite()
+        || config.mean_interval_secs <= 0.0
+        || config.window_pool_secs.is_empty()
+    {
+        return Vec::new();
+    }
+    let rate = 1.0 / config.mean_interval_secs;
+    let arrivals = PoissonArrivals::new(rate, config.seed ^ 0xC0FF_EE00)
+        .take_while(|ts| ts.as_secs_f64() < config.duration_secs);
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x5851_F42D_4C95_7F2D));
+    let mut inactive: Vec<u64> = config.window_pool_secs.clone();
+    let mut active: Vec<u64> = Vec::new();
+    let mut events = Vec::new();
+    for at in arrivals {
+        let add = if active.is_empty() {
+            true
+        } else if inactive.is_empty() {
+            false
+        } else {
+            rng.gen_range(0..2) == 0
+        };
+        let action = if add {
+            let idx = rng.gen_range(0..inactive.len());
+            let window_secs = inactive.swap_remove(idx);
+            active.push(window_secs);
+            ChurnAction::Add {
+                name: ChurnConfig::query_name(window_secs),
+                window_secs,
+            }
+        } else {
+            let idx = rng.gen_range(0..active.len());
+            let window_secs = active.swap_remove(idx);
+            inactive.push(window_secs);
+            ChurnAction::Remove {
+                name: ChurnConfig::query_name(window_secs),
+            }
+        };
+        events.push(ChurnEvent { at, action });
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(mean: f64) -> ChurnConfig {
+        ChurnConfig {
+            mean_interval_secs: mean,
+            duration_secs: 120.0,
+            window_pool_secs: vec![4, 7, 13, 17],
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_respects_the_horizon() {
+        let a = churn_schedule(&config(10.0));
+        let b = churn_schedule(&config(10.0));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.iter().all(|e| e.at.as_secs_f64() < 120.0));
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+        // ~12 events expected at one per 10 s over 120 s.
+        assert!((4..=30).contains(&a.len()), "unexpected count {}", a.len());
+    }
+
+    #[test]
+    fn adds_and_removes_stay_consistent() {
+        let events = churn_schedule(&config(3.0));
+        let mut active: Vec<String> = Vec::new();
+        for event in &events {
+            match &event.action {
+                ChurnAction::Add { name, window_secs } => {
+                    assert!(!active.contains(name), "double add of {name}");
+                    assert!([4, 7, 13, 17].contains(window_secs));
+                    assert_eq!(event.window(), Some(TimeDelta::from_secs(*window_secs)));
+                    active.push(name.clone());
+                    assert!(active.len() <= 4);
+                }
+                ChurnAction::Remove { name } => {
+                    let pos = active.iter().position(|n| n == name);
+                    assert!(pos.is_some(), "remove of inactive {name}");
+                    active.remove(pos.unwrap());
+                    assert_eq!(event.window(), None);
+                }
+            }
+        }
+        // The first event is always an add.
+        assert!(matches!(events[0].action, ChurnAction::Add { .. }));
+    }
+
+    #[test]
+    fn no_churn_configs_produce_empty_schedules() {
+        assert!(churn_schedule(&config(0.0)).is_empty());
+        assert!(churn_schedule(&config(f64::INFINITY)).is_empty());
+        let mut empty_pool = config(5.0);
+        empty_pool.window_pool_secs.clear();
+        assert!(churn_schedule(&empty_pool).is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = churn_schedule(&config(5.0));
+        let mut other = config(5.0);
+        other.seed = 10;
+        let b = churn_schedule(&other);
+        assert_ne!(a, b);
+    }
+}

@@ -13,13 +13,17 @@
 //! * [`generator`] — tuple generation with controllable selectivities,
 //! * [`distributions`] — the window distributions of Tables 3 and 4,
 //! * [`scenario`] — complete experiment scenarios (rate sweeps, parameters)
-//!   used by the figure-reproduction harnesses.
+//!   used by the figure-reproduction harnesses,
+//! * [`churn`] — Poisson schedules of queries entering/leaving the system
+//!   (drives the live chain re-slicing of `core::live`).
 
+pub mod churn;
 pub mod distributions;
 pub mod generator;
 pub mod poisson;
 pub mod scenario;
 
+pub use churn::{churn_schedule, ChurnAction, ChurnConfig, ChurnEvent};
 pub use distributions::WindowDistribution;
 pub use generator::{StreamGenerator, WorkloadConfig, JOIN_KEY_FIELD, VALUE_FIELD};
 pub use poisson::{arrival_times, PoissonArrivals};

@@ -1,0 +1,185 @@
+//! Robustness fuzzing for the query language front end
+//! (`ss_query`: lexer → parser → translate).
+//!
+//! Property: for arbitrary input — both unconstrained character soups and
+//! "almost valid" token soups built from the language's own vocabulary — the
+//! pipeline must return `Ok` or `Err`, never panic, and whatever parses must
+//! also translate (against a registry) without panicking.
+
+use proptest::prelude::*;
+use ss_query::{parse_query, tokenize, translate, SchemaRegistry};
+use state_slice_repro::query as ss_query;
+use state_slice_repro::streamkit::tuple::{DataType, Field};
+use state_slice_repro::streamkit::Schema;
+
+/// The language's own vocabulary plus hostile fragments: keywords, idents,
+/// operators, numbers that stress the lexer (`1.2.3`, huge, dotted), quote
+/// fragments, and junk characters.
+const VOCAB: &[&str] = &[
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "AND",
+    "WINDOW",
+    "select",
+    "from",
+    "where",
+    "and",
+    "window",
+    "A",
+    "B",
+    "T",
+    "H",
+    "Temperature",
+    "Humidity",
+    "x",
+    "y",
+    "_id",
+    "value9",
+    "*",
+    ",",
+    ".",
+    "=",
+    "!=",
+    "<>",
+    "<",
+    "<=",
+    ">",
+    ">=",
+    "0",
+    "1",
+    "2.5",
+    "100",
+    "1.2.3",
+    "9999999999999999999999999",
+    "0.000000000000001",
+    "60",
+    "min",
+    "sec",
+    "ms",
+    "hour",
+    "lightyears",
+    "'Seoul'",
+    "'",
+    "''",
+    "'unterminated",
+    "!",
+    "#",
+    "..",
+    ",,",
+    "A.x",
+    "B.y",
+    "A.*",
+];
+
+fn registry() -> SchemaRegistry {
+    let mut schemas = SchemaRegistry::new();
+    schemas.register(
+        "T",
+        Schema::new(vec![
+            Field::new("x", DataType::Int),
+            Field::new("value9", DataType::Float),
+        ]),
+    );
+    schemas.register("H", Schema::new(vec![Field::new("y", DataType::Int)]));
+    schemas.register(
+        "Temperature",
+        Schema::new(vec![Field::new("x", DataType::Int)]),
+    );
+    schemas.register(
+        "Humidity",
+        Schema::new(vec![Field::new("y", DataType::Int)]),
+    );
+    schemas
+}
+
+/// The whole front end must be panic-free; parsed specs must translate
+/// without panicking either (errors are fine — most soups reference unknown
+/// streams or columns).
+fn assert_front_end_is_total(text: &str) {
+    let _ = tokenize(text);
+    if let Ok(spec) = parse_query(text) {
+        let _ = translate(&spec, &registry());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// Token soups from the language's own vocabulary: the parser sees
+    /// plausible-looking-but-broken clause structure.
+    #[test]
+    fn token_soups_never_panic(
+        picks in prop::collection::vec(0usize..VOCAB.len(), 0..30),
+        spaced in proptest::bool::ANY,
+    ) {
+        let sep = if spaced { " " } else { "" };
+        let text: String = picks
+            .iter()
+            .map(|&i| VOCAB[i])
+            .collect::<Vec<_>>()
+            .join(sep);
+        assert_front_end_is_total(&text);
+    }
+
+    /// Unconstrained character soups: the lexer sees arbitrary (including
+    /// non-ASCII) input.
+    #[test]
+    fn character_soups_never_panic(
+        chars in prop::collection::vec(0u32..0x11_0000, 0..60),
+    ) {
+        let text: String = chars
+            .iter()
+            .filter_map(|&c| char::from_u32(c))
+            .collect();
+        assert_front_end_is_total(&text);
+    }
+
+    /// Near-valid queries with fuzzed windows and predicates: exercise the
+    /// deep end of the parser (conditions, window units) and the translator.
+    #[test]
+    fn near_valid_queries_never_panic(
+        window_num in 0usize..8,
+        unit in 0usize..8,
+        cond in 0usize..VOCAB.len(),
+        tail in 0usize..VOCAB.len(),
+    ) {
+        let numbers = ["0", "1", "2.5", "1.2.3", "9999999999999999999999999",
+                       "0.0000001", "60", "007"];
+        let units = ["min", "sec", "ms", "hour", "lightyears", "s", "", "minutes"];
+        let text = format!(
+            "SELECT A.* FROM T A, H B WHERE A.x = B.y AND {} WINDOW {} {} {}",
+            VOCAB[cond], numbers[window_num], units[unit], VOCAB[tail],
+        );
+        assert_front_end_is_total(&text);
+    }
+}
+
+#[test]
+fn known_hostile_inputs_error_cleanly() {
+    for text in [
+        "",
+        "SELECT",
+        "SELECT A.*",
+        "SELECT A.* FROM",
+        "SELECT A.* FROM T A, H B WHERE WINDOW 1 sec",
+        "SELECT A.* FROM T A, H B WINDOW",
+        "SELECT A.* FROM T A, H B WINDOW 99999999999999999999999999999 hour",
+        "SELECT A.* FROM T A, H B WINDOW 1.2.3 sec",
+        "SELECT A.* FROM T A, H B, X C WINDOW 1 sec",
+        "SELECT A.* FROM T A, H B WHERE A.x = A.x WINDOW 1 sec junk",
+        "SELECT .* FROM . ., . . WINDOW . .",
+        "'",
+        "''",
+        "'''",
+        ".",
+        "..",
+        ". . .",
+    ] {
+        assert!(parse_query(text).is_err(), "expected an error for {text:?}");
+    }
+    // A valid query against a registry missing the streams errors (not
+    // panics) in translate.
+    let spec = parse_query("SELECT A.* FROM Nope A, Nada B WINDOW 1 sec").unwrap();
+    assert!(translate(&spec, &registry()).is_err());
+}
