@@ -24,16 +24,21 @@
 //!   instance's results against a statically-planned oracle, and writes
 //!   `BENCH_churn.json` with service rate and migration pause time vs churn
 //!   rate.
+//! * **`--skew E`** — runs the fig18-style workload with Zipf(`E`)-skewed
+//!   join keys on one shard (the correctness oracle), on N shards with plain
+//!   hash routing, and on N shards with skew-aware hot-key replication
+//!   (`SS_SKEW_SHARDS`, default 4), and writes `BENCH_skew.json` with the
+//!   busiest-shard load shares.
 //!
 //! Usage: `cargo run --release -p ss_bench --bin bench_report
-//! [-- --shards 8 | --batch 256 | --churn 10,30]`.  Set `SS_DURATION_SECS` to scale the
-//! stream length (default 30 s), `SS_BENCH_RATE` to change the per-stream
-//! arrival rate (default 100 t/s) and `SS_BENCH_OUT` to override the output
-//! path.
+//! [-- --shards 8 | --batch 256 | --churn 10,30 | --skew 1.2]`.  Set
+//! `SS_DURATION_SECS` to scale the stream length (default 30 s),
+//! `SS_BENCH_RATE` to change the per-stream arrival rate (default 100 t/s)
+//! and `SS_BENCH_OUT` to override the output path.
 
 use ss_bench::churn::run_churn_bench;
 use ss_bench::default_duration_secs;
-use ss_bench::report::{run_batch_bench, run_join_bench, run_shard_bench};
+use ss_bench::report::{run_batch_bench, run_join_bench, run_shard_bench, run_skew_bench};
 
 /// Parse a `--shards` value: a comma list of counts, or a single maximum
 /// swept in powers of two starting at 1.  Unparsable or zero values are an
@@ -133,6 +138,56 @@ fn main() {
     let shards_arg = flag_value("--shards");
     let batch_arg = flag_value("--batch");
     let churn_arg = flag_value("--churn");
+    let skew_arg = flag_value("--skew");
+
+    if let Some(arg) = skew_arg {
+        let exponent = arg
+            .trim()
+            .parse::<f64>()
+            .ok()
+            .filter(|e| e.is_finite() && *e > 0.0)
+            .unwrap_or_else(|| {
+                eprintln!("bench_report: invalid --skew value '{arg}' (need a positive exponent)");
+                std::process::exit(2);
+            });
+        let shards = std::env::var("SS_SKEW_SHARDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n: &usize| n >= 2)
+            .unwrap_or(4);
+        let out_path =
+            std::env::var("SS_BENCH_OUT").unwrap_or_else(|_| "BENCH_skew.json".to_string());
+        eprintln!(
+            "# bench_report: Zipf({exponent})-skewed fig18-style equi workload ({duration} s, {rate} t/s), {shards} shards"
+        );
+        let report = run_skew_bench(duration, rate, exponent, shards).expect("skew bench harness");
+        for run in [&report.oracle, &report.hash_only, &report.skew_aware] {
+            eprintln!(
+                "{:<15} {} shard(s): busiest share {:.3}, hot keys {}, broadcast {}, service rate {:>12.1} t/s, probes {}, outputs {}",
+                run.label,
+                run.shards,
+                run.busiest_share,
+                run.hot_keys,
+                run.hot_broadcast,
+                run.perf.service_rate,
+                run.perf.probe_comparisons,
+                run.perf.total_outputs,
+            );
+        }
+        assert!(
+            report.results_match,
+            "skew-routed results diverged from the 1-shard oracle"
+        );
+        assert!(
+            report.skew_aware.busiest_share < report.hash_only.busiest_share,
+            "hot-key replication did not reduce the busiest shard's load share"
+        );
+        let json = report.to_json();
+        std::fs::write(&out_path, &json).expect("write BENCH_skew.json");
+        eprintln!("# wrote {out_path}");
+        print!("{json}");
+        return;
+    }
 
     if let Some(arg) = churn_arg {
         let intervals = churn_intervals(&arg).unwrap_or_else(|msg| {

@@ -12,7 +12,7 @@
 use std::time::Instant;
 
 use ss_baselines::{PullUpPlanBuilder, ENTRY_A, ENTRY_B};
-use ss_workload::{Scenario, WindowDistribution};
+use ss_workload::{KeyDistribution, Scenario, StreamGenerator, WindowDistribution};
 use state_slice_core::planner::{merge_streams, PlannerOptions, CHAIN_ENTRY};
 use state_slice_core::{ChainBuilder, ChainPlanFactory, SharedChainPlan};
 use streamkit::error::Result;
@@ -432,6 +432,196 @@ impl ShardBenchReport {
     }
 }
 
+/// One measured run of the skew bench: the Zipf-keyed equi workload under
+/// one routing policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewRun {
+    /// Policy label: `1-shard-oracle`, `hash-only` or `skew-aware`.
+    pub label: String,
+    /// Number of parallel shards.
+    pub shards: usize,
+    /// Performance counters of the merged run.
+    pub perf: RunPerf,
+    /// The busiest shard's share of all routed tuples (`1/N` is perfectly
+    /// balanced, `1.0` fully concentrated).
+    pub busiest_share: f64,
+    /// Keys resident in the hot set at the end of the run.
+    pub hot_keys: usize,
+    /// Keys promoted to replicate-to-all routing during the run.
+    pub promotions: u64,
+    /// Hot probe-side tuples broadcast to all shards (per source tuple).
+    pub hot_broadcast: u64,
+    /// Hot build-side tuples spread round-robin.
+    pub hot_spread: u64,
+    /// Times the router blocked on a full worker ring.
+    pub router_stalls: u64,
+    /// Per-sink result counts, in ascending window order.
+    pub sink_counts: Vec<(String, u64)>,
+}
+
+/// The skew-routing report written to `BENCH_skew.json`: the fig18-equi
+/// workload with Zipf-skewed keys, run on one shard (the correctness
+/// oracle), on N shards with plain hash routing, and on N shards with
+/// skew-aware hot-key replication.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewBenchReport {
+    /// Stream duration of the runs (seconds).
+    pub duration_secs: f64,
+    /// Arrival rate per stream (tuples/second).
+    pub rate: f64,
+    /// Join selectivity S⋈ (sets the 500-key domain).
+    pub sel_join: f64,
+    /// Zipf skew exponent of the key distribution.
+    pub zipf_exponent: f64,
+    /// Shard count of the two multi-shard runs.
+    pub shards: usize,
+    /// Single-shard reference run.
+    pub oracle: SkewRun,
+    /// N shards, plain hash routing (the hot key pins one shard).
+    pub hash_only: SkewRun,
+    /// N shards, hot keys replicated to all shards.
+    pub skew_aware: SkewRun,
+    /// `true` iff all three runs delivered identical per-sink counts.
+    pub results_match: bool,
+    /// `true` iff all three runs performed identical probe comparisons
+    /// (replication changes purge work, never probe work).
+    pub probes_match: bool,
+}
+
+/// Run the Mem-Opt chain on `scenario` with Zipf(`exponent`)-skewed keys
+/// across `shards` instances, with or without skew-aware routing.
+pub fn run_chain_skewed(
+    scenario: &Scenario,
+    exponent: f64,
+    shards: usize,
+    skew_aware: bool,
+) -> Result<SkewRun> {
+    let workload = build_workload(scenario)?;
+    let spec = ChainBuilder::new(workload.clone()).memory_optimal();
+    let factory = ChainPlanFactory::new(
+        workload.clone(),
+        spec,
+        PlannerOptions::default().with_shards(shards),
+    );
+    let mut exec = factory.sharded_with_config(executor_config())?;
+    if skew_aware {
+        exec.enable_skew(streamkit::SkewConfig::default())?;
+    }
+    let mut config = scenario.workload_config();
+    config.key_dist = KeyDistribution::Zipf { exponent };
+    config
+        .validate()
+        .map_err(streamkit::StreamError::InvalidConfig)?;
+    let (a, b) = StreamGenerator::new(config).generate_pair();
+    exec.ingest_all(CHAIN_ENTRY, merge_streams(a, b))?;
+    let report = exec.run()?;
+    let stats = exec.router_stats();
+    let sink_counts = workload
+        .queries()
+        .iter()
+        .map(|q| (q.name.clone(), report.sink_count(&q.name)))
+        .collect();
+    Ok(SkewRun {
+        label: match (shards, skew_aware) {
+            (1, _) => "1-shard-oracle",
+            (_, false) => "hash-only",
+            (_, true) => "skew-aware",
+        }
+        .to_string(),
+        shards,
+        perf: perf_of(&report),
+        busiest_share: stats.busiest_share(),
+        hot_keys: exec.hot_keys().len(),
+        promotions: stats.promotions,
+        hot_broadcast: stats.hot_broadcast,
+        hot_spread: stats.hot_spread,
+        router_stalls: stats.stalls,
+        sink_counts,
+    })
+}
+
+/// Run the skew bench: the Zipf-keyed equi workload once on one shard and
+/// twice on `shards` shards (hash-only, then skew-aware).
+pub fn run_skew_bench(
+    duration_secs: f64,
+    rate: f64,
+    exponent: f64,
+    shards: usize,
+) -> Result<SkewBenchReport> {
+    let scenario = equi_heavy_scenario(duration_secs, rate);
+    let oracle = run_chain_skewed(&scenario, exponent, 1, false)?;
+    let hash_only = run_chain_skewed(&scenario, exponent, shards, false)?;
+    let skew_aware = run_chain_skewed(&scenario, exponent, shards, true)?;
+    let results_match =
+        oracle.sink_counts == hash_only.sink_counts && oracle.sink_counts == skew_aware.sink_counts;
+    let probes_match = oracle.perf.probe_comparisons == hash_only.perf.probe_comparisons
+        && oracle.perf.probe_comparisons == skew_aware.perf.probe_comparisons;
+    Ok(SkewBenchReport {
+        duration_secs,
+        rate,
+        sel_join: scenario.sel_join,
+        zipf_exponent: exponent,
+        shards,
+        oracle,
+        hash_only,
+        skew_aware,
+        results_match,
+        probes_match,
+    })
+}
+
+impl SkewBenchReport {
+    /// Serialise to the `BENCH_skew.json` format (stable key order, no
+    /// external JSON dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"benchmark\": \"skew_routing\",\n");
+        out.push_str(&format!(
+            "  \"command\": \"SS_DURATION_SECS={:.0} cargo run --release -p ss_bench --bin bench_report -- --skew {}\",\n",
+            self.duration_secs, self.zipf_exponent,
+        ));
+        out.push_str(&format!(
+            "  \"workload\": {{\"style\": \"fig18-equi\", \"duration_secs\": {:.1}, \"rate\": {:.1}, \"sel_join\": {}, \"key_dist\": \"Zipf({})\", \"distribution\": \"Uniform\", \"num_queries\": 3, \"selections\": false}},\n",
+            self.duration_secs, self.rate, self.sel_join, self.zipf_exponent
+        ));
+        out.push_str(&format!(
+            "  \"shards\": {},\n  \"results_match\": {},\n  \"probes_match\": {},\n",
+            self.shards, self.results_match, self.probes_match
+        ));
+        out.push_str("  \"runs\": [\n");
+        let runs = [&self.oracle, &self.hash_only, &self.skew_aware];
+        for (i, run) in runs.iter().enumerate() {
+            let sinks = run
+                .sink_counts
+                .iter()
+                .map(|(name, count)| format!("\"{name}\": {count}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "    {{\n      \"policy\": \"{}\",\n      \"shards\": {},\n      \"busiest_shard_share\": {:.4},\n      \"hot_keys\": {},\n      \"promotions\": {},\n      \"hot_broadcast\": {},\n      \"hot_spread\": {},\n      \"router_stalls\": {},\n      \"service_rate\": {:.1},\n      \"elapsed_secs\": {:.4},\n      \"probe_comparisons\": {},\n      \"total_comparisons\": {},\n      \"total_outputs\": {},\n      \"sink_counts\": {{{}}}\n    }}{}\n",
+                run.label,
+                run.shards,
+                run.busiest_share,
+                run.hot_keys,
+                run.promotions,
+                run.hot_broadcast,
+                run.hot_spread,
+                run.router_stalls,
+                run.perf.service_rate,
+                run.perf.elapsed_secs,
+                run.perf.probe_comparisons,
+                run.perf.total_comparisons,
+                run.perf.total_outputs,
+                sinks,
+                if i + 1 < runs.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
 /// One row of the batch-size sweep: the fig18-style equi workload on the
 /// vectorized executor with the given per-visit batch size.
 #[derive(Debug, Clone, PartialEq)]
@@ -733,6 +923,35 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"benchmark\": \"sharded_chain\""));
         assert!(json.contains("\"results_match\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn skew_routing_matches_the_oracle_and_balances_load() {
+        let report = run_skew_bench(6.0, 80.0, 1.2, 4).unwrap();
+        assert!(report.results_match, "skewed runs diverged from the oracle");
+        assert!(report.probes_match, "probe counts diverged from the oracle");
+        assert!(report.oracle.perf.total_outputs > 0);
+        // The Zipf(1.2) hot key pins one shard under plain hash routing;
+        // replication must spread that load strictly better.
+        assert!(
+            report.hash_only.busiest_share > 0.3,
+            "hash-only busiest share {} not skewed",
+            report.hash_only.busiest_share
+        );
+        assert!(
+            report.skew_aware.busiest_share < report.hash_only.busiest_share,
+            "skew-aware share {} not below hash-only {}",
+            report.skew_aware.busiest_share,
+            report.hash_only.busiest_share
+        );
+        assert!(report.skew_aware.promotions > 0);
+        assert!(report.skew_aware.hot_broadcast > 0);
+        let json = report.to_json();
+        assert!(json.contains("\"benchmark\": \"skew_routing\""));
+        assert!(json.contains("\"results_match\": true"));
+        assert!(json.contains("\"policy\": \"skew-aware\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }

@@ -739,6 +739,14 @@ impl LiveReslicer {
         if new_shards == old_shards {
             return Ok(());
         }
+        if self.exec.has_hot_keys() {
+            // Replicated hot-key buckets live on every shard; re-hashing
+            // would collapse the replicas into duplicate states.  Un-
+            // replication is a separate (future) migration step.
+            return Err(StreamError::Execution(
+                "cannot rescale shards while skew-replicated hot keys are active".to_string(),
+            ));
+        }
         // Drain in-flight work (ordinary execution), then stall.  All the
         // fallible construction happens before the ledger harvest and the
         // executor replacement, so a failed rescale leaves the session

@@ -417,6 +417,14 @@ impl Operator for SlicedBinaryJoinOp {
         self.state_len()
     }
 
+    fn drain_window_states(&mut self) -> Option<(Vec<Tuple>, Vec<Tuple>)> {
+        Some(self.drain_states())
+    }
+
+    fn load_window_states(&mut self, side_a: Vec<Tuple>, side_b: Vec<Tuple>) {
+        self.load_states(side_a, side_b);
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }

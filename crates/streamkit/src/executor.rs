@@ -112,6 +112,13 @@ impl ExecutionReport {
     /// * `elapsed_secs` is the maximum — partitions run concurrently, so the
     ///   slowest one determines the wall clock and the service rate stays a
     ///   *total-throughput / wall-clock* metric,
+    /// * `paused_secs` is the maximum, **not** the sum: a sharded pause
+    ///   ([`crate::shard::ShardedExecutor::pause`]) pauses all partitions
+    ///   over the same wall-clock interval, so summing would count one stall
+    ///   N times.  Sequential epochs of the *same* executor are the
+    ///   opposite case and must sum (see `accumulate_sequential` in the
+    ///   live-reslicing layer) — pause time is counted exactly once either
+    ///   way,
     /// * `rounds` is the maximum for the same reason.
     pub fn merge(reports: Vec<ExecutionReport>) -> ExecutionReport {
         let mut iter = reports.into_iter();
@@ -940,6 +947,50 @@ mod tests {
         assert!(exec.swap_plan(join_plan()).is_err());
         exec.run().unwrap();
         assert!(exec.swap_plan(join_plan()).is_ok());
+    }
+
+    fn synthetic_report(
+        ingested: u64,
+        sink: u64,
+        elapsed_secs: f64,
+        paused_secs: f64,
+    ) -> ExecutionReport {
+        ExecutionReport {
+            totals: CostCounters::default(),
+            node_stats: Vec::new(),
+            memory: MemoryStats::default(),
+            sink_counts: HashMap::from([("q1".to_string(), sink)]),
+            ingested,
+            elapsed_secs,
+            paused_secs,
+            rounds: 1,
+        }
+    }
+
+    #[test]
+    fn merge_counts_a_concurrent_pause_exactly_once() {
+        // Two shards paused over the same wall-clock interval: the merged
+        // pause is the interval, not twice the interval (and tiny per-shard
+        // jitter picks the larger figure).
+        let merged = ExecutionReport::merge(vec![
+            synthetic_report(10, 4, 2.0, 1.0),
+            synthetic_report(30, 6, 3.0, 1.25),
+        ]);
+        assert_eq!(merged.ingested, 40);
+        assert_eq!(merged.sink_count("q1"), 10);
+        assert_eq!(merged.elapsed_secs, 3.0, "concurrent: wall clock is max");
+        assert_eq!(merged.paused_secs, 1.25, "concurrent pause counted once");
+        // Service rate divides by running time only — pause time excluded.
+        assert!((merged.service_rate() - 50.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_of_empty_and_zero_elapsed_reports_is_safe() {
+        let empty = ExecutionReport::merge(Vec::new());
+        assert_eq!(empty.service_rate(), 0.0);
+        assert_eq!(empty.total_output(), 0);
+        let zero = ExecutionReport::merge(vec![synthetic_report(5, 5, 0.0, 0.0)]);
+        assert_eq!(zero.service_rate(), 0.0, "zero elapsed must not divide");
     }
 
     #[test]

@@ -17,8 +17,11 @@
 //!   [`Executor`](executor::Executor) with statistics collection (state
 //!   memory, comparison counts, throughput / service rate),
 //! * a [`ShardedExecutor`](shard::ShardedExecutor) running N instances of
-//!   one plan in parallel worker threads over input hash-partitioned by the
-//!   canonical equi-join key, with per-shard reports merged back into one.
+//!   one plan on a persistent [`WorkerPool`](pool::WorkerPool) — one
+//!   long-lived worker per shard, fed by bounded SPSC rings — over input
+//!   hash-partitioned by the canonical equi-join key, with per-shard reports
+//!   merged back into one, and optional skew-aware hot-key routing
+//!   ([`skew`]) that replicates heavy keys to all shards.
 //!
 //! The cost drivers the paper reasons about — join probing, cross-purging,
 //! routing, filtering and union merging — are all surfaced as explicit counter
@@ -32,11 +35,13 @@ pub mod join_state;
 pub mod operator;
 pub mod ops;
 pub mod plan;
+pub mod pool;
 pub mod predicate;
 pub mod punctuation;
 pub mod queue;
 pub mod scheduler;
 pub mod shard;
+pub mod skew;
 pub mod stats;
 pub mod time;
 pub mod tuple;
@@ -47,10 +52,12 @@ pub use executor::{ExecutionReport, Executor, ExecutorConfig};
 pub use join_state::JoinState;
 pub use operator::{OpContext, Operator, PortId};
 pub use plan::{NodeId, Plan, PlanBuilder};
+pub use pool::{SpscRing, WorkerPool};
 pub use predicate::{CmpOp, JoinCondition, Predicate};
 pub use punctuation::Punctuation;
 pub use queue::StreamItem;
-pub use shard::{ShardSpec, ShardedExecutor};
+pub use shard::{RouterStats, ShardSpec, ShardedExecutor};
+pub use skew::{HotKeyTracker, SkewConfig, SpaceSavingSketch};
 pub use stats::{CostCounters, MemoryStats, NodeStats};
 pub use time::{TimeDelta, Timestamp};
 pub use tuple::{Field, Schema, StreamId, Tuple, TupleRole, Value};

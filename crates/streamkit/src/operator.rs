@@ -9,6 +9,7 @@ use std::any::Any;
 
 use crate::queue::StreamItem;
 use crate::stats::CostCounters;
+use crate::tuple::Tuple;
 
 /// Index of an input or output port of an operator.
 pub type PortId = usize;
@@ -119,6 +120,33 @@ pub trait Operator: Send {
     /// attributes transient buffers to the latter when sampling memory.
     fn is_transient_buffer(&self) -> bool {
         false
+    }
+
+    /// Take this operator's window state as two timestamp-ordered tuple
+    /// runs `(side a, side b)`, leaving the operator empty.  Returns `None`
+    /// when the operator has no migratable window state (the default).
+    ///
+    /// This is the generic face of the state-migration path the sharded
+    /// executor's hot-key replication uses: together with
+    /// [`Operator::load_window_states`] it lets the router move or replicate
+    /// a key's stored bucket across shard plan instances without knowing the
+    /// concrete join type.  Join operators (windowed and sliced) implement
+    /// the pair; stateless and transient-buffer operators keep the default.
+    /// Call only at quiescence (the owning executor drained), so no partial
+    /// batch is in flight.
+    fn drain_window_states(&mut self) -> Option<(Vec<Tuple>, Vec<Tuple>)> {
+        None
+    }
+
+    /// Restore window state drained by [`Operator::drain_window_states`]
+    /// (possibly merged with replicated tuples, still timestamp-ordered per
+    /// side).  The default panics: it must only be called on operators whose
+    /// `drain_window_states` returns `Some`.
+    fn load_window_states(&mut self, _side_a: Vec<Tuple>, _side_b: Vec<Tuple>) {
+        panic!(
+            "operator '{}' does not support window-state migration",
+            self.name()
+        );
     }
 
     /// Downcasting support (sinks expose collected results this way).

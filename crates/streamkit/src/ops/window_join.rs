@@ -333,6 +333,16 @@ impl Operator for WindowJoinOp {
         self.state_a.len() + self.state_b.len()
     }
 
+    fn drain_window_states(&mut self) -> Option<(Vec<Tuple>, Vec<Tuple>)> {
+        Some((self.state_a.drain_ordered(), self.state_b.drain_ordered()))
+    }
+
+    fn load_window_states(&mut self, side_a: Vec<Tuple>, side_b: Vec<Tuple>) {
+        self.state_a.load_ordered(side_a);
+        self.state_b.load_ordered(side_b);
+        self.track_peak();
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -506,6 +516,16 @@ impl Operator for OneWayWindowJoinOp {
 
     fn state_size(&self) -> usize {
         self.state_a.len()
+    }
+
+    fn drain_window_states(&mut self) -> Option<(Vec<Tuple>, Vec<Tuple>)> {
+        Some((self.state_a.drain_ordered(), Vec::new()))
+    }
+
+    fn load_window_states(&mut self, side_a: Vec<Tuple>, side_b: Vec<Tuple>) {
+        debug_assert!(side_b.is_empty(), "one-way join keeps no B state");
+        self.state_a.load_ordered(side_a);
+        self.peak_state = self.peak_state.max(self.state_a.len());
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -1,20 +1,51 @@
-//! Hash-sharded parallel plan execution.
+//! Hash-sharded parallel plan execution on a persistent worker pool.
 //!
 //! The paper proves (Section 4.1, Lemma 1) that the results of a state-sliced
 //! chain are independent of operator scheduling, and its order-preserving
 //! union is driven purely by punctuations (Section 4.3).  For an equi-join
 //! workload this has a strong consequence: the input streams can be
 //! **hash-partitioned by the canonical join key**, and the same plan executed
-//! once per partition on its own worker thread, without changing any query's
+//! once per partition on its own worker, without changing any query's
 //! result multiset — two tuples can only join when their keys are equal, and
 //! equal keys land on the same shard.
 //!
 //! [`ShardedExecutor`] packages that: it owns `N` [`Executor`]s over `N`
 //! instances of the same [`Plan`], routes every ingested tuple to the shard
 //! owning its key ([`ShardSpec`]), broadcasts punctuations to all shards,
-//! runs the shards concurrently with scoped threads, and merges the per-shard
-//! [`ExecutionReport`]s into one report with the usual schema
-//! ([`ExecutionReport::merge`]).
+//! and merges the per-shard [`ExecutionReport`]s into one report with the
+//! usual schema ([`ExecutionReport::merge`]).
+//!
+//! ## Persistent worker pool
+//!
+//! Execution runs on a [`WorkerPool`](crate::pool::WorkerPool) created once
+//! at construction: one long-lived worker per shard, fed by a bounded SPSC
+//! ring of timestamp-ordered runs.  `run` never spawns threads.  Between
+//! runs the executors are **parked** inside this wrapper, so
+//! `pause`/`resume`/`swap_plans` and live-reslice plan surgery work on them
+//! directly; a `run` call checks all executors out to their workers
+//! ([`crate::pool::Job::Adopt`]), streams the buffered input runs, then
+//! parks them back and merges reports.  The router buffers up to
+//! [`ShardedExecutor::set_router_batch`] items per shard before forwarding a
+//! run; a full ring blocks the router and is accounted in
+//! [`crate::CostCounters::router_stalls`], with ring high-water marks in
+//! [`crate::MemoryStats::peak_ring_runs`].
+//!
+//! ## Skew-aware hot-key routing
+//!
+//! Pure hash routing sends every tuple of one key to one shard, so a
+//! Zipf-skewed key distribution concentrates the load on the busiest shard.
+//! With [`ShardedExecutor::enable_skew`] the router keeps a space-bounded
+//! heavy-hitter sketch ([`crate::skew`]) over canonical key hashes; when a
+//! key crosses the hot threshold its stored probe-side (stream B) bucket is
+//! replicated to every shard through the generic window-state migration
+//! hooks ([`crate::Operator::drain_window_states`]), and from then on its B
+//! tuples are broadcast to all shards while its A tuples are spread
+//! round-robin.  Every result pair is still produced exactly once — an A
+//! tuple lives in exactly one shard and meets the replicated B bucket there
+//! — so the existing union/sink wiring needs no dedup step.  Hot keys do,
+//! however, make the per-shard states overlap, so shard-count rescaling by
+//! re-hashing must be refused while hot keys are active
+//! ([`ShardedExecutor::has_hot_keys`]).
 //!
 //! ## Key canonicalisation
 //!
@@ -35,10 +66,16 @@
 use crate::error::{Result, StreamError};
 use crate::executor::{ExecutionReport, Executor, ExecutorConfig};
 use crate::join_state::{equi_key_fields, memoize_key, tuple_key};
-use crate::plan::Plan;
+use crate::plan::{NodeId, Plan};
+use crate::pool::{Job, WorkerPool, DEFAULT_RING_CAPACITY};
 use crate::predicate::JoinCondition;
 use crate::queue::StreamItem;
+use crate::skew::{HotKeyTracker, SkewConfig};
 use crate::tuple::{KeyClass, StreamId, Tuple};
+
+/// Default number of items the router buffers per shard before forwarding
+/// them to the shard's worker as one run.
+pub const DEFAULT_ROUTER_BATCH: usize = 128;
 
 /// How to extract the partitioning key from an input tuple: one key field
 /// per join side (they differ for equi conditions like `A.x = B.y`).
@@ -95,6 +132,12 @@ impl ShardSpec {
         })
     }
 
+    /// The stream whose stored tuples are replicated for hot keys (the
+    /// probe / one-way side of the skew mitigation).
+    pub fn stream_b(&self) -> StreamId {
+        self.stream_b
+    }
+
     /// The key field consulted for tuples of `stream` (tuples of unknown
     /// streams use the A-side field).
     pub fn key_field(&self, stream: StreamId) -> usize {
@@ -130,22 +173,78 @@ impl ShardSpec {
     }
 }
 
+/// Router-side routing statistics, cumulative over the executor's lifetime.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Tuples delivered to each shard, **including** broadcast copies of hot
+    /// probe-side tuples (this is the per-shard load the workers actually
+    /// see; punctuations are not counted).
+    pub routed_tuples: Vec<u64>,
+    /// Tuples routed by hash (cold keys, NaN, missing).
+    pub hash_routed: u64,
+    /// Hot probe-side (stream B) tuples broadcast to all shards, counted
+    /// once per source tuple.
+    pub hot_broadcast: u64,
+    /// Hot build-side (stream A) tuples spread round-robin.
+    pub hot_spread: u64,
+    /// Keys promoted to the hot set.
+    pub promotions: u64,
+    /// Times the router blocked on a full worker ring.
+    pub stalls: u64,
+}
+
+impl RouterStats {
+    fn new(shards: usize) -> Self {
+        RouterStats {
+            routed_tuples: vec![0; shards],
+            ..RouterStats::default()
+        }
+    }
+
+    /// The busiest shard's share of all delivered tuples (`1/N` is perfectly
+    /// balanced, `1.0` fully concentrated); `0.0` before any tuple routed.
+    pub fn busiest_share(&self) -> f64 {
+        let total: u64 = self.routed_tuples.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let max = self.routed_tuples.iter().copied().max().unwrap_or(0);
+        max as f64 / total as f64
+    }
+}
+
 /// Runs `N` instances of one plan in parallel over hash-partitioned input.
 ///
 /// Build it from `N` structurally identical plans (e.g. materialised by a
 /// plan factory), ingest through the same entry names as a single
-/// [`Executor`], then [`run`](ShardedExecutor::run): each shard executes on
-/// its own worker thread and the merged report is returned.
+/// [`Executor`], then [`run`](ShardedExecutor::run): the persistent workers
+/// execute the buffered runs and the merged report is returned.
 pub struct ShardedExecutor {
+    /// Parked executors in shard order; empty while checked out to workers.
     shards: Vec<Executor>,
+    count: usize,
     spec: ShardSpec,
+    /// The persistent workers; `None` only for the 1-shard fast path.
+    pool: Option<WorkerPool>,
+    /// Whether the executors are currently checked out to the workers.
+    active: bool,
+    /// Per-shard buffered runs: consecutive items for the same entry batch
+    /// into one `Job::Run`.
+    pending: Vec<Vec<(String, Vec<StreamItem>)>>,
+    pending_len: Vec<usize>,
+    router_batch: usize,
+    entry_names: Vec<String>,
+    skew: Option<HotKeyTracker>,
+    stats: RouterStats,
 }
 
 impl std::fmt::Debug for ShardedExecutor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedExecutor")
-            .field("shards", &self.shards.len())
+            .field("shards", &self.count)
             .field("spec", &self.spec)
+            .field("active", &self.active)
+            .field("skew", &self.skew.is_some())
             .finish()
     }
 }
@@ -164,13 +263,11 @@ impl ShardedExecutor {
     /// different results per shard anyway.
     pub fn with_config(plans: Vec<Plan>, spec: ShardSpec, config: ExecutorConfig) -> Result<Self> {
         Self::validate_instances(plans.iter())?;
-        Ok(ShardedExecutor {
-            shards: plans
-                .into_iter()
-                .map(|p| Executor::with_config(p, config.clone()))
-                .collect(),
-            spec,
-        })
+        let executors = plans
+            .into_iter()
+            .map(|p| Executor::with_config(p, config.clone()))
+            .collect();
+        Ok(Self::assemble(executors, spec))
     }
 
     /// Wrap already-built executors (e.g. a single running [`Executor`] being
@@ -179,10 +276,32 @@ impl ShardedExecutor {
     /// [`ShardedExecutor::with_config`].
     pub fn from_executors(executors: Vec<Executor>, spec: ShardSpec) -> Result<Self> {
         Self::validate_instances(executors.iter().map(|e| e.plan()))?;
-        Ok(ShardedExecutor {
+        Ok(Self::assemble(executors, spec))
+    }
+
+    fn assemble(executors: Vec<Executor>, spec: ShardSpec) -> Self {
+        let count = executors.len();
+        let entry_names = executors[0]
+            .plan()
+            .entry_names()
+            .into_iter()
+            .map(String::from)
+            .collect();
+        ShardedExecutor {
             shards: executors,
+            count,
             spec,
-        })
+            // One persistent worker per shard, created exactly once; the
+            // 1-shard case runs inline and needs no pool.
+            pool: (count > 1).then(|| WorkerPool::new(count, DEFAULT_RING_CAPACITY)),
+            active: false,
+            pending: vec![Vec::new(); count],
+            pending_len: vec![0; count],
+            router_batch: DEFAULT_ROUTER_BATCH,
+            entry_names,
+            skew: None,
+            stats: RouterStats::new(count),
+        }
     }
 
     fn validate_instances<'a>(plans: impl Iterator<Item = &'a Plan>) -> Result<()> {
@@ -210,7 +329,7 @@ impl ShardedExecutor {
 
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.count
     }
 
     /// The partitioning spec.
@@ -218,31 +337,100 @@ impl ShardedExecutor {
         self.spec
     }
 
-    /// The per-shard executors (shard index order).
+    /// Set the number of items the router buffers per shard before
+    /// forwarding them to the worker as one run (minimum 1).  Smaller
+    /// batches surface backpressure earlier; larger ones amortise ring
+    /// synchronisation.
+    pub fn set_router_batch(&mut self, items: usize) {
+        self.router_batch = items.max(1);
+    }
+
+    /// Enable skew-aware hot-key routing (multi-shard only: a single shard
+    /// has no imbalance to mitigate).
+    pub fn enable_skew(&mut self, config: SkewConfig) -> Result<()> {
+        if self.count < 2 {
+            return Err(StreamError::InvalidConfig(
+                "skew-aware routing needs at least 2 shards".to_string(),
+            ));
+        }
+        self.skew = Some(HotKeyTracker::new(config));
+        Ok(())
+    }
+
+    /// Router-side routing statistics (cumulative).
+    pub fn router_stats(&self) -> &RouterStats {
+        &self.stats
+    }
+
+    /// `true` once any key has been promoted to replicate-to-all routing.
+    /// While hot keys are active the per-shard states overlap, so rehash
+    /// based shard-count rescaling would duplicate the replicated buckets
+    /// and must be refused.
+    pub fn has_hot_keys(&self) -> bool {
+        self.skew
+            .as_ref()
+            .is_some_and(|tracker| !tracker.hot_keys().is_empty())
+    }
+
+    /// The promoted hot keys (canonical key hashes), in promotion order.
+    pub fn hot_keys(&self) -> Vec<u64> {
+        self.skew
+            .as_ref()
+            .map(|tracker| tracker.hot_keys().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Peak occupancy of each worker's input ring (queued runs), by shard.
+    pub fn ring_peaks(&self) -> Vec<usize> {
+        self.pool
+            .as_ref()
+            .map(|pool| pool.ring_peaks())
+            .unwrap_or_else(|| vec![0; self.count])
+    }
+
+    fn expect_parked(&self, what: &str) {
+        assert!(
+            !self.active,
+            "{what}: executors are checked out to the worker pool; call run() first"
+        );
+    }
+
+    /// The per-shard executors (shard index order).  Panics while a run is
+    /// in flight (the executors are owned by the workers then).
     pub fn shards(&self) -> &[Executor] {
+        self.expect_parked("shards()");
         &self.shards
     }
 
     /// Mutable access to the per-shard executors (used by online chain
-    /// migration to swap plans and transplant operator state).
+    /// migration to swap plans and transplant operator state).  Panics while
+    /// a run is in flight.
     pub fn shards_mut(&mut self) -> &mut [Executor] {
+        self.expect_parked("shards_mut()");
         &mut self.shards
     }
 
     /// Decompose into the per-shard executors and the partitioning spec
-    /// (shard-count rescaling rebuilds the wrapper from scratch).
+    /// (shard-count rescaling rebuilds the wrapper from scratch).  The
+    /// worker pool is torn down — its threads join — when the wrapper is
+    /// consumed here.  Panics while a run is in flight.
     pub fn into_parts(self) -> (Vec<Executor>, ShardSpec) {
+        self.expect_parked("into_parts()");
         (self.shards, self.spec)
     }
 
-    /// `true` if every shard's queues are drained (safe for plan surgery).
+    /// `true` if every shard's queues are drained and no input is buffered
+    /// router-side (safe for plan surgery).
     pub fn is_drained(&self) -> bool {
-        self.shards.iter().all(|s| s.is_drained())
+        !self.active
+            && self.pending_len.iter().all(|&n| n == 0)
+            && self.shards.iter().all(|s| s.is_drained())
     }
 
     /// Mark the start of an execution pause on every shard (see
     /// [`Executor::pause`]).
     pub fn pause(&mut self) {
+        self.expect_parked("pause()");
         for shard in &mut self.shards {
             shard.pause();
         }
@@ -250,6 +438,7 @@ impl ShardedExecutor {
 
     /// End a pause on every shard (see [`Executor::resume`]).
     pub fn resume(&mut self) {
+        self.expect_parked("resume()");
         for shard in &mut self.shards {
             shard.resume();
         }
@@ -262,11 +451,11 @@ impl ShardedExecutor {
     /// rebuilds the wrapper via [`ShardedExecutor::into_parts`]).  Statistics
     /// stay cumulative per shard ([`Executor::swap_plan`]).
     pub fn swap_plans(&mut self, plans: Vec<Plan>) -> Result<Vec<Plan>> {
-        if plans.len() != self.shards.len() {
+        if plans.len() != self.count {
             return Err(StreamError::InvalidConfig(format!(
                 "got {} plan instances for {} shards",
                 plans.len(),
-                self.shards.len()
+                self.count
             )));
         }
         Self::validate_instances(plans.iter())?;
@@ -275,6 +464,11 @@ impl ShardedExecutor {
                 "cannot swap plans with items still queued; drain first".to_string(),
             ));
         }
+        self.entry_names = plans[0]
+            .entry_names()
+            .into_iter()
+            .map(String::from)
+            .collect();
         let mut old = Vec::with_capacity(plans.len());
         for (shard, plan) in self.shards.iter_mut().zip(plans) {
             old.push(shard.swap_plan(plan)?);
@@ -282,9 +476,10 @@ impl ShardedExecutor {
         Ok(old)
     }
 
-    /// The shard a tuple routes to.
+    /// The shard a tuple routes to under plain hash routing (hot keys
+    /// excepted: their probe side broadcasts and their build side spreads).
     pub fn shard_of(&self, tuple: &Tuple) -> usize {
-        self.spec.shard_of(tuple, self.shards.len())
+        self.spec.shard_of(tuple, self.count)
     }
 
     /// Ingest one item: tuples go to the shard owning their join key,
@@ -297,23 +492,72 @@ impl ShardedExecutor {
     }
 
     /// Like [`ShardedExecutor::ingest`], but reports where the item went:
-    /// `Some(shard index)` for a tuple, `None` for a broadcast punctuation.
-    /// Live chain migration uses this to maintain per-shard progress
-    /// watermarks without re-deriving the routing.
+    /// `Some(shard index)` for a tuple placed on one shard, `None` for a
+    /// broadcast item (punctuations, and hot-key probe-side tuples under
+    /// skew-aware routing).  Live chain migration uses this to maintain
+    /// per-shard progress watermarks without re-deriving the routing.
     pub fn ingest_routed(
         &mut self,
         entry: &str,
         item: impl Into<StreamItem>,
     ) -> Result<Option<usize>> {
-        match item.into() {
+        let item = item.into();
+        if self.count == 1 {
+            // Fast path: no routing, no pool.
+            return match item {
+                StreamItem::Tuple(mut t) => {
+                    self.spec.route(&mut t, 1);
+                    self.stats.routed_tuples[0] += 1;
+                    self.stats.hash_routed += 1;
+                    self.shards[0].ingest(entry, t)?;
+                    Ok(Some(0))
+                }
+                StreamItem::Punctuation(p) => {
+                    self.shards[0].ingest(entry, p)?;
+                    Ok(None)
+                }
+            };
+        }
+        self.check_entry(entry)?;
+        match item {
             StreamItem::Tuple(mut t) => {
-                let shard = self.spec.route(&mut t, self.shards.len());
-                self.shards[shard].ingest(entry, t)?;
+                let key_field = self.spec.key_field(t.stream);
+                let class = memoize_key(&mut t, key_field);
+                if let (Some(tracker), KeyClass::Hash(hash)) = (self.skew.as_mut(), class) {
+                    if tracker.observe(hash) {
+                        // Newly hot: replicate the key's stored probe-side
+                        // bucket before routing anything else for it.
+                        self.replicate_hot_key(hash)?;
+                        self.stats.promotions += 1;
+                    }
+                    let tracker = self.skew.as_mut().expect("skew enabled above");
+                    if tracker.is_hot(hash) {
+                        if t.stream == self.spec.stream_b {
+                            // Probe side: broadcast to every shard.
+                            self.stats.hot_broadcast += 1;
+                            for shard in 0..self.count {
+                                self.stats.routed_tuples[shard] += 1;
+                                self.push_pending(shard, entry, StreamItem::Tuple(t.clone()))?;
+                            }
+                            return Ok(None);
+                        }
+                        // Build side: spread round-robin.
+                        let shard = tracker.next_spread(self.count);
+                        self.stats.hot_spread += 1;
+                        self.stats.routed_tuples[shard] += 1;
+                        self.push_pending(shard, entry, StreamItem::Tuple(t))?;
+                        return Ok(Some(shard));
+                    }
+                }
+                let shard = ShardSpec::shard_for_class(class, self.count);
+                self.stats.hash_routed += 1;
+                self.stats.routed_tuples[shard] += 1;
+                self.push_pending(shard, entry, StreamItem::Tuple(t))?;
                 Ok(Some(shard))
             }
             StreamItem::Punctuation(p) => {
-                for shard in &mut self.shards {
-                    shard.ingest(entry, p)?;
+                for shard in 0..self.count {
+                    self.push_pending(shard, entry, StreamItem::Punctuation(p))?;
                 }
                 Ok(None)
             }
@@ -332,40 +576,195 @@ impl ShardedExecutor {
         Ok(())
     }
 
-    /// Run every shard to quiescence — one worker thread per shard — and
-    /// merge the per-shard reports ([`ExecutionReport::merge`]).
+    fn check_entry(&self, entry: &str) -> Result<()> {
+        if self.entry_names.iter().any(|e| e == entry) {
+            Ok(())
+        } else {
+            Err(StreamError::UnknownEntry(entry.to_string()))
+        }
+    }
+
+    /// Buffer an item for `shard`, forwarding a run to the worker when the
+    /// shard's buffer reaches the router batch size.
+    fn push_pending(&mut self, shard: usize, entry: &str, item: StreamItem) -> Result<()> {
+        let buf = &mut self.pending[shard];
+        match buf.last_mut() {
+            Some((e, items)) if e == entry => items.push(item),
+            _ => buf.push((entry.to_string(), vec![item])),
+        }
+        self.pending_len[shard] += 1;
+        if self.pending_len[shard] >= self.router_batch {
+            self.flush_shard(shard)?;
+        }
+        Ok(())
+    }
+
+    /// Check all executors out to their workers.
+    fn ensure_active(&mut self) -> Result<()> {
+        if self.active {
+            return Ok(());
+        }
+        let pool = self.pool.as_ref().expect("multi-shard has a pool");
+        for (shard, exec) in self.shards.drain(..).enumerate() {
+            pool.send(shard, Job::Adopt(Box::new(exec)))?;
+        }
+        self.active = true;
+        Ok(())
+    }
+
+    /// Forward `shard`'s buffered runs to its worker.
+    fn flush_shard(&mut self, shard: usize) -> Result<()> {
+        if self.pending_len[shard] == 0 {
+            return Ok(());
+        }
+        self.ensure_active()?;
+        let runs = std::mem::take(&mut self.pending[shard]);
+        self.pending_len[shard] = 0;
+        let pool = self.pool.as_ref().expect("multi-shard has a pool");
+        for (entry, items) in runs {
+            if pool.send(shard, Job::Run { entry, items })? {
+                self.stats.stalls += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Run every shard to quiescence on the persistent workers and merge the
+    /// per-shard reports ([`ExecutionReport::merge`]).  No threads are
+    /// spawned: the pool was created with the executor and is reused across
+    /// every run and live-reslice epoch.
     pub fn run(&mut self) -> Result<ExecutionReport> {
-        if self.shards.len() == 1 {
-            // No parallelism to exploit; skip the thread machinery.
+        if self.count == 1 {
+            // No parallelism to exploit; skip the pool machinery.
             return self.shards[0].run();
         }
-        let results: Vec<Result<ExecutionReport>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
-                .iter_mut()
-                .map(|shard| scope.spawn(move || shard.run()))
-                .collect();
-            handles
-                .into_iter()
-                .map(|handle| {
-                    handle.join().unwrap_or_else(|_| {
-                        Err(StreamError::Execution(
-                            "a shard worker thread panicked".to_string(),
-                        ))
-                    })
-                })
-                .collect()
-        });
-        let mut reports = Vec::with_capacity(results.len());
-        for result in results {
-            reports.push(result?);
+        self.ensure_active()?;
+        for shard in 0..self.count {
+            self.flush_shard(shard)?;
         }
-        Ok(ExecutionReport::merge(reports))
+        let parked = self
+            .pool
+            .as_ref()
+            .expect("multi-shard has a pool")
+            .park_all()?;
+        self.active = false;
+        let mut first_err: Option<StreamError> = None;
+        let mut executors = Vec::with_capacity(self.count);
+        for shard in parked {
+            match shard.executor {
+                Some(exec) => executors.push(*exec),
+                None => {
+                    return Err(StreamError::Execution(
+                        "a shard worker returned no executor".to_string(),
+                    ))
+                }
+            }
+            if let Err(err) = shard.outcome {
+                first_err.get_or_insert(err);
+            }
+        }
+        self.shards = executors;
+        if let Some(err) = first_err {
+            return Err(err);
+        }
+        // The executors are drained, so these run() calls are immediate and
+        // only assemble the cumulative per-shard reports.
+        let mut reports = Vec::with_capacity(self.count);
+        for exec in &mut self.shards {
+            reports.push(exec.run()?);
+        }
+        let mut merged = ExecutionReport::merge(reports);
+        merged.totals.router_stalls = self.stats.stalls;
+        merged.memory.peak_ring_runs = self.ring_peaks().iter().sum();
+        Ok(merged)
+    }
+
+    /// Quiesce: process everything in flight and park the executors so plan
+    /// state can be inspected or migrated.
+    fn quiesce(&mut self) -> Result<()> {
+        if self.active || self.pending_len.iter().any(|&n| n > 0) {
+            self.run()?;
+        }
+        Ok(())
+    }
+
+    /// Replicate the stored probe-side bucket of a newly hot key to every
+    /// shard, via the generic window-state migration hooks
+    /// ([`crate::Operator::drain_window_states`]).
+    ///
+    /// The key's build-side (stream A) tuples stay where hash routing put
+    /// them: future broadcast B tuples probe them there, and future spread A
+    /// tuples meet the replicated B bucket wherever they land — each result
+    /// pair is produced exactly once either way.
+    fn replicate_hot_key(&mut self, hash: u64) -> Result<()> {
+        self.quiesce()?;
+        let spec = self.spec;
+        let source = (hash % self.count as u64) as usize;
+        let num_nodes = self.shards[source].plan().num_nodes();
+        let is_hot_probe_tuple = |t: &Tuple| {
+            t.stream == spec.stream_b
+                && tuple_key(t, spec.key_field(t.stream)) == KeyClass::Hash(hash)
+        };
+        for node in 0..num_nodes {
+            let node_id = NodeId(node);
+            // Drain the source shard's states, copy out the hot bucket, and
+            // load the source back unchanged.
+            let Some((side_a, side_b)) = self.shards[source]
+                .plan_mut()
+                .node_mut(node_id)?
+                .operator
+                .drain_window_states()
+            else {
+                continue; // stateless / non-migratable operator
+            };
+            let hot_a: Vec<Tuple> = side_a
+                .iter()
+                .filter(|t| is_hot_probe_tuple(t))
+                .cloned()
+                .collect();
+            let hot_b: Vec<Tuple> = side_b
+                .iter()
+                .filter(|t| is_hot_probe_tuple(t))
+                .cloned()
+                .collect();
+            self.shards[source]
+                .plan_mut()
+                .node_mut(node_id)?
+                .operator
+                .load_window_states(side_a, side_b);
+            if hot_a.is_empty() && hot_b.is_empty() {
+                continue;
+            }
+            for shard in (0..self.count).filter(|&s| s != source) {
+                let Some((mut side_a, mut side_b)) = self.shards[shard]
+                    .plan_mut()
+                    .node_mut(node_id)?
+                    .operator
+                    .drain_window_states()
+                else {
+                    continue;
+                };
+                // Replicas go after existing tuples, then a stable sort by
+                // timestamp keeps arrival order within equal timestamps.
+                side_a.extend(hot_a.iter().cloned());
+                side_b.extend(hot_b.iter().cloned());
+                side_a.sort_by_key(|t| t.ts);
+                side_b.sort_by_key(|t| t.ts);
+                self.shards[shard]
+                    .plan_mut()
+                    .node_mut(node_id)?
+                    .operator
+                    .load_window_states(side_a, side_b);
+            }
+        }
+        Ok(())
     }
 
     /// All tuples the named retaining sink collected, gathered across shards
     /// (shard index order; within a shard, the sink's delivery order).
+    /// Panics while a run is in flight.
     pub fn sink_collected(&self, name: &str) -> Vec<Tuple> {
+        self.expect_parked("sink_collected()");
         self.shards
             .iter()
             .filter_map(|shard| shard.plan().sink(name))
@@ -426,20 +825,23 @@ mod tests {
         (report, exec.sink_collected("q1"))
     }
 
+    fn result_fingerprints(mut tuples: Vec<Tuple>) -> Vec<(Timestamp, crate::TimeDelta)> {
+        let key = |t: &Tuple| (t.ts, t.origin_span);
+        tuples.sort_by_key(key);
+        tuples.iter().map(key).collect()
+    }
+
     #[test]
     fn sharded_run_matches_single_shard_results() {
-        let (single, mut single_tuples) = run_with_shards(1);
-        let (sharded, mut sharded_tuples) = run_with_shards(4);
+        let (single, single_tuples) = run_with_shards(1);
+        let (sharded, sharded_tuples) = run_with_shards(4);
         assert_eq!(single.sink_count("q1"), sharded.sink_count("q1"));
         assert_eq!(single.ingested, sharded.ingested);
         assert!(single.sink_count("q1") > 0);
         // Same result multiset, shard-count invisible.
-        let key = |t: &Tuple| (t.ts, t.origin_span);
-        single_tuples.sort_by_key(key);
-        sharded_tuples.sort_by_key(key);
         assert_eq!(
-            single_tuples.iter().map(key).collect::<Vec<_>>(),
-            sharded_tuples.iter().map(key).collect::<Vec<_>>()
+            result_fingerprints(single_tuples),
+            result_fingerprints(sharded_tuples)
         );
         // Equi probes touch the same buckets in either layout.
         assert_eq!(
@@ -489,6 +891,7 @@ mod tests {
         let spec = ShardSpec::from_condition(&cond, StreamId::A, StreamId::B).unwrap();
         assert_eq!(spec.key_field(StreamId::A), 1);
         assert_eq!(spec.key_field(StreamId::B), 0);
+        assert_eq!(spec.stream_b(), StreamId::B);
         let a_tuple = Tuple::of_ints(Timestamp::from_secs(1), StreamId::A, &[99, 5]);
         let b_tuple = Tuple::of_ints(Timestamp::from_secs(2), StreamId::B, &[5, 42]);
         for shards in [2usize, 3, 8] {
@@ -526,6 +929,8 @@ mod tests {
                 .unwrap(),
             None
         );
+        // Unknown entries are rejected at the router.
+        assert!(exec.ingest("nope", a(1, 1)).is_err());
         // Swapping while undrained is refused; after a run it succeeds.
         let fresh: Vec<Plan> = (0..2).map(|_| join_plan(false)).collect();
         assert!(!exec.is_drained());
@@ -558,5 +963,138 @@ mod tests {
         assert_eq!(sharded.totals.tuples_processed, expected);
         assert!(sharded.elapsed_secs > 0.0);
         assert!(sharded.service_rate() > 0.0);
+    }
+
+    #[test]
+    fn pool_is_reused_across_runs_and_reports_ring_peaks() {
+        let plans: Vec<Plan> = (0..2).map(|_| join_plan(true)).collect();
+        let mut exec = ShardedExecutor::new(plans, ShardSpec::symmetric(0)).unwrap();
+        exec.set_router_batch(4); // small runs: exercise the rings
+        let (aa, bb) = inputs();
+        exec.ingest_all("A", aa.clone()).unwrap();
+        let first = exec.run().unwrap();
+        assert!(first.memory.peak_ring_runs > 0, "runs flowed through rings");
+        // Second run on the SAME pool: more input, cumulative reports.
+        exec.ingest_all("B", bb).unwrap();
+        let second = exec.run().unwrap();
+        assert!(second.ingested > first.ingested);
+        assert!(second.sink_count("q1") > 0);
+        // Stall counter is monotone (may be zero on a fast consumer).
+        assert!(second.totals.router_stalls >= first.totals.router_stalls);
+        assert_eq!(exec.router_stats().stalls, second.totals.router_stalls);
+        // And a third, empty run still works.
+        let third = exec.run().unwrap();
+        assert_eq!(third.ingested, second.ingested);
+    }
+
+    #[test]
+    fn skew_routing_requires_multiple_shards() {
+        let mut exec =
+            ShardedExecutor::new(vec![join_plan(false)], ShardSpec::symmetric(0)).unwrap();
+        assert!(exec.enable_skew(SkewConfig::default()).is_err());
+    }
+
+    /// A skew config that promotes a heavy key quickly (for tests).
+    fn eager_skew() -> SkewConfig {
+        SkewConfig {
+            hot_share: 0.3,
+            min_observations: 8,
+            sketch_capacity: 16,
+            max_hot_keys: 2,
+        }
+    }
+
+    fn skewed_inputs() -> (Vec<Tuple>, Vec<Tuple>) {
+        // Key 0 carries ~60% of the load on both streams.
+        let heavy = |i: usize| if i % 5 < 3 { 0 } else { (i % 5) as i64 };
+        let aa: Vec<Tuple> = (0..80).map(|i| a(i as u64, heavy(i))).collect();
+        let bb: Vec<Tuple> = (0..80).map(|i| b(i as u64, heavy(i + 1))).collect();
+        (aa, bb)
+    }
+
+    fn interleaved(aa: Vec<Tuple>, bb: Vec<Tuple>) -> Vec<Tuple> {
+        let mut all: Vec<Tuple> = aa.into_iter().chain(bb).collect();
+        all.sort_by_key(|t| t.ts);
+        all
+    }
+
+    #[test]
+    fn hot_key_replication_matches_hash_only_results() {
+        let (aa, bb) = skewed_inputs();
+        let stream = interleaved(aa, bb);
+        // Oracle: 1 shard, no skew handling.
+        let mut oracle =
+            ShardedExecutor::new(vec![join_plan(true)], ShardSpec::symmetric(0)).unwrap();
+        for t in &stream {
+            let entry = if t.stream == StreamId::A { "A" } else { "B" };
+            oracle.ingest(entry, t.clone()).unwrap();
+        }
+        let oracle_report = oracle.run().unwrap();
+        // Skew-aware: 4 shards, hot key promoted mid-run.
+        let plans: Vec<Plan> = (0..4).map(|_| join_plan(true)).collect();
+        let mut skewed = ShardedExecutor::new(plans, ShardSpec::symmetric(0)).unwrap();
+        skewed.enable_skew(eager_skew()).unwrap();
+        skewed.set_router_batch(8);
+        for t in &stream {
+            let entry = if t.stream == StreamId::A { "A" } else { "B" };
+            skewed.ingest(entry, t.clone()).unwrap();
+        }
+        let report = skewed.run().unwrap();
+        assert!(skewed.has_hot_keys(), "the heavy key must get promoted");
+        assert_eq!(
+            skewed.router_stats().promotions,
+            skewed.hot_keys().len() as u64
+        );
+        assert!(skewed.router_stats().hot_broadcast > 0);
+        assert!(skewed.router_stats().hot_spread > 0);
+        // Identical results and probe work despite replication.
+        assert_eq!(
+            result_fingerprints(oracle.sink_collected("q1")),
+            result_fingerprints(skewed.sink_collected("q1"))
+        );
+        assert_eq!(oracle_report.sink_count("q1"), report.sink_count("q1"));
+        assert_eq!(
+            oracle_report.totals.probe_comparisons,
+            report.totals.probe_comparisons
+        );
+        assert_eq!(oracle_report.totals.items_dropped, 0);
+        assert_eq!(report.totals.items_dropped, 0);
+    }
+
+    #[test]
+    fn hot_key_routing_balances_the_busiest_shard() {
+        let (aa, bb) = skewed_inputs();
+        let stream = interleaved(aa, bb);
+        let route_all = |skew: Option<SkewConfig>| {
+            let plans: Vec<Plan> = (0..4).map(|_| join_plan(false)).collect();
+            let mut exec = ShardedExecutor::new(plans, ShardSpec::symmetric(0)).unwrap();
+            if let Some(cfg) = skew {
+                exec.enable_skew(cfg).unwrap();
+            }
+            for t in &stream {
+                let entry = if t.stream == StreamId::A { "A" } else { "B" };
+                exec.ingest(entry, t.clone()).unwrap();
+            }
+            exec.run().unwrap();
+            exec.router_stats().clone()
+        };
+        let hash_only = route_all(None);
+        let skew_aware = route_all(Some(eager_skew()));
+        assert!(
+            hash_only.busiest_share() > 0.5,
+            "hash routing concentrates the skewed load (got {})",
+            hash_only.busiest_share()
+        );
+        assert!(
+            skew_aware.busiest_share() < hash_only.busiest_share(),
+            "replication must reduce the busiest shard's share ({} vs {})",
+            skew_aware.busiest_share(),
+            hash_only.busiest_share()
+        );
+        assert_eq!(
+            hash_only.hash_routed,
+            stream.len() as u64,
+            "without skew everything hash-routes"
+        );
     }
 }

@@ -1,0 +1,290 @@
+//! Skew detection for the sharded router: a space-bounded heavy-hitter
+//! sketch over canonical join-key hashes, plus the sticky hot-key set that
+//! switches keys from hash routing to replicate-to-all-shards routing.
+//!
+//! Hash partitioning on the join key balances load only when the key
+//! frequencies do: under a Zipf-skewed key distribution one shard receives
+//! nearly every tuple and bounds the whole pool's wall clock.  The classic
+//! fix (fragment-and-replicate, here in the `BroadcastOp` idiom) is applied
+//! *per key*: the router keeps approximate frequencies in a
+//! [SpaceSaving](https://doi.org/10.1007/978-3-540-30570-5_27)-style sketch,
+//! and when a key's guaranteed frequency share crosses
+//! [`SkewConfig::hot_share`] it is promoted — its stored probe-side bucket is
+//! replicated to every shard and future arrivals are routed as:
+//!
+//! * probe side (stream B): broadcast to all shards,
+//! * build side (stream A): spread round-robin over shards.
+//!
+//! Each result pair is still produced exactly once (the A tuple lives in
+//! exactly one shard; B is everywhere), so no dedup pass is needed beyond
+//! the existing union/sink wiring.  Promotion is sticky: demotion would
+//! require un-replicating state and is left out deliberately.
+
+/// Configuration of the hot-key detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkewConfig {
+    /// A key is hot once its guaranteed frequency share (sketch count minus
+    /// overestimation error, over total observed tuples) reaches this value.
+    pub hot_share: f64,
+    /// Minimum number of observed keyed tuples before any promotion, so a
+    /// lucky first tuple cannot be declared hot.
+    pub min_observations: u64,
+    /// Number of counters the sketch keeps (its space bound).
+    pub sketch_capacity: usize,
+    /// Upper bound on promoted keys; replication cost grows with each.
+    pub max_hot_keys: usize,
+}
+
+impl Default for SkewConfig {
+    fn default() -> Self {
+        SkewConfig {
+            hot_share: 0.1,
+            min_observations: 128,
+            sketch_capacity: 64,
+            max_hot_keys: 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SketchEntry {
+    key: u64,
+    count: u64,
+    /// Overestimation bound inherited from the evicted entry; the true
+    /// frequency lies in `[count - error, count]`.
+    error: u64,
+}
+
+/// A SpaceSaving / Misra-Gries style heavy-hitter sketch over `u64` keys.
+///
+/// Keeps at most `capacity` counters.  An unseen key arriving at a full
+/// sketch evicts the minimum counter and inherits its count as error, which
+/// preserves the invariant that every key with true frequency above
+/// `total / capacity` is present.
+#[derive(Debug, Clone)]
+pub struct SpaceSavingSketch {
+    entries: Vec<SketchEntry>,
+    capacity: usize,
+    total: u64,
+}
+
+impl SpaceSavingSketch {
+    /// Create a sketch with `capacity` counters.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "sketch capacity must be positive");
+        SpaceSavingSketch {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            total: 0,
+        }
+    }
+
+    /// Observe one occurrence of `key`.
+    pub fn observe(&mut self, key: u64) {
+        self.total += 1;
+        if let Some(entry) = self.entries.iter_mut().find(|e| e.key == key) {
+            entry.count += 1;
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(SketchEntry {
+                key,
+                count: 1,
+                error: 0,
+            });
+            return;
+        }
+        let min = self
+            .entries
+            .iter_mut()
+            .min_by_key(|e| e.count)
+            .expect("capacity > 0");
+        min.key = key;
+        min.error = min.count;
+        min.count += 1;
+    }
+
+    /// `(estimated count, overestimation error)` for `key`, if tracked.  The
+    /// true frequency is at least `count - error`.
+    pub fn estimate(&self, key: u64) -> Option<(u64, u64)> {
+        self.entries
+            .iter()
+            .find(|e| e.key == key)
+            .map(|e| (e.count, e.error))
+    }
+
+    /// Total observations so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of counters currently in use.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no key has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Tracks key frequencies and the sticky hot set for the sharded router.
+#[derive(Debug, Clone)]
+pub struct HotKeyTracker {
+    config: SkewConfig,
+    sketch: SpaceSavingSketch,
+    hot: Vec<u64>,
+    spread_next: usize,
+}
+
+impl HotKeyTracker {
+    /// Create a tracker with the given configuration.
+    pub fn new(config: SkewConfig) -> Self {
+        let sketch = SpaceSavingSketch::new(config.sketch_capacity.max(1));
+        HotKeyTracker {
+            config,
+            sketch,
+            hot: Vec::new(),
+            spread_next: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SkewConfig {
+        &self.config
+    }
+
+    /// Observe one keyed tuple.  Returns `true` exactly when this
+    /// observation promotes `key` to the hot set (the caller must then
+    /// replicate the key's stored bucket before routing anything else).
+    pub fn observe(&mut self, key: u64) -> bool {
+        self.sketch.observe(key);
+        if self.hot.contains(&key) || self.hot.len() >= self.config.max_hot_keys {
+            return false;
+        }
+        if self.sketch.total() < self.config.min_observations {
+            return false;
+        }
+        let Some((count, error)) = self.sketch.estimate(key) else {
+            return false;
+        };
+        let guaranteed = count.saturating_sub(error) as f64;
+        if guaranteed / self.sketch.total() as f64 >= self.config.hot_share {
+            self.hot.push(key);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `key` is in the hot set.
+    pub fn is_hot(&self, key: u64) -> bool {
+        self.hot.contains(&key)
+    }
+
+    /// The promoted keys, in promotion order.
+    pub fn hot_keys(&self) -> &[u64] {
+        &self.hot
+    }
+
+    /// Next round-robin shard for spreading a hot build-side tuple.
+    pub fn next_spread(&mut self, shards: usize) -> usize {
+        let shard = self.spread_next % shards.max(1);
+        self.spread_next = self.spread_next.wrapping_add(1);
+        shard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sketch_is_exact_below_capacity() {
+        let mut s = SpaceSavingSketch::new(8);
+        for _ in 0..5 {
+            s.observe(1);
+        }
+        for _ in 0..3 {
+            s.observe(2);
+        }
+        assert_eq!(s.estimate(1), Some((5, 0)));
+        assert_eq!(s.estimate(2), Some((3, 0)));
+        assert_eq!(s.estimate(3), None);
+        assert_eq!(s.total(), 8);
+    }
+
+    #[test]
+    fn sketch_eviction_keeps_heavy_hitters_and_bounds_error() {
+        // Capacity 2: a heavy key survives a churn of light keys.
+        let mut s = SpaceSavingSketch::new(2);
+        for i in 0..100u64 {
+            s.observe(7); // heavy
+            s.observe(100 + i); // each light key appears once
+        }
+        let (count, error) = s.estimate(7).expect("heavy key must stay tracked");
+        assert!(count >= 100, "heavy key count {count} must not be lost");
+        assert!(
+            count.saturating_sub(error) <= 100,
+            "guaranteed count must not exceed the true frequency"
+        );
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn tracker_promotes_only_after_min_observations() {
+        let mut t = HotKeyTracker::new(SkewConfig {
+            hot_share: 0.5,
+            min_observations: 10,
+            sketch_capacity: 8,
+            max_hot_keys: 2,
+        });
+        for _ in 0..9 {
+            assert!(!t.observe(42), "no promotion before min observations");
+        }
+        assert!(t.observe(42), "10th observation promotes at share 1.0");
+        assert!(t.is_hot(42));
+        assert!(!t.observe(42), "promotion fires exactly once");
+    }
+
+    #[test]
+    fn tracker_ignores_cold_keys_and_caps_hot_set() {
+        let mut t = HotKeyTracker::new(SkewConfig {
+            hot_share: 0.4,
+            min_observations: 4,
+            sketch_capacity: 8,
+            max_hot_keys: 1,
+        });
+        // Interleave two keys at 50% each: first to cross gets the only slot.
+        let mut promotions = 0;
+        for _ in 0..20 {
+            if t.observe(1) {
+                promotions += 1;
+            }
+            if t.observe(2) {
+                promotions += 1;
+            }
+        }
+        assert_eq!(promotions, 1, "max_hot_keys caps the hot set");
+        assert_eq!(t.hot_keys().len(), 1);
+        // A key with a tiny share never promotes even with room.
+        let mut t = HotKeyTracker::new(SkewConfig {
+            hot_share: 0.4,
+            min_observations: 4,
+            sketch_capacity: 8,
+            max_hot_keys: 4,
+        });
+        for i in 0..100u64 {
+            assert!(!t.observe(i % 10), "10% share below 40% threshold");
+        }
+        assert!(t.hot_keys().is_empty());
+    }
+
+    #[test]
+    fn spread_is_round_robin() {
+        let mut t = HotKeyTracker::new(SkewConfig::default());
+        let picks: Vec<usize> = (0..6).map(|_| t.next_spread(3)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+}

@@ -36,6 +36,11 @@ pub struct CostCounters {
     /// on a port it does not have).  Always zero for well-formed plans; a
     /// non-zero value in a report flags a mis-wired plan.
     pub items_dropped: u64,
+    /// Times the sharded router blocked because a worker's bounded input
+    /// ring was full (backpressure events).  Not a comparison, so it is
+    /// excluded from [`CostCounters::total_comparisons`]; it is attributed
+    /// to the router, never to plan operators.
+    pub router_stalls: u64,
 }
 
 impl CostCounters {
@@ -60,6 +65,7 @@ impl CostCounters {
         self.tuples_processed += other.tuples_processed;
         self.items_emitted += other.items_emitted;
         self.items_dropped += other.items_dropped;
+        self.router_stalls += other.router_stalls;
     }
 }
 
@@ -74,6 +80,10 @@ pub struct MemoryStats {
     pub final_state_tuples: usize,
     /// Largest total queue length observed.
     pub peak_queue_items: usize,
+    /// Largest occupancy (queued runs) observed on the sharded executor's
+    /// bounded worker rings, summed over shards.  Zero for single-shard and
+    /// plain [`crate::Executor`] runs.
+    pub peak_ring_runs: usize,
     /// Number of samples taken.
     pub samples: usize,
 }
@@ -97,6 +107,7 @@ impl MemoryStats {
     pub fn merge(&mut self, other: &MemoryStats) {
         self.peak_state_tuples += other.peak_state_tuples;
         self.peak_queue_items += other.peak_queue_items;
+        self.peak_ring_runs += other.peak_ring_runs;
         self.avg_state_tuples += other.avg_state_tuples;
         self.final_state_tuples += other.final_state_tuples;
         self.samples += other.samples;
@@ -132,8 +143,25 @@ mod tests {
             tuples_processed: 100,
             items_emitted: 50,
             items_dropped: 0,
+            router_stalls: 9,
         };
         assert_eq!(c.total_comparisons(), 21);
+    }
+
+    #[test]
+    fn router_stalls_accumulate_but_are_not_comparisons() {
+        let mut a = CostCounters {
+            router_stalls: 3,
+            ..Default::default()
+        };
+        let b = CostCounters {
+            router_stalls: 4,
+            probe_comparisons: 2,
+            ..Default::default()
+        };
+        a.add(&b);
+        assert_eq!(a.router_stalls, 7);
+        assert_eq!(a.total_comparisons(), 2);
     }
 
     #[test]
@@ -163,9 +191,12 @@ mod tests {
         a.record(20, 4);
         let mut b = MemoryStats::default();
         b.record(5, 1);
+        a.peak_ring_runs = 2;
+        b.peak_ring_runs = 3;
         a.merge(&b);
         assert_eq!(a.peak_state_tuples, 25);
         assert_eq!(a.peak_queue_items, 5);
+        assert_eq!(a.peak_ring_runs, 5);
         assert_eq!(a.final_state_tuples, 25);
         assert_eq!(a.samples, 3);
         assert!((a.avg_state_tuples - 20.0).abs() < 1e-9);

@@ -23,6 +23,28 @@ pub const VALUE_FIELD: usize = 1;
 /// Size of the value domain used for filter-selectivity control.
 pub const VALUE_DOMAIN: i64 = 10_000;
 
+/// Distribution of the join-key attribute over the key domain.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum KeyDistribution {
+    /// Every key equally likely — the paper's setup, where the domain size
+    /// directly implements `S⋈ ≈ 1 / |domain|`.
+    #[default]
+    Uniform,
+    /// Zipf-distributed keys: key `k ∈ [0, |domain|)` has probability
+    /// proportional to `1 / (k + 1)^exponent`.  Used by the skew-aware
+    /// sharding experiments; note the empirical join selectivity then
+    /// exceeds `1 / |domain|` (heavy keys match each other often).
+    Zipf {
+        /// The skew exponent `s` (1.0–1.5 covers typical workloads; the
+        /// skew benchmark uses 1.2).
+        exponent: f64,
+    },
+}
+
+/// Largest key domain for which a Zipf CDF table is precomputed; larger
+/// domains (e.g. from `sel_join = 0`) are rejected by validation.
+pub const MAX_ZIPF_DOMAIN: i64 = 1 << 20;
+
 /// Configuration of the synthetic workload generator.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadConfig {
@@ -36,6 +58,8 @@ pub struct WorkloadConfig {
     pub sel_filter: f64,
     /// Base RNG seed; streams A and B derive distinct sub-seeds.
     pub seed: u64,
+    /// Distribution of the join key over its domain.
+    pub key_dist: KeyDistribution,
 }
 
 impl Default for WorkloadConfig {
@@ -46,6 +70,7 @@ impl Default for WorkloadConfig {
             sel_join: 0.1,
             sel_filter: 0.5,
             seed: 7,
+            key_dist: KeyDistribution::Uniform,
         }
     }
 }
@@ -81,7 +106,38 @@ impl WorkloadConfig {
         if !(0.0..=1.0).contains(&self.sel_filter) {
             return Err("filter selectivity must be in [0, 1]".to_string());
         }
+        if let KeyDistribution::Zipf { exponent } = self.key_dist {
+            if !exponent.is_finite() || exponent <= 0.0 {
+                return Err("Zipf exponent must be positive and finite".to_string());
+            }
+            if self.key_domain() > MAX_ZIPF_DOMAIN {
+                return Err(format!(
+                    "Zipf keys need a bounded domain (≤ {MAX_ZIPF_DOMAIN}); \
+                     raise sel_join above {:.e}",
+                    1.0 / MAX_ZIPF_DOMAIN as f64
+                ));
+            }
+        }
         Ok(())
+    }
+
+    /// Cumulative distribution over the key domain for Zipf sampling, or
+    /// `None` when keys are uniform.
+    fn key_cdf(&self) -> Option<Vec<f64>> {
+        let KeyDistribution::Zipf { exponent } = self.key_dist else {
+            return None;
+        };
+        let domain = self.key_domain().min(MAX_ZIPF_DOMAIN) as usize;
+        let mut cdf = Vec::with_capacity(domain);
+        let mut total = 0.0_f64;
+        for k in 0..domain {
+            total += 1.0 / ((k + 1) as f64).powf(exponent);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Some(cdf)
     }
 }
 
@@ -112,9 +168,10 @@ impl StreamGenerator {
         let times = arrival_times(self.config.rate, self.config.duration_secs, sub_seed);
         let mut rng = StdRng::seed_from_u64(sub_seed ^ 0xABCD_EF01);
         let keys = self.config.key_domain();
+        let cdf = self.config.key_cdf();
         times
             .into_iter()
-            .map(|ts| self.tuple_at(ts, stream, &mut rng, keys))
+            .map(|ts| self.tuple_at(ts, stream, &mut rng, keys, cdf.as_deref()))
             .collect()
     }
 
@@ -123,8 +180,21 @@ impl StreamGenerator {
         (self.generate(StreamId::A), self.generate(StreamId::B))
     }
 
-    fn tuple_at(&self, ts: Timestamp, stream: StreamId, rng: &mut StdRng, keys: i64) -> Tuple {
-        let key = rng.gen_range(0..keys);
+    fn tuple_at(
+        &self,
+        ts: Timestamp,
+        stream: StreamId,
+        rng: &mut StdRng,
+        keys: i64,
+        cdf: Option<&[f64]>,
+    ) -> Tuple {
+        let key = match cdf {
+            None => rng.gen_range(0..keys),
+            Some(cdf) => {
+                let u = rng.gen_range(0.0f64..1.0);
+                cdf.partition_point(|&c| c < u) as i64
+            }
+        };
         let value = rng.gen_range(0..VALUE_DOMAIN);
         Tuple::new(ts, stream, vec![Value::Int(key), Value::Int(value)])
     }
@@ -141,7 +211,15 @@ mod tests {
             sel_join: 0.1,
             sel_filter: 0.2,
             seed: 11,
+            key_dist: KeyDistribution::Uniform,
         }
+    }
+
+    fn zipf_config(exponent: f64) -> WorkloadConfig {
+        let mut c = config();
+        c.sel_join = 0.002; // 500-key domain, same as the skew benchmark
+        c.key_dist = KeyDistribution::Zipf { exponent };
+        c
     }
 
     #[test]
@@ -216,6 +294,55 @@ mod tests {
         let mut c = config();
         c.sel_join = -0.5;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zipf_keys_are_deterministic_and_skewed_toward_low_ranks() {
+        let gen = StreamGenerator::new(zipf_config(1.2));
+        let a1 = gen.generate(StreamId::A);
+        let a2 = gen.generate(StreamId::A);
+        assert_eq!(a1, a2);
+        let domain = zipf_config(1.2).key_domain();
+        assert_eq!(domain, 500);
+        let mut counts = vec![0usize; domain as usize];
+        for t in &a1 {
+            let Some(&Value::Int(k)) = t.value(JOIN_KEY_FIELD) else {
+                panic!("join key must be an int");
+            };
+            counts[k as usize] += 1;
+        }
+        // Analytically key 0 holds ~24% of the Zipf(1.2) mass over 500 keys;
+        // the top key must dominate and low ranks must outweigh high ranks.
+        let share0 = counts[0] as f64 / a1.len() as f64;
+        assert!(
+            (0.15..=0.35).contains(&share0),
+            "top-key share {share0} outside expected Zipf(1.2) band"
+        );
+        let low: usize = counts[..10].iter().sum();
+        let high: usize = counts[490..].iter().sum();
+        assert!(low > high * 5, "low ranks {low} vs high ranks {high}");
+    }
+
+    #[test]
+    fn uniform_keys_are_unchanged_by_the_distribution_knob() {
+        // The default distribution must reproduce byte-for-byte the streams
+        // generated before the knob existed (same RNG call sequence).
+        let gen = StreamGenerator::new(config());
+        let a = gen.generate(StreamId::A);
+        let domain = config().key_domain();
+        assert!(a.iter().all(|t| {
+            matches!(t.value(JOIN_KEY_FIELD), Some(&Value::Int(k)) if (0..domain).contains(&k))
+        }));
+    }
+
+    #[test]
+    fn validation_guards_zipf_parameters() {
+        assert!(zipf_config(1.2).validate().is_ok());
+        let mut c = zipf_config(1.2);
+        c.sel_join = 0.0; // unbounded domain — no CDF table possible
+        assert!(c.validate().is_err());
+        assert!(zipf_config(0.0).validate().is_err());
+        assert!(zipf_config(f64::NAN).validate().is_err());
     }
 
     #[test]

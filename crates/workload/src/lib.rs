@@ -25,6 +25,8 @@ pub mod scenario;
 
 pub use churn::{churn_schedule, ChurnAction, ChurnConfig, ChurnEvent};
 pub use distributions::WindowDistribution;
-pub use generator::{StreamGenerator, WorkloadConfig, JOIN_KEY_FIELD, VALUE_FIELD};
+pub use generator::{
+    KeyDistribution, StreamGenerator, WorkloadConfig, JOIN_KEY_FIELD, MAX_ZIPF_DOMAIN, VALUE_FIELD,
+};
 pub use poisson::{arrival_times, PoissonArrivals};
 pub use scenario::Scenario;

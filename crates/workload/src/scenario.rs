@@ -9,7 +9,7 @@
 use streamkit::{Predicate, TimeDelta};
 
 use crate::distributions::WindowDistribution;
-use crate::generator::{StreamGenerator, WorkloadConfig};
+use crate::generator::{KeyDistribution, StreamGenerator, WorkloadConfig};
 
 /// One experiment configuration (one curve point of Figures 17–19).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,6 +71,7 @@ impl Scenario {
             sel_join: self.sel_join,
             sel_filter: self.sel_filter.min(1.0),
             seed: self.seed,
+            key_dist: KeyDistribution::Uniform,
         }
     }
 
