@@ -1,0 +1,120 @@
+//! Micro-benchmarks of the columnar kernels against their row-at-a-time
+//! counterparts: predicate evaluation over a [`ColumnBatch`] vs per-tuple
+//! [`Predicate::eval_counted`], canonical equi-key hashing of a whole key
+//! column vs per-tuple hashing, and purging a prefix out of a segmented
+//! [`TupleArena`] vs a `VecDeque<Tuple>`.
+
+use std::collections::VecDeque;
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use streamkit::arena::TupleArena;
+use streamkit::columnar::{eval_predicate, ColumnBatch};
+use streamkit::join_state::canonical_key_hash;
+use streamkit::tuple::{StreamId, Tuple};
+use streamkit::{Predicate, Timestamp};
+
+fn tuples(n: usize, keys: i64) -> Vec<Tuple> {
+    (0..n)
+        .map(|i| {
+            Tuple::of_ints(
+                Timestamp::from_millis(i as u64),
+                StreamId::A,
+                &[(i as i64) % keys, i as i64],
+            )
+        })
+        .collect()
+}
+
+fn bench_predicate_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("columnar_predicate_eval");
+    let pred = Predicate::gt(1, 100i64).and(Predicate::gt(0, 8i64));
+    for n in [1024usize, 8192] {
+        let rows = tuples(n, 17);
+        let batch = ColumnBatch::from_tuples(&rows).unwrap();
+        group.bench_with_input(BenchmarkId::new("row", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut comparisons = 0u64;
+                let passed = rows
+                    .iter()
+                    .filter(|t| pred.eval_counted(t, &mut comparisons))
+                    .count();
+                black_box((passed, comparisons))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("columnar", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut comparisons = 0u64;
+                let passers = eval_predicate(&pred, &batch, &mut comparisons);
+                black_box((passers.len(), comparisons))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_key_hashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("columnar_key_hash");
+    for n in [1024usize, 8192] {
+        let rows = tuples(n, 500);
+        let batch = ColumnBatch::from_tuples(&rows).unwrap();
+        group.bench_with_input(BenchmarkId::new("row", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut acc = 0u64;
+                for t in &rows {
+                    if let Some(h) = canonical_key_hash(t.value(0).unwrap()) {
+                        acc ^= h;
+                    }
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("columnar", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut hashed = batch.clone();
+                hashed.hash_key_column(0);
+                black_box(hashed.key_classes(0).map(|k| k.len()))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_purge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_purge");
+    for n in [1024usize, 16384] {
+        let rows = tuples(n, 17);
+        // Purge the older half of the state, the common steady-state shape.
+        let cut = Timestamp::from_millis((n / 2) as u64);
+        group.bench_with_input(BenchmarkId::new("vecdeque", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut state: VecDeque<Tuple> = rows.iter().cloned().collect();
+                while state.front().is_some_and(|t| t.ts < cut) {
+                    state.pop_front();
+                }
+                black_box(state.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("arena", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut state = TupleArena::new();
+                for t in &rows {
+                    state.push(t.clone());
+                }
+                while state.front().is_some_and(|t| t.ts < cut) {
+                    state.pop_front();
+                }
+                black_box((state.len(), state.live_bytes()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_predicate_eval,
+    bench_key_hashing,
+    bench_purge
+);
+criterion_main!(benches);

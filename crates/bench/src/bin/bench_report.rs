@@ -38,7 +38,9 @@
 
 use ss_bench::churn::run_churn_bench;
 use ss_bench::default_duration_secs;
-use ss_bench::report::{run_batch_bench, run_join_bench, run_shard_bench, run_skew_bench};
+use ss_bench::report::{
+    run_batch_bench, run_columnar_bench, run_join_bench, run_shard_bench, run_skew_bench,
+};
 
 /// Parse a `--shards` value: a comma list of counts, or a single maximum
 /// swept in powers of two starting at 1.  Unparsable or zero values are an
@@ -139,6 +141,51 @@ fn main() {
     let batch_arg = flag_value("--batch");
     let churn_arg = flag_value("--churn");
     let skew_arg = flag_value("--skew");
+    let columnar = args.iter().any(|a| a == "--columnar");
+
+    if columnar {
+        let out_path =
+            std::env::var("SS_BENCH_OUT").unwrap_or_else(|_| "BENCH_columnar.json".to_string());
+        eprintln!(
+            "# bench_report: columnar fig18-style equi workload ({duration} s, {rate} t/s), row vs columnar result transport"
+        );
+        let report = run_columnar_bench(duration, rate).expect("columnar bench harness");
+        for run in [
+            &report.row,
+            &report.columnar,
+            &report.mem_opt,
+            &report.cpu_opt,
+        ] {
+            eprintln!(
+                "{:<18} service rate {:>12.1} t/s, probes {}, outputs {}, peak state {} tuples / {} live bytes (capacity {})",
+                run.label,
+                run.perf.service_rate,
+                run.perf.probe_comparisons,
+                run.perf.total_outputs,
+                run.perf.peak_state_tuples,
+                run.perf.peak_state_bytes,
+                run.perf.peak_capacity_bytes,
+            );
+        }
+        eprintln!(
+            "columnar/row service-rate ratio: {:.2}x; Mem-Opt < CPU-Opt live bytes: {}",
+            report.service_rate_ratio(),
+            report.mem_opt_shrinks_state(),
+        );
+        assert!(
+            report.results_match,
+            "per-sink results diverged between columnar and row result transport"
+        );
+        assert!(
+            report.probes_match,
+            "probe comparisons diverged between columnar and row result transport"
+        );
+        let json = report.to_json();
+        std::fs::write(&out_path, &json).expect("write BENCH_columnar.json");
+        eprintln!("# wrote {out_path}");
+        print!("{json}");
+        return;
+    }
 
     if let Some(arg) = skew_arg {
         let exponent = arg

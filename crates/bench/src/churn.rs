@@ -305,6 +305,9 @@ pub fn run_churn_row(
             total_comparisons: report.totals.total_comparisons(),
             total_outputs: report.total_output(),
             peak_state_tuples: report.memory.peak_state_tuples,
+            peak_state_bytes: report.memory.peak_state_bytes,
+            avg_state_bytes: report.memory.avg_state_bytes,
+            peak_capacity_bytes: report.memory.peak_capacity_bytes,
         },
         avg_pause_ms,
         max_pause_ms,

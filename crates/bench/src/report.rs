@@ -39,6 +39,13 @@ pub struct RunPerf {
     pub total_outputs: u64,
     /// Peak join-state size in tuples.
     pub peak_state_tuples: usize,
+    /// Peak live join-state bytes (arena bookkeeping).
+    pub peak_state_bytes: usize,
+    /// Time-averaged live join-state bytes.
+    pub avg_state_bytes: f64,
+    /// Peak arena-capacity bytes (live bytes plus purged-but-unreleased and
+    /// unfilled arena slots — what the allocator actually holds).
+    pub peak_capacity_bytes: usize,
 }
 
 /// Indexed-vs-linear comparison of one strategy on the fig18-style workload.
@@ -113,6 +120,9 @@ fn perf_of(report: &streamkit::ExecutionReport) -> RunPerf {
         total_comparisons: report.totals.total_comparisons(),
         total_outputs: report.total_output(),
         peak_state_tuples: report.memory.peak_state_tuples,
+        peak_state_bytes: report.memory.peak_state_bytes,
+        avg_state_bytes: report.memory.avg_state_bytes,
+        peak_capacity_bytes: report.memory.peak_capacity_bytes,
     }
 }
 
@@ -815,15 +825,243 @@ pub fn run_batch_bench(
     })
 }
 
+/// One measured configuration of the columnar A/B bench.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnarRun {
+    /// Configuration label (`row`, `columnar`, `columnar-cpu-opt`).
+    pub label: String,
+    /// Performance counters of the run (including the byte columns).
+    pub perf: RunPerf,
+    /// Per-sink result counts, in ascending window order.
+    pub sink_counts: Vec<(String, u64)>,
+}
+
+/// The columnar-execution report written to `BENCH_columnar.json`: the
+/// fig18-style equi workload on the Mem-Opt chain with the row-tuple result
+/// path as the baseline and the same plan with columnar result batches
+/// ([`PlannerOptions::columnar_results`]), plus a Mem-Opt vs CPU-Opt pair on
+/// a *selective* variant of the workload (S_σ = 0.5) whose byte columns
+/// exhibit the paper's Mem-Opt < CPU-Opt state-memory ordering (Figures
+/// 17/19) in real bytes — without selections the slicing cannot change what
+/// state is held, so the gap only opens once lineage gates can drop tuples
+/// the merged slices must keep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnarBenchReport {
+    /// Stream duration of the runs (seconds).
+    pub duration_secs: f64,
+    /// Arrival rate per stream (tuples/second).
+    pub rate: f64,
+    /// Join selectivity S⋈.
+    pub sel_join: f64,
+    /// Selection selectivity S_σ of the memory-comparison pair.
+    pub sel_filter: f64,
+    /// Best-of-N repetitions per configuration (interleaved).
+    pub reps: usize,
+    /// Mem-Opt chain, row-tuple result path (the baseline).
+    pub row: ColumnarRun,
+    /// Mem-Opt chain, columnar result batches.
+    pub columnar: ColumnarRun,
+    /// Mem-Opt chain on the selective workload, columnar results.
+    pub mem_opt: ColumnarRun,
+    /// CPU-Opt chain on the selective workload, columnar results.
+    pub cpu_opt: ColumnarRun,
+    /// `true` iff the columnar run matched the row run's per-sink counts
+    /// and the CPU-Opt selective run matched the Mem-Opt selective run's —
+    /// columnar transport and re-slicing are result-invisible.
+    pub results_match: bool,
+    /// `true` iff the columnar Mem-Opt run performed exactly the row run's
+    /// probe comparisons — batching results never changes probe work.
+    pub probes_match: bool,
+}
+
+impl ColumnarBenchReport {
+    /// Service-rate ratio of the columnar Mem-Opt run over the row baseline.
+    pub fn service_rate_ratio(&self) -> f64 {
+        if self.row.perf.service_rate <= 0.0 {
+            0.0
+        } else {
+            self.columnar.perf.service_rate / self.row.perf.service_rate
+        }
+    }
+
+    /// `true` iff the Mem-Opt plan held strictly fewer peak live state bytes
+    /// than the CPU-Opt plan on the selective workload (the paper's Figure
+    /// 19 memory ordering).
+    pub fn mem_opt_shrinks_state(&self) -> bool {
+        self.mem_opt.perf.peak_state_bytes < self.cpu_opt.perf.peak_state_bytes
+    }
+
+    /// Serialise to the `BENCH_columnar.json` format (stable key order, no
+    /// external JSON dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"benchmark\": \"columnar_execution\",\n");
+        out.push_str(&format!(
+            "  \"command\": \"SS_DURATION_SECS={:.0} SS_BENCH_REPS={} cargo run --release -p ss_bench --bin bench_report -- --columnar\",\n",
+            self.duration_secs, self.reps,
+        ));
+        out.push_str(&format!(
+            "  \"workload\": {{\"style\": \"fig18-equi\", \"duration_secs\": {:.1}, \"rate\": {:.1}, \"sel_join\": {}, \"distribution\": \"Uniform\", \"num_queries\": 3, \"selections\": false}},\n",
+            self.duration_secs, self.rate, self.sel_join
+        ));
+        out.push_str(&format!(
+            "  \"memory_workload\": {{\"style\": \"fig19-selective\", \"sel_filter\": {}, \"selections\": true}},\n",
+            self.sel_filter
+        ));
+        out.push_str(&format!(
+            "  \"results_match\": {},\n  \"probes_match\": {},\n  \"service_rate_ratio\": {:.2},\n  \"mem_opt_shrinks_state\": {},\n",
+            self.results_match,
+            self.probes_match,
+            self.service_rate_ratio(),
+            self.mem_opt_shrinks_state(),
+        ));
+        out.push_str("  \"runs\": [\n");
+        let runs = [&self.row, &self.columnar, &self.mem_opt, &self.cpu_opt];
+        for (i, run) in runs.iter().enumerate() {
+            out.push_str(&format!(
+                "    {}{}\n",
+                Self::json_row(run),
+                if i + 1 < runs.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    fn json_row(run: &ColumnarRun) -> String {
+        let sinks = run
+            .sink_counts
+            .iter()
+            .map(|(name, count)| format!("\"{name}\": {count}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"label\": \"{}\", \"service_rate\": {:.1}, \"elapsed_secs\": {:.4}, \"probe_comparisons\": {}, \"total_comparisons\": {}, \"total_outputs\": {}, \"peak_state_tuples\": {}, \"peak_state_bytes\": {}, \"avg_state_bytes\": {:.0}, \"peak_capacity_bytes\": {}, \"sink_counts\": {{{}}}}}",
+            run.label,
+            run.perf.service_rate,
+            run.perf.elapsed_secs,
+            run.perf.probe_comparisons,
+            run.perf.total_comparisons,
+            run.perf.total_outputs,
+            run.perf.peak_state_tuples,
+            run.perf.peak_state_bytes,
+            run.perf.avg_state_bytes,
+            run.perf.peak_capacity_bytes,
+            sinks,
+        )
+    }
+}
+
+/// Run the state-slice chain on `scenario` under an explicit slicing choice
+/// (Mem-Opt, or CPU-Opt when `cpu_opt`), planner options and executor
+/// configuration, reporting per-sink counts alongside the counters.
+pub fn run_chain_planned(
+    scenario: &Scenario,
+    cpu_opt: bool,
+    options: &PlannerOptions,
+    config: ExecutorConfig,
+) -> Result<MeasuredRun> {
+    let workload = build_workload(scenario)?;
+    let builder = ChainBuilder::new(workload.clone());
+    let spec = if cpu_opt {
+        builder
+            .cpu_optimal(&crate::runner::cost_config(scenario))?
+            .spec
+    } else {
+        builder.memory_optimal()
+    };
+    let shared = SharedChainPlan::build(&workload, &spec, options)?;
+    let (a, b) = scenario.generator().generate_pair();
+    let mut exec = Executor::with_config(shared.plan, config);
+    exec.ingest_all(CHAIN_ENTRY, merge_streams(a, b))?;
+    let report = exec.run()?;
+    let sink_counts = workload
+        .queries()
+        .iter()
+        .map(|q| (q.name.clone(), report.sink_count(&q.name)))
+        .collect();
+    Ok((perf_of(&report), sink_counts))
+}
+
+/// Run the columnar A/B bench: the fig18-style equi workload on the Mem-Opt
+/// chain with row-tuple results vs columnar result batches, plus a Mem-Opt
+/// vs CPU-Opt columnar pair on a selective workload variant for the byte
+/// comparison (each configuration best-of-`SS_BENCH_REPS`, interleaved).
+pub fn run_columnar_bench(duration_secs: f64, rate: f64) -> Result<ColumnarBenchReport> {
+    let equi = equi_heavy_scenario(duration_secs, rate);
+    // The memory pair needs per-query selections: without them every slicing
+    // holds the same state, so the Mem-Opt vs CPU-Opt byte gap only exists
+    // on a selective workload (lineage gates drop what merged slices keep).
+    let selective = Scenario {
+        sel_filter: 0.5,
+        ..equi
+    };
+    let reps = bench_reps();
+    let columnar_options = PlannerOptions::default().with_columnar_results();
+    let configs: [(&str, &Scenario, bool, PlannerOptions); 4] = [
+        ("row", &equi, false, PlannerOptions::default()),
+        ("columnar", &equi, false, columnar_options),
+        ("memopt-selective", &selective, false, columnar_options),
+        ("cpuopt-selective", &selective, true, columnar_options),
+    ];
+    let mut best: Vec<Option<MeasuredRun>> = vec![None; configs.len()];
+    for _ in 0..reps {
+        for (slot, (_, scenario, cpu_opt, options)) in best.iter_mut().zip(&configs) {
+            let (perf, sinks) = run_chain_planned(scenario, *cpu_opt, options, executor_config())?;
+            match slot {
+                Some((best_perf, best_sinks)) => {
+                    assert_eq!(best_sinks, &sinks, "deterministic runs diverged");
+                    if perf.elapsed_secs < best_perf.elapsed_secs {
+                        *slot = Some((perf, sinks));
+                    }
+                }
+                None => *slot = Some((perf, sinks)),
+            }
+        }
+    }
+    let mut runs = best.into_iter().zip(&configs).map(|(slot, (label, ..))| {
+        let (perf, sink_counts) = slot.expect("at least one repetition");
+        ColumnarRun {
+            label: label.to_string(),
+            perf,
+            sink_counts,
+        }
+    });
+    let row = runs.next().expect("row baseline present");
+    let columnar = runs.next().expect("columnar run present");
+    let mem_opt = runs.next().expect("mem-opt selective run present");
+    let cpu_opt = runs.next().expect("cpu-opt selective run present");
+    let results_match =
+        columnar.sink_counts == row.sink_counts && cpu_opt.sink_counts == mem_opt.sink_counts;
+    let probes_match = columnar.perf.probe_comparisons == row.perf.probe_comparisons;
+    Ok(ColumnarBenchReport {
+        duration_secs,
+        rate,
+        sel_join: equi.sel_join,
+        sel_filter: selective.sel_filter,
+        reps,
+        row,
+        columnar,
+        mem_opt,
+        cpu_opt,
+        results_match,
+        probes_match,
+    })
+}
+
 fn json_run(perf: &RunPerf, indent: &str) -> String {
     format!(
-        "{{\n{indent}  \"service_rate\": {:.1},\n{indent}  \"elapsed_secs\": {:.4},\n{indent}  \"probe_comparisons\": {},\n{indent}  \"total_comparisons\": {},\n{indent}  \"total_outputs\": {},\n{indent}  \"peak_state_tuples\": {}\n{indent}}}",
+        "{{\n{indent}  \"service_rate\": {:.1},\n{indent}  \"elapsed_secs\": {:.4},\n{indent}  \"probe_comparisons\": {},\n{indent}  \"total_comparisons\": {},\n{indent}  \"total_outputs\": {},\n{indent}  \"peak_state_tuples\": {},\n{indent}  \"peak_state_bytes\": {},\n{indent}  \"avg_state_bytes\": {:.0},\n{indent}  \"peak_capacity_bytes\": {}\n{indent}}}",
         perf.service_rate,
         perf.elapsed_secs,
         perf.probe_comparisons,
         perf.total_comparisons,
         perf.total_outputs,
         perf.peak_state_tuples,
+        perf.peak_state_bytes,
+        perf.avg_state_bytes,
+        perf.peak_capacity_bytes,
     )
 }
 
@@ -974,6 +1212,34 @@ mod tests {
         assert!(json.contains("\"benchmark\": \"batched_execution\""));
         assert!(json.contains("\"results_match\": true"));
         assert!(json.contains("\"probes_match\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn columnar_transport_is_result_invisible() {
+        let report = run_columnar_bench(4.0, 40.0).unwrap();
+        assert!(report.results_match);
+        assert!(report.probes_match);
+        assert!(report.row.perf.total_outputs > 0);
+        assert_eq!(report.columnar.sink_counts, report.row.sink_counts);
+        // The byte sampling must actually see state on every plan.
+        assert!(report.columnar.perf.peak_state_bytes > 0);
+        assert!(report.mem_opt.perf.peak_state_bytes > 0);
+        assert!(report.cpu_opt.perf.peak_state_bytes > 0);
+        assert!(report.columnar.perf.peak_capacity_bytes >= report.columnar.perf.peak_state_bytes);
+        // The paper's Figure 19 memory ordering on the selective pair.
+        assert!(
+            report.mem_opt.perf.peak_state_bytes <= report.cpu_opt.perf.peak_state_bytes,
+            "Mem-Opt peak {} exceeds CPU-Opt peak {}",
+            report.mem_opt.perf.peak_state_bytes,
+            report.cpu_opt.perf.peak_state_bytes
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"benchmark\": \"columnar_execution\""));
+        assert!(json.contains("\"results_match\": true"));
+        assert!(json.contains("\"probes_match\": true"));
+        assert!(json.contains("\"label\": \"cpuopt-selective\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }

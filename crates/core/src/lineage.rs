@@ -87,6 +87,12 @@ impl Operator for LineageAnnotatorOp {
                     ctx.emit(0, t.with_lineage(level));
                 }
             }
+            StreamItem::Batch(b) => {
+                // Row fallback: annotation rewrites per-row lineage.
+                for t in b.materialize() {
+                    self.process(_port, StreamItem::Tuple(t), ctx);
+                }
+            }
             p @ StreamItem::Punctuation(_) => ctx.emit(0, p),
         }
     }
@@ -145,6 +151,12 @@ impl Operator for LineageGateOp {
                     self.dropped += 1;
                 } else {
                     ctx.emit(0, t);
+                }
+            }
+            StreamItem::Batch(b) => {
+                // Row fallback: gating inspects per-row lineage.
+                for t in b.materialize() {
+                    self.process(_port, StreamItem::Tuple(t), ctx);
                 }
             }
             p @ StreamItem::Punctuation(_) => ctx.emit(0, p),

@@ -368,6 +368,7 @@ fn lift_slice_op(op: &mut SlicedBinaryJoinOp) -> SlicedBinaryJoinOp {
     }
     lifted.set_chain_head(op.is_chain_head());
     lifted.set_has_next(op.has_next());
+    lifted.set_columnar_results(op.emits_columnar_results());
     let (a, b) = op.drain_states();
     lifted.load_states(a, b);
     lifted
@@ -655,7 +656,10 @@ impl LiveReslicer {
         let item = item.into();
         let mark = match &item {
             StreamItem::Tuple(t) => Some((t.stream, t.ts)),
-            StreamItem::Punctuation(_) => None,
+            // Ingest-side batches are not part of the chain protocol (the
+            // sharded executor scatters their rows); they do not advance the
+            // per-shard progress watermarks.
+            StreamItem::Batch(_) | StreamItem::Punctuation(_) => None,
         };
         if let (Some(shard), Some((stream, ts))) =
             (self.exec.ingest_routed(CHAIN_ENTRY, item)?, mark)

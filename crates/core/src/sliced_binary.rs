@@ -21,6 +21,7 @@
 
 use std::any::Any;
 
+use streamkit::columnar::ColumnBatch;
 use streamkit::join_state::{equi_key_fields, memoize_key, JoinState};
 use streamkit::operator::{OpContext, Operator, PortId};
 use streamkit::punctuation::Punctuation;
@@ -53,6 +54,9 @@ pub struct SlicedBinaryJoinOp {
     chain_head: bool,
     /// Last join of a chain: discards instead of forwarding to a next slice.
     has_next: bool,
+    /// Emit joined results as [`ColumnBatch`] runs (one per input run)
+    /// instead of one row [`Tuple`] per match.
+    columnar_results: bool,
 }
 
 impl SlicedBinaryJoinOp {
@@ -81,6 +85,7 @@ impl SlicedBinaryJoinOp {
             results: 0,
             chain_head: false,
             has_next: true,
+            columnar_results: false,
         }
     }
 
@@ -100,6 +105,28 @@ impl SlicedBinaryJoinOp {
     pub fn last_in_chain(mut self) -> Self {
         self.has_next = false;
         self
+    }
+
+    /// Emit joined results as columnar run batches: each input run's matches
+    /// are transposed into one [`ColumnBatch`] on [`PORT_RESULTS`] (built
+    /// with [`ColumnBatch::push_join`], no per-match payload allocation),
+    /// flushed before the run's coalesced punctuation.  The result rows,
+    /// their order, and every probe/purge counter are identical to row
+    /// emission; only the transport representation changes.
+    pub fn columnar_results(mut self) -> Self {
+        self.columnar_results = true;
+        self
+    }
+
+    /// `true` if joined results leave as columnar run batches.
+    pub fn emits_columnar_results(&self) -> bool {
+        self.columnar_results
+    }
+
+    /// Change the result transport (used by migration/re-slicing when
+    /// rebuilding operators from an existing chain).
+    pub fn set_columnar_results(&mut self, columnar: bool) {
+        self.columnar_results = columnar;
     }
 
     /// Disable the equi-join hash index and probe by linear scan, the
@@ -244,12 +271,54 @@ impl SlicedBinaryJoinOp {
         ctx.counters.purge_comparisons += comparisons;
     }
 
+    /// Emit one joined result: a row [`Tuple::join`] in row mode, or an
+    /// append into the run's pending [`ColumnBatch`] in columnar mode (no
+    /// per-match payload allocation).
+    fn emit_result(
+        columnar: bool,
+        pending: &mut Option<ColumnBatch>,
+        left: &Tuple,
+        right: &Tuple,
+        ctx: &mut OpContext,
+    ) {
+        if !columnar {
+            ctx.emit(PORT_RESULTS, Tuple::join(left, right, SLICED_JOIN_OUTPUT));
+            return;
+        }
+        let batch = pending.get_or_insert_with(ColumnBatch::new);
+        if !batch.push_join(left, right, SLICED_JOIN_OUTPUT) {
+            // Result arity changed mid-run: flush and start a fresh batch.
+            let full = pending.take().expect("just inserted");
+            if !full.is_empty() {
+                ctx.emit(PORT_RESULTS, full);
+            }
+            let batch = pending.get_or_insert_with(ColumnBatch::new);
+            let ok = batch.push_join(left, right, SLICED_JOIN_OUTPUT);
+            debug_assert!(ok, "a fresh batch accepts any arity");
+        }
+    }
+
+    /// Flush the run's pending columnar results, if any.
+    fn flush_results(pending: &mut Option<ColumnBatch>, ctx: &mut OpContext) {
+        if let Some(batch) = pending.take() {
+            if !batch.is_empty() {
+                ctx.emit(PORT_RESULTS, batch);
+            }
+        }
+    }
+
     /// Process a male tuple: purge + probe the opposite state, emit results,
     /// then propagate the male to the next slice.  Equi probes touch only the
     /// male's key bucket of the opposite state (O(1 + matches)).  When
     /// `punctuate` is false the caller takes over punctuation emission (the
     /// batch path coalesces them to one per run).
-    fn process_male(&mut self, male: Tuple, punctuate: bool, ctx: &mut OpContext) {
+    fn process_male(
+        &mut self,
+        male: Tuple,
+        punctuate: bool,
+        pending: &mut Option<ColumnBatch>,
+        ctx: &mut OpContext,
+    ) {
         let male_is_a = male.stream == self.stream_a;
         let opposite = if male_is_a {
             &mut self.state_b
@@ -257,6 +326,7 @@ impl SlicedBinaryJoinOp {
             &mut self.state_a
         };
         Self::purge_state(opposite, self.window, male.ts, self.has_next, ctx);
+        let columnar = self.columnar_results;
         for stored in opposite.probe_candidates(&male) {
             let matched = if male_is_a {
                 self.condition
@@ -267,16 +337,16 @@ impl SlicedBinaryJoinOp {
             };
             if matched {
                 self.results += 1;
-                let joined = if male_is_a {
-                    Tuple::join(&male, stored, SLICED_JOIN_OUTPUT)
+                if male_is_a {
+                    Self::emit_result(columnar, pending, &male, stored, ctx);
                 } else {
-                    Tuple::join(stored, &male, SLICED_JOIN_OUTPUT)
-                };
-                ctx.emit(PORT_RESULTS, joined);
+                    Self::emit_result(columnar, pending, stored, &male, ctx);
+                }
             }
         }
         // The male tuple acts as a punctuation for the union (Section 4.3).
         if punctuate {
+            Self::flush_results(pending, ctx);
             ctx.emit(PORT_RESULTS, Punctuation::from_stream(male.ts, male.stream));
         }
         if self.has_next {
@@ -324,6 +394,7 @@ impl SlicedBinaryJoinOp {
         memoize: bool,
         punctuate: bool,
         last_male: &mut Option<(streamkit::Timestamp, StreamId)>,
+        pending: &mut Option<ColumnBatch>,
         ctx: &mut OpContext,
     ) {
         match item {
@@ -346,17 +417,33 @@ impl SlicedBinaryJoinOp {
                         *last_male = Some((t.ts, t.stream));
                         let male = t.with_role(TupleRole::Male);
                         t.role = TupleRole::Female;
-                        self.process_male(male, punctuate, ctx);
+                        self.process_male(male, punctuate, pending, ctx);
                         self.process_female(t);
                     }
                     TupleRole::Male => {
                         *last_male = Some((t.ts, t.stream));
-                        self.process_male(t, punctuate, ctx);
+                        self.process_male(t, punctuate, pending, ctx);
                     }
                     TupleRole::Female => self.process_female(t),
                 }
             }
+            StreamItem::Batch(b) => {
+                // Input batches are not part of the chain's logical-queue
+                // protocol (roles travel per row); process rows individually.
+                for t in b.materialize() {
+                    self.process_item(
+                        StreamItem::Tuple(t),
+                        memoize,
+                        punctuate,
+                        last_male,
+                        pending,
+                        ctx,
+                    );
+                }
+            }
             StreamItem::Punctuation(p) => {
+                // Keep result rows ordered relative to the progress marker.
+                Self::flush_results(pending, ctx);
                 ctx.emit(PORT_RESULTS, p);
                 if self.has_next {
                     ctx.emit(PORT_NEXT_SLICE, p);
@@ -381,7 +468,32 @@ impl Operator for SlicedBinaryJoinOp {
 
     fn process(&mut self, _port: PortId, item: StreamItem, ctx: &mut OpContext) {
         let mut last_male = None;
-        self.process_item(item, self.chain_head, true, &mut last_male, ctx);
+        let mut pending = None;
+        if self.columnar_results {
+            // Mirror the batch path: results first (as one batch), then the
+            // punctuation for this single-item run.
+            self.process_item(
+                item,
+                self.chain_head,
+                false,
+                &mut last_male,
+                &mut pending,
+                ctx,
+            );
+            Self::flush_results(&mut pending, ctx);
+            if let Some((ts, stream)) = last_male {
+                ctx.emit(PORT_RESULTS, Punctuation::from_stream(ts, stream));
+            }
+        } else {
+            self.process_item(
+                item,
+                self.chain_head,
+                true,
+                &mut last_male,
+                &mut pending,
+                ctx,
+            );
+        }
     }
 
     /// Batch path: a statically dispatched tight loop over the run, with the
@@ -405,9 +517,11 @@ impl Operator for SlicedBinaryJoinOp {
     fn process_batch(&mut self, _port: PortId, items: &mut Vec<StreamItem>, ctx: &mut OpContext) {
         let memoize = self.chain_head;
         let mut last_male = None;
+        let mut pending = None;
         for item in items.drain(..) {
-            self.process_item(item, memoize, false, &mut last_male, ctx);
+            self.process_item(item, memoize, false, &mut last_male, &mut pending, ctx);
         }
+        Self::flush_results(&mut pending, ctx);
         if let Some((ts, stream)) = last_male {
             ctx.emit(PORT_RESULTS, Punctuation::from_stream(ts, stream));
         }
@@ -415,6 +529,14 @@ impl Operator for SlicedBinaryJoinOp {
 
     fn state_size(&self) -> usize {
         self.state_len()
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.state_a.live_bytes() + self.state_b.live_bytes()
+    }
+
+    fn state_capacity_bytes(&self) -> usize {
+        self.state_a.capacity_bytes() + self.state_b.capacity_bytes()
     }
 
     fn drain_window_states(&mut self) -> Option<(Vec<Tuple>, Vec<Tuple>)> {

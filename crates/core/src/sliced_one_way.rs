@@ -13,6 +13,7 @@
 
 use std::any::Any;
 
+use streamkit::columnar::ColumnBatch;
 use streamkit::join_state::{equi_key_fields, memoize_key, JoinState};
 use streamkit::operator::{OpContext, Operator, PortId};
 use streamkit::punctuation::Punctuation;
@@ -42,6 +43,8 @@ pub struct SlicedOneWayJoinOp {
     has_next: bool,
     /// Emit a punctuation on the result port after each probe.
     emit_punctuations: bool,
+    /// Emit joined results as [`ColumnBatch`] runs instead of row tuples.
+    columnar_results: bool,
 }
 
 impl SlicedOneWayJoinOp {
@@ -66,6 +69,7 @@ impl SlicedOneWayJoinOp {
             results: 0,
             has_next: true,
             emit_punctuations: false,
+            columnar_results: false,
         }
     }
 
@@ -80,6 +84,19 @@ impl SlicedOneWayJoinOp {
     pub fn with_punctuations(mut self) -> Self {
         self.emit_punctuations = true;
         self
+    }
+
+    /// Emit joined results as columnar run batches (one [`ColumnBatch`] per
+    /// probe run on [`PORT_RESULTS`], built with [`ColumnBatch::push_join`]).
+    /// Result rows, order and counters are identical to row emission.
+    pub fn columnar_results(mut self) -> Self {
+        self.columnar_results = true;
+        self
+    }
+
+    /// `true` if joined results leave as columnar run batches.
+    pub fn emits_columnar_results(&self) -> bool {
+        self.columnar_results
     }
 
     /// Disable the equi-join hash index (linear-scan probes); benchmark and
@@ -122,7 +139,21 @@ impl SlicedOneWayJoinOp {
         self.peak_state = self.peak_state.max(self.state.len());
     }
 
-    fn process_probe_tuple(&mut self, tuple: Tuple, ctx: &mut OpContext) {
+    /// Flush the run's pending columnar results, if any.
+    fn flush_results(pending: &mut Option<ColumnBatch>, ctx: &mut OpContext) {
+        if let Some(batch) = pending.take() {
+            if !batch.is_empty() {
+                ctx.emit(PORT_RESULTS, batch);
+            }
+        }
+    }
+
+    fn process_probe_tuple(
+        &mut self,
+        tuple: Tuple,
+        pending: &mut Option<ColumnBatch>,
+        ctx: &mut OpContext,
+    ) {
         // Fig. 6, arrival on stream B.
         // 1. Cross-purge: move expired A tuples to the next slice (or drop).
         let window = self.window;
@@ -140,16 +171,31 @@ impl SlicedOneWayJoinOp {
         //    (purging enforced it); the lower bound is enforced by the chain
         //    pipeline (Lemma 1), so probing is a pure value comparison — and
         //    for equi conditions only the probe key's bucket is touched.
+        let columnar = self.columnar_results;
         for stored in self.state.probe_candidates(&tuple) {
             if self
                 .condition
                 .eval_counted(stored, &tuple, &mut ctx.counters.probe_comparisons)
             {
                 self.results += 1;
-                ctx.emit(PORT_RESULTS, Tuple::join(stored, &tuple, StreamId(100)));
+                if columnar {
+                    let batch = pending.get_or_insert_with(ColumnBatch::new);
+                    if !batch.push_join(stored, &tuple, StreamId(100)) {
+                        let full = pending.take().expect("just inserted");
+                        if !full.is_empty() {
+                            ctx.emit(PORT_RESULTS, full);
+                        }
+                        let batch = pending.get_or_insert_with(ColumnBatch::new);
+                        let ok = batch.push_join(stored, &tuple, StreamId(100));
+                        debug_assert!(ok, "a fresh batch accepts any arity");
+                    }
+                } else {
+                    ctx.emit(PORT_RESULTS, Tuple::join(stored, &tuple, StreamId(100)));
+                }
             }
         }
         if self.emit_punctuations {
+            Self::flush_results(pending, ctx);
             ctx.emit(
                 PORT_RESULTS,
                 Punctuation::from_stream(tuple.ts, tuple.stream),
@@ -182,7 +228,15 @@ impl Operator for SlicedOneWayJoinOp {
                 if t.stream == self.state_stream {
                     self.process_state_tuple(t);
                 } else {
-                    self.process_probe_tuple(t, ctx);
+                    let mut pending = None;
+                    self.process_probe_tuple(t, &mut pending, ctx);
+                    Self::flush_results(&mut pending, ctx);
+                }
+            }
+            StreamItem::Batch(b) => {
+                // Row fallback: the chain's logical queue travels as rows.
+                for t in b.materialize() {
+                    self.process(0, StreamItem::Tuple(t), ctx);
                 }
             }
             StreamItem::Punctuation(p) => {
@@ -202,8 +256,9 @@ impl Operator for SlicedOneWayJoinOp {
     /// [`SlicedOneWayJoinOp::process_probe_tuple`]) and purged tuples must
     /// reach the next slice's queue ahead of the probe that expired them, so
     /// a single run-maximum purge would shift results between slices.
-    fn process_batch(&mut self, _port: PortId, items: &mut Vec<StreamItem>, ctx: &mut OpContext) {
+    fn process_batch(&mut self, port: PortId, items: &mut Vec<StreamItem>, ctx: &mut OpContext) {
         let key_fields = equi_key_fields(&self.condition, true);
+        let mut pending = None;
         for item in items.drain(..) {
             match item {
                 StreamItem::Tuple(mut t) => {
@@ -217,10 +272,18 @@ impl Operator for SlicedOneWayJoinOp {
                         if let Some((_, probe_field)) = key_fields {
                             memoize_key(&mut t, probe_field);
                         }
-                        self.process_probe_tuple(t, ctx);
+                        self.process_probe_tuple(t, &mut pending, ctx);
+                    }
+                }
+                StreamItem::Batch(b) => {
+                    // Keep result rows ordered relative to the fallback rows.
+                    Self::flush_results(&mut pending, ctx);
+                    for t in b.materialize() {
+                        self.process(port, StreamItem::Tuple(t), ctx);
                     }
                 }
                 StreamItem::Punctuation(p) => {
+                    Self::flush_results(&mut pending, ctx);
                     ctx.emit(PORT_RESULTS, p);
                     if self.has_next {
                         ctx.emit(PORT_NEXT_SLICE, p);
@@ -228,10 +291,19 @@ impl Operator for SlicedOneWayJoinOp {
                 }
             }
         }
+        Self::flush_results(&mut pending, ctx);
     }
 
     fn state_size(&self) -> usize {
         self.state.len()
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.state.live_bytes()
+    }
+
+    fn state_capacity_bytes(&self) -> usize {
+        self.state.capacity_bytes()
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -148,6 +148,8 @@ impl ExecutionReport {
                 into.counters.add(&from.counters);
                 into.state_tuples += from.state_tuples;
                 into.peak_state_tuples += from.peak_state_tuples;
+                into.state_bytes += from.state_bytes;
+                into.peak_state_bytes += from.peak_state_bytes;
             }
             merged.memory.merge(&report.memory);
             for (name, count) in report.sink_counts {
@@ -173,6 +175,7 @@ pub struct Executor {
     routing: Vec<Vec<Vec<(usize, PortId)>>>,
     node_counters: Vec<CostCounters>,
     peak_state: Vec<usize>,
+    peak_state_bytes: Vec<usize>,
     memory: MemoryStats,
     ingested: u64,
     processed_since_sample: u64,
@@ -225,6 +228,7 @@ impl Executor {
             routing,
             node_counters: vec![CostCounters::default(); n],
             peak_state: vec![0; n],
+            peak_state_bytes: vec![0; n],
             memory: MemoryStats::default(),
             ingested: 0,
             processed_since_sample: 0,
@@ -341,6 +345,7 @@ impl Executor {
         let n = self.plan.num_nodes();
         self.node_counters = vec![CostCounters::default(); n];
         self.peak_state = vec![0; n];
+        self.peak_state_bytes = vec![0; n];
         self.node_backlog = vec![0; n];
         self.total_backlog = 0;
         Ok(old)
@@ -412,18 +417,24 @@ impl Executor {
 
     fn sample_memory(&mut self) {
         let mut state = 0usize;
+        let mut state_bytes = 0usize;
+        let mut capacity_bytes = 0usize;
         let mut buffers = 0usize;
         for node in self.plan.nodes() {
             if node.operator.is_transient_buffer() {
                 buffers += node.operator.state_size();
             } else {
                 state += node.operator.state_size();
+                state_bytes += node.operator.state_bytes();
+                capacity_bytes += node.operator.state_capacity_bytes();
             }
         }
         let queued = self.total_queue_items() + buffers;
-        self.memory.record(state, queued);
+        self.memory
+            .record(state, state_bytes, capacity_bytes, queued);
         for (i, node) in self.plan.nodes().iter().enumerate() {
             self.peak_state[i] = self.peak_state[i].max(node.operator.state_size());
+            self.peak_state_bytes[i] = self.peak_state_bytes[i].max(node.operator.state_bytes());
         }
     }
 
@@ -710,6 +721,8 @@ impl Executor {
                 counters: self.node_counters[i],
                 state_tuples: node.operator.state_size(),
                 peak_state_tuples: self.peak_state[i].max(node.operator.state_size()),
+                state_bytes: node.operator.state_bytes(),
+                peak_state_bytes: self.peak_state_bytes[i].max(node.operator.state_bytes()),
             });
         }
         Ok(ExecutionReport {
@@ -777,6 +790,17 @@ mod tests {
         assert!(report.memory.peak_state_tuples >= 2);
         assert!(report.rounds >= 1);
         assert_eq!(report.node_stats.len(), 2);
+        // Byte accounting: the join's window state is sampled in real bytes,
+        // and arena capacity is never below the live footprint.
+        assert!(report.memory.peak_state_bytes > 0);
+        assert!(report.memory.peak_capacity_bytes >= report.memory.peak_state_bytes);
+        assert!(report.memory.avg_state_bytes > 0.0);
+        assert!(report.memory.final_state_bytes > 0, "window never purged");
+        assert!(report.node_stats[0].peak_state_bytes > 0);
+        assert_eq!(
+            report.node_stats[0].state_bytes,
+            report.memory.final_state_bytes
+        );
     }
 
     #[test]

@@ -8,11 +8,14 @@
 //!    pops from the front until the first still-valid tuple), and
 //! 2. **probed** by every arrival of the opposite stream.
 //!
-//! [`JoinState`] packages both access paths: a time-ordered [`VecDeque`] for
-//! O(1) oldest-first purging, plus — for equi-join conditions — a hash index
-//! `key → bucket of entries` maintained incrementally on insert/purge.  An
-//! equi probe then touches only its key bucket, so the probe cost is
-//! O(1 + matches) instead of O(|state|); the `probe_comparisons` counters
+//! [`JoinState`] packages both access paths: a time-ordered segmented bump
+//! arena ([`TupleArena`]) for O(1) oldest-first purging with whole-segment
+//! deallocation, plus — for equi-join conditions — a hash index `key →
+//! bucket of entries` maintained incrementally on insert and cleaned
+//! *lazily* on purge (dead bucket references are skipped by probes and swept
+//! out by occasional compaction, so the purge hot path never touches the
+//! map).  An equi probe then touches only its key bucket, so the probe cost
+//! is O(1 + matches) instead of O(|state|); the `probe_comparisons` counters
 //! incremented by the callers consequently scale with the *output* size, not
 //! with the state size (the dominant cost in the paper's Figures 17–19).
 //!
@@ -55,6 +58,7 @@ use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 
+use crate::arena::{ArenaIter, TupleArena};
 use crate::predicate::JoinCondition;
 use crate::tuple::{KeyClass, Tuple, Value};
 
@@ -215,28 +219,43 @@ pub fn canonical_key_hash(v: &Value) -> Option<u64> {
 /// to this tag, and no probe ever looks the bucket up).
 const MISSING_KEY_HASH: u64 = 0xaf63_bc4c_8601_b62c;
 
-/// One stream's window-join state: a time-ordered tuple store with an
-/// optional incrementally-maintained hash index on the equi-join key.
+/// Compact the lazily-cleaned index once the dead-entry backlog exceeds
+/// `max(live entries, MIN_COMPACT_STALE)` — amortised O(1) per purge, and
+/// small states never bother.
+const MIN_COMPACT_STALE: usize = 32;
+
+/// One stream's window-join state: an arena-backed, time-ordered tuple store
+/// with an optional incrementally-maintained hash index on the equi-join key.
 ///
-/// Entries are identified by monotonically increasing sequence numbers;
-/// `head_seq` is the sequence number of the current front, so a bucket entry
-/// `seq` lives at offset `seq - head_seq` in the deque.  Purging pops the
-/// global front, which — because arrival order equals insertion order — is
-/// also the front of whichever bucket (or side list) tracks it.
+/// Entries live in a segmented bump arena ([`TupleArena`]) and are identified
+/// by its stable, monotonically increasing sequence numbers; buckets store
+/// sequence numbers and look entries up generationally.  Purging pops the
+/// arena front and does **not** touch the buckets: a bucket entry whose
+/// sequence number has fallen behind the arena head is dead, and every
+/// reader (probes, compaction) skips such entries.  This removes the
+/// per-purge bucket surgery — a hash lookup, a bucket pop and, for the very
+/// common one-entry bucket, a map-entry deallocation that the next push of
+/// the same key pays all over again — from the cross-purge hot path; dead
+/// entries are swept out wholesale by an occasional compaction instead.
 ///
-/// Buckets are keyed by the canonical 64-bit key hash; `keys` remembers each
-/// entry's [`KeyClass`] so removal reuses the hash computed on insert.
+/// The probe-visible candidate set is unaffected by the laziness (dead
+/// sequence numbers are filtered before a candidate is ever yielded), so the
+/// probe-comparison counters of every caller are identical to eager
+/// cleanup's.
+///
+/// Buckets are keyed by the canonical 64-bit key hash; each stored tuple
+/// carries its key class as a memo ([`memoize_key`]), so neither purging nor
+/// compaction ever rehashes a key that was hashed on insert.
 #[derive(Debug, Default)]
 pub struct JoinState {
-    entries: VecDeque<Tuple>,
-    head_seq: u64,
+    arena: TupleArena,
     index: HashMap<u64, VecDeque<u64>, IdentityBuild>,
-    /// Per-entry key class, aligned with `entries` (indexed mode only), so
-    /// purging an entry never rehashes the key it hashed on insert.
-    keys: VecDeque<KeyClass>,
     /// Sequence numbers of entries with unindexable (`NaN`) keys, in time
     /// order; scanned by every probe in addition to its bucket.
     unindexed: VecDeque<u64>,
+    /// Dead sequence numbers still referenced by `index`/`unindexed`
+    /// (indexed mode only); drives compaction.
+    stale: usize,
     /// Field of *stored* tuples the index is built on (`None` = linear mode).
     stored_key_field: Option<usize>,
     /// Field of *probing* tuples holding the lookup key.
@@ -278,22 +297,35 @@ impl JoinState {
 
     /// Number of stored tuples.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.arena.len()
     }
 
     /// `true` if no tuples are stored.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.arena.is_empty()
     }
 
     /// The oldest stored tuple.
     pub fn front(&self) -> Option<&Tuple> {
-        self.entries.front()
+        self.arena.front()
     }
 
     /// All stored tuples, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
-        self.entries.iter()
+        self.arena.iter()
+    }
+
+    /// Estimated bytes resident in the stored tuples (inline slots + heap
+    /// payloads; see [`crate::arena::tuple_heap_bytes`] for the Arc-sharing
+    /// caveat).
+    pub fn live_bytes(&self) -> usize {
+        self.arena.live_bytes()
+    }
+
+    /// Estimated bytes the backing arena currently holds on to, including
+    /// purged-but-not-yet-released slots and unfilled tail capacity.
+    pub fn capacity_bytes(&self) -> usize {
+        self.arena.capacity_bytes()
     }
 
     /// The bucket hash of a stored entry's key class: `Missing` entries get
@@ -313,47 +345,52 @@ impl JoinState {
     /// purge forwarding this tuple to the next slice ships the hash along.
     pub fn push(&mut self, mut tuple: Tuple) {
         if let Some(field) = self.stored_key_field {
-            let seq = self.head_seq + self.entries.len() as u64;
             let class = memoize_key(&mut tuple, field);
+            let seq = self.arena.next_seq();
             match Self::bucket_hash(class) {
                 Some(hash) => self.index.entry(hash).or_default().push_back(seq),
                 None => self.unindexed.push_back(seq),
             }
-            self.keys.push_back(class);
         }
-        self.entries.push_back(tuple);
+        self.arena.push(tuple);
     }
 
-    /// Remove and return the oldest tuple, maintaining the index.  The
-    /// entry's key class was recorded on insert, so no key is ever rehashed
-    /// on its way out.
+    /// Remove and return the oldest tuple.  The index is cleaned **lazily**:
+    /// the popped entry's bucket reference merely goes dead (probes skip it)
+    /// and is swept out by the next compaction, so the purge hot path never
+    /// touches the hash map.
     pub fn pop_front(&mut self) -> Option<Tuple> {
-        let tuple = self.entries.pop_front()?;
-        let seq = self.head_seq;
-        self.head_seq += 1;
+        let tuple = self.arena.pop_front()?;
         if self.stored_key_field.is_some() {
-            let class = self.keys.pop_front().expect("keys aligned with entries");
-            match Self::bucket_hash(class) {
-                Some(hash) => {
-                    let bucket = self
-                        .index
-                        .get_mut(&hash)
-                        .expect("purged tuple's bucket exists");
-                    let popped = bucket.pop_front();
-                    debug_assert_eq!(popped, Some(seq), "buckets purge oldest-first");
-                    if bucket.is_empty() {
-                        // Drop empty buckets so the map doesn't grow with the
-                        // key domain over the stream's lifetime.
-                        self.index.remove(&hash);
-                    }
-                }
-                None => {
-                    let popped = self.unindexed.pop_front();
-                    debug_assert_eq!(popped, Some(seq), "side list purges oldest-first");
-                }
+            self.stale += 1;
+            if self.stale > self.arena.len().max(MIN_COMPACT_STALE) {
+                self.compact();
             }
         }
         Some(tuple)
+    }
+
+    /// Sweep dead entries out of the index by rebuilding it from the live
+    /// tuples' key memos.  No key is rehashed: every stored tuple memoised
+    /// its class on insert ([`memoize_key`]).  Runs automatically once the
+    /// dead backlog exceeds the live size (amortised O(1) per purge); public
+    /// so state inspection and tests can force a consistent view.
+    pub fn compact(&mut self) {
+        let Some(field) = self.stored_key_field else {
+            return;
+        };
+        self.index.clear();
+        self.unindexed.clear();
+        for (seq, tuple) in (self.arena.head_seq()..).zip(self.arena.iter()) {
+            let class = tuple
+                .memoized_key(field)
+                .unwrap_or_else(|| compute_key(tuple, field));
+            match Self::bucket_hash(class) {
+                Some(hash) => self.index.entry(hash).or_default().push_back(seq),
+                None => self.unindexed.push_back(seq),
+            }
+        }
+        self.stale = 0;
     }
 
     /// The candidate tuples an arriving `probe` tuple has to be evaluated
@@ -369,18 +406,17 @@ impl JoinState {
     /// The probe key hash is reused from the tuple's memo when present.
     pub fn probe_candidates(&self, probe: &Tuple) -> Candidates<'_> {
         let field = match self.probe_key_field {
-            None => return Candidates::all(&self.entries),
+            None => return Candidates::all(&self.arena),
             Some(field) => field,
         };
         let hash = match tuple_key(probe, field) {
             KeyClass::Missing => return Candidates::empty(),
-            KeyClass::Nan => return Candidates::all(&self.entries), // NaN probe
+            KeyClass::Nan => return Candidates::all(&self.arena), // NaN probe
             KeyClass::Hash(hash) => hash,
         };
         Candidates {
             inner: CandidatesInner::Indexed {
-                entries: &self.entries,
-                head_seq: self.head_seq,
+                arena: &self.arena,
                 bucket: self.index.get(&hash).map(|b| b.iter()),
                 extra: self.unindexed.iter(),
             },
@@ -411,23 +447,24 @@ impl JoinState {
     }
 
     /// Drain every stored tuple, oldest first, resetting the index.  Used by
-    /// online chain migration to move state between slices.
+    /// online chain migration to move state between slices: the arena's
+    /// segments are consumed whole, and re-cutting state tuple-wise is left
+    /// to the caller (every migration — rehash, merge, split — re-cuts
+    /// anyway, so the cross-crate hooks keep their `Vec<Tuple>` shape).
     pub fn drain_ordered(&mut self) -> Vec<Tuple> {
         self.index.clear();
-        self.keys.clear();
         self.unindexed.clear();
-        self.head_seq = 0;
-        self.entries.drain(..).collect()
+        self.stale = 0;
+        self.arena.drain()
     }
 
     /// Replace the contents with `tuples` (which must be in timestamp
     /// order), rebuilding the index.
     pub fn load_ordered(&mut self, tuples: Vec<Tuple>) {
-        self.entries.clear();
+        self.arena.clear();
         self.index.clear();
-        self.keys.clear();
         self.unindexed.clear();
-        self.head_seq = 0;
+        self.stale = 0;
         for t in tuples {
             self.push(t);
         }
@@ -443,10 +480,9 @@ pub struct Candidates<'a> {
 #[derive(Debug)]
 enum CandidatesInner<'a> {
     Empty,
-    All(std::collections::vec_deque::Iter<'a, Tuple>),
+    All(ArenaIter<'a>),
     Indexed {
-        entries: &'a VecDeque<Tuple>,
-        head_seq: u64,
+        arena: &'a TupleArena,
         bucket: Option<std::collections::vec_deque::Iter<'a, u64>>,
         extra: std::collections::vec_deque::Iter<'a, u64>,
     },
@@ -459,9 +495,9 @@ impl<'a> Candidates<'a> {
         }
     }
 
-    fn all(entries: &'a VecDeque<Tuple>) -> Candidates<'a> {
+    fn all(arena: &'a TupleArena) -> Candidates<'a> {
         Candidates {
-            inner: CandidatesInner::All(entries.iter()),
+            inner: CandidatesInner::All(arena.iter()),
         }
     }
 }
@@ -474,19 +510,27 @@ impl<'a> Iterator for Candidates<'a> {
             CandidatesInner::Empty => None,
             CandidatesInner::All(iter) => iter.next(),
             CandidatesInner::Indexed {
-                entries,
-                head_seq,
+                arena,
                 bucket,
                 extra,
             } => {
+                // Index cleanup is lazy: sequence numbers behind the arena
+                // head are dead (purged) references and are skipped here, so
+                // the yielded candidate set — and with it every caller's
+                // probe-comparison count — is exactly eager cleanup's.
                 if let Some(iter) = bucket {
-                    if let Some(&seq) = iter.next() {
-                        return Some(&entries[(seq - *head_seq) as usize]);
+                    for &seq in iter.by_ref() {
+                        if let Some(tuple) = arena.get(seq) {
+                            return Some(tuple);
+                        }
                     }
                 }
-                extra
-                    .next()
-                    .map(|&seq| &entries[(seq - *head_seq) as usize])
+                for &seq in extra.by_ref() {
+                    if let Some(tuple) = arena.get(seq) {
+                        return Some(tuple);
+                    }
+                }
+                None
             }
         }
     }
@@ -561,10 +605,14 @@ mod tests {
         assert_eq!(popped.ts, Timestamp::from_secs(1));
         assert_eq!(candidate_secs(&s, &t(9, 7)), vec![3]);
         assert_eq!(candidate_secs(&s, &t(9, 8)), vec![2]);
-        // Draining a key's last entry removes its bucket entirely.
+        // Cleanup is lazy: dead bucket references linger but are invisible
+        // to probes, and a compaction sweeps them out entirely.
         s.pop_front();
         s.pop_front();
         assert!(s.is_empty());
+        assert_eq!(candidate_secs(&s, &t(9, 7)), Vec::<u64>::new());
+        assert_eq!(candidate_secs(&s, &t(9, 8)), Vec::<u64>::new());
+        s.compact();
         assert!(s.index.is_empty());
     }
 
@@ -602,9 +650,12 @@ mod tests {
             candidate_secs(&s, &tv(9, Value::Float(f64::NAN))),
             vec![1, 2]
         );
-        // Purging the NaN entry maintains the side list.
+        // Purging the NaN entry leaves a dead side-list reference that no
+        // probe sees; compaction removes it.
         s.pop_front();
         s.pop_front();
+        assert_eq!(candidate_secs(&s, &tv(9, Value::Int(5))), Vec::<u64>::new());
+        s.compact();
         assert!(s.unindexed.is_empty());
     }
 
@@ -614,8 +665,9 @@ mod tests {
         // Stored tuple has no field 1: indexed under Missing, never probed.
         s.push(t(1, 7));
         assert_eq!(candidate_secs(&s, &t(9, 8)), Vec::<u64>::new());
-        // And purging it still balances the books.
+        // And purging it still balances the books (after a sweep).
         s.pop_front();
+        s.compact();
         assert!(s.index.is_empty());
     }
 
@@ -702,10 +754,58 @@ mod tests {
         let mut probe = t(9, 7);
         memoize_key(&mut probe, 0);
         assert_eq!(candidate_secs(&s, &probe), vec![1]);
-        // Popping reuses the recorded class (exercised by the debug_asserts).
+        // The popped tuple still carries the memo it got on insert, and a
+        // compaction (which rebuilds buckets from memos) leaves no trace.
         let popped = s.pop_front().unwrap();
         assert_eq!(popped.memoized_key(0), Some(class));
-        assert!(s.index.is_empty() && s.keys.is_empty());
+        s.compact();
+        assert!(s.index.is_empty());
+    }
+
+    #[test]
+    fn stale_bucket_references_auto_compact() {
+        let mut s = JoinState::indexed(0, 0);
+        // Push 40, pop 35: the dead backlog (35) exceeds both the live size
+        // (5) and the minimum threshold (32), so compaction must have fired
+        // and the index must reference exactly the live entries again.
+        for i in 0..40u64 {
+            s.push(t(i, (i % 7) as i64));
+        }
+        for _ in 0..35 {
+            s.pop_front();
+        }
+        assert_eq!(s.len(), 5);
+        // Compaction fired on the 33rd pop (dead backlog 33 > max(live 7,
+        // 32)); the two pops after it left two fresh dead references, so the
+        // index references 5 live + 2 dead entries — not the 35 an
+        // un-compacted index would carry.
+        let referenced: usize =
+            s.index.values().map(|b| b.len()).sum::<usize>() + s.unindexed.len();
+        assert_eq!(referenced, 7, "auto-compaction swept dead references");
+        // Probes agree with a from-scratch rebuild.
+        for key in 0..7i64 {
+            let want: Vec<u64> = s
+                .iter()
+                .filter(|c| c.value(0) == Some(&Value::Int(key)))
+                .map(|c| c.ts.as_micros() / 1_000_000)
+                .collect();
+            assert_eq!(candidate_secs(&s, &t(99, key)), want);
+        }
+    }
+
+    #[test]
+    fn byte_accounting_follows_pushes_and_purges() {
+        let mut s = JoinState::indexed(0, 0);
+        assert_eq!(s.live_bytes(), 0);
+        s.push(t(1, 7));
+        s.push(t(2, 8));
+        let two = s.live_bytes();
+        assert!(two > 0);
+        assert!(s.capacity_bytes() >= two);
+        s.pop_front();
+        assert!(s.live_bytes() < two);
+        s.pop_front();
+        assert_eq!(s.live_bytes(), 0);
     }
 
     #[test]

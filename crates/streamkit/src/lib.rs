@@ -29,6 +29,8 @@
 //!
 //! [Wang et al., VLDB 2006]: https://dl.acm.org/doi/10.5555/1182635.1164186
 
+pub mod arena;
+pub mod columnar;
 pub mod error;
 pub mod executor;
 pub mod join_state;
@@ -47,6 +49,8 @@ pub mod time;
 pub mod tuple;
 pub mod window;
 
+pub use arena::TupleArena;
+pub use columnar::ColumnBatch;
 pub use error::{Result, StreamError};
 pub use executor::{ExecutionReport, Executor, ExecutorConfig};
 pub use join_state::JoinState;

@@ -114,6 +114,22 @@ pub trait Operator: Send {
         0
     }
 
+    /// Estimated live bytes of this operator's window state (inline tuple
+    /// slots plus heap payloads).  Join operators report their
+    /// [`JoinState`](crate::join_state::JoinState) arena bookkeeping;
+    /// stateless and transient-buffer operators keep the zero default.
+    fn state_bytes(&self) -> usize {
+        0
+    }
+
+    /// Estimated bytes the operator's state storage currently *holds on to*,
+    /// including purged-but-unreleased arena slots and unfilled tail
+    /// capacity — what the allocator sees, as opposed to what is live.
+    /// Defaults to [`Operator::state_bytes`].
+    fn state_capacity_bytes(&self) -> usize {
+        self.state_bytes()
+    }
+
     /// `true` if this operator's `state_size` is a transient reorder/queue
     /// buffer rather than window state.  The paper distinguishes *state
     /// memory* (join windows) from *queue memory* (Section 2); the executor

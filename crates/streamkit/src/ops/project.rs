@@ -7,6 +7,9 @@ use crate::operator::{OpContext, Operator, PortId};
 use crate::queue::StreamItem;
 use crate::tuple::Tuple;
 
+// Columnar runs are projected with the per-column kernel
+// [`crate::columnar::ColumnBatch::project`]; see `process`.
+
 /// Stateless projection: keeps the listed payload columns in order.
 ///
 /// The paper's example queries project `A.*`; projection is included for
@@ -57,6 +60,10 @@ impl Operator for ProjectOp {
             StreamItem::Tuple(t) => {
                 ctx.counters.tuples_processed += 1;
                 ctx.emit(0, self.apply(&t));
+            }
+            StreamItem::Batch(b) => {
+                ctx.counters.tuples_processed += b.len() as u64;
+                ctx.emit(0, b.project(&self.columns));
             }
             p @ StreamItem::Punctuation(_) => ctx.emit(0, p),
         }

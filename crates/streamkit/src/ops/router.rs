@@ -102,6 +102,14 @@ impl Operator for RouterOp {
                     }
                 }
             }
+            StreamItem::Batch(b) => {
+                // Row fallback: routing fans one row out to several ports, so
+                // each row is dispatched individually (counter-identical to
+                // the row path).
+                for t in b.materialize() {
+                    self.process(0, StreamItem::Tuple(t), ctx);
+                }
+            }
             StreamItem::Punctuation(p) => {
                 for port in 0..self.targets.len() {
                     ctx.emit(port, p);

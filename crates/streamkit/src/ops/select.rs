@@ -2,6 +2,7 @@
 
 use std::any::Any;
 
+use crate::columnar::eval_predicate;
 use crate::operator::{OpContext, Operator, PortId};
 use crate::predicate::Predicate;
 use crate::queue::StreamItem;
@@ -61,6 +62,20 @@ impl Operator for SelectOp {
                     ctx.emit(0, t);
                 } else {
                     self.dropped += 1;
+                }
+            }
+            StreamItem::Batch(b) => {
+                ctx.counters.tuples_processed += b.len() as u64;
+                // Columnar selection kernel: one pass over the run, with
+                // comparison counts identical to per-row `eval_counted`.
+                let passers =
+                    eval_predicate(&self.predicate, &b, &mut ctx.counters.filter_comparisons);
+                self.passed += passers.len() as u64;
+                self.dropped += (b.len() - passers.len()) as u64;
+                if passers.len() == b.len() {
+                    ctx.emit(0, b);
+                } else if !passers.is_empty() {
+                    ctx.emit(0, b.gather(&passers));
                 }
             }
             p @ StreamItem::Punctuation(_) => ctx.emit(0, p),

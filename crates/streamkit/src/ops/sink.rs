@@ -74,20 +74,43 @@ impl Operator for SinkOp {
     }
 
     fn process(&mut self, _port: PortId, item: StreamItem, ctx: &mut OpContext) {
-        if let StreamItem::Tuple(t) = item {
-            ctx.counters.tuples_processed += 1;
-            self.count += 1;
-            if let Some(prev) = self.last_ts {
-                if t.ts < prev {
-                    self.out_of_order += 1;
+        match item {
+            StreamItem::Tuple(t) => {
+                ctx.counters.tuples_processed += 1;
+                self.count += 1;
+                if let Some(prev) = self.last_ts {
+                    if t.ts < prev {
+                        self.out_of_order += 1;
+                    }
+                }
+                if self.last_ts.is_none_or(|prev| t.ts >= prev) {
+                    self.last_ts = Some(t.ts);
+                }
+                if self.retain {
+                    self.collected.push(t);
                 }
             }
-            if self.last_ts.is_none_or(|prev| t.ts >= prev) {
-                self.last_ts = Some(t.ts);
+            StreamItem::Batch(b) => {
+                // A columnar run is counted without materializing rows; only
+                // a retaining sink pays for row tuples.
+                ctx.counters.tuples_processed += b.len() as u64;
+                self.count += b.len() as u64;
+                for i in 0..b.len() {
+                    let ts = b.ts_at(i);
+                    if let Some(prev) = self.last_ts {
+                        if ts < prev {
+                            self.out_of_order += 1;
+                        }
+                    }
+                    if self.last_ts.is_none_or(|prev| ts >= prev) {
+                        self.last_ts = Some(ts);
+                    }
+                }
+                if self.retain {
+                    self.collected.extend(b.materialize());
+                }
             }
-            if self.retain {
-                self.collected.push(t);
-            }
+            StreamItem::Punctuation(_) => {}
         }
     }
 

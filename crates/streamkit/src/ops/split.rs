@@ -70,6 +70,13 @@ impl Operator for SplitOp {
                     self.unmatched += 1;
                 }
             }
+            StreamItem::Batch(b) => {
+                // Row fallback: partitioning routes each row to its own port
+                // (counter-identical to the row path).
+                for t in b.materialize() {
+                    self.process(0, StreamItem::Tuple(t), ctx);
+                }
+            }
             StreamItem::Punctuation(p) => {
                 // Progress information is valid for every partition.
                 for port in 0..self.predicates.len() {

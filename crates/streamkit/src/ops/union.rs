@@ -20,12 +20,33 @@
 
 use std::any::Any;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
+use crate::columnar::ColumnBatch;
 use crate::operator::{OpContext, Operator, PortId};
 use crate::punctuation::Punctuation;
 use crate::queue::StreamItem;
 use crate::time::Timestamp;
 use crate::tuple::Tuple;
+
+/// One buffered result row: a row tuple, or a shared reference to one row of
+/// a column batch.  Batch rows stay columnar through the reorder buffer —
+/// buffering costs one `(Arc, index)` slot per row instead of a materialized
+/// [`Tuple`], and released runs leave as column batches again.
+#[derive(Debug)]
+enum Slot {
+    Row(Tuple),
+    Batch { batch: Arc<ColumnBatch>, row: u32 },
+}
+
+impl Slot {
+    fn ts(&self) -> Timestamp {
+        match self {
+            Slot::Row(t) => t.ts,
+            Slot::Batch { batch, row } => batch.ts_at(*row as usize),
+        }
+    }
+}
 
 /// Order-preserving merge union over `n` input ports.
 #[derive(Debug)]
@@ -33,7 +54,7 @@ pub struct UnionOp {
     name: String,
     inputs: usize,
     /// Per-port FIFO buffers (each port delivers in timestamp order).
-    buffers: Vec<VecDeque<Tuple>>,
+    buffers: Vec<VecDeque<Slot>>,
     /// Monotone per-port progress watermarks.
     watermarks: Vec<Timestamp>,
     /// Last merged watermark forwarded downstream (when enabled).
@@ -85,14 +106,21 @@ impl UnionOp {
 
     /// Release every buffered tuple whose timestamp is covered by
     /// `watermark`, in global timestamp order (ties: lowest port first).
+    ///
+    /// Consecutively released batch rows are coalesced into one outgoing
+    /// [`ColumnBatch`]; the open output batch is flushed before any
+    /// interleaved row tuple, so the emitted *row* order is exactly the
+    /// release order either way.
     fn release_up_to(&mut self, watermark: Timestamp, ctx: &mut OpContext) {
+        let mut pending: Option<ColumnBatch> = None;
         loop {
             let mut best: Option<(usize, Timestamp)> = None;
             for (port, buf) in self.buffers.iter().enumerate() {
                 if let Some(front) = buf.front() {
+                    let front_ts = front.ts();
                     match best {
-                        Some((_, best_ts)) if best_ts <= front.ts => {}
-                        _ => best = Some((port, front.ts)),
+                        Some((_, best_ts)) if best_ts <= front_ts => {}
+                        _ => best = Some((port, front_ts)),
                     }
                 }
             }
@@ -100,12 +128,34 @@ impl UnionOp {
             if ts > watermark {
                 break;
             }
-            let tuple = self.buffers[port].pop_front().expect("front exists");
+            let slot = self.buffers[port].pop_front().expect("front exists");
             self.buffered -= 1;
             // One merge comparison per released tuple (one-time merge sort on
             // timestamps, as in the paper's union cost model).
             ctx.counters.union_comparisons += 1;
-            ctx.emit(0, tuple);
+            match slot {
+                Slot::Row(tuple) => {
+                    if let Some(full) = pending.take() {
+                        ctx.emit(0, full);
+                    }
+                    ctx.emit(0, tuple);
+                }
+                Slot::Batch { batch, row } => {
+                    let row = row as usize;
+                    let out = pending.get_or_insert_with(ColumnBatch::new);
+                    if !out.push_row_from(&batch, row) {
+                        // Arity changed between sources: flush and restart.
+                        let full = pending.take().expect("just inserted");
+                        ctx.emit(0, full);
+                        let out = pending.get_or_insert_with(ColumnBatch::new);
+                        let ok = out.push_row_from(&batch, row);
+                        debug_assert!(ok, "a fresh batch accepts any arity");
+                    }
+                }
+            }
+        }
+        if let Some(full) = pending.take() {
+            ctx.emit(0, full);
         }
     }
 
@@ -150,8 +200,24 @@ impl Operator for UnionOp {
                 if t.ts > self.watermarks[port] {
                     self.watermarks[port] = t.ts;
                 }
-                self.buffers[port].push_back(t);
+                self.buffers[port].push_back(Slot::Row(t));
                 self.buffered += 1;
+            }
+            StreamItem::Batch(b) => {
+                let rows = b.len();
+                ctx.counters.tuples_processed += rows as u64;
+                let shared = Arc::new(b);
+                for row in 0..rows {
+                    let ts = shared.ts_at(row);
+                    if ts > self.watermarks[port] {
+                        self.watermarks[port] = ts;
+                    }
+                    self.buffers[port].push_back(Slot::Batch {
+                        batch: Arc::clone(&shared),
+                        row: row as u32,
+                    });
+                }
+                self.buffered += rows;
             }
             StreamItem::Punctuation(p) => {
                 if p.watermark > self.watermarks[port] {
@@ -205,8 +271,24 @@ impl Operator for UnionOp {
                     if t.ts > port_wm {
                         port_wm = t.ts;
                     }
-                    buffer.push_back(t);
+                    buffer.push_back(Slot::Row(t));
                     inserted += 1;
+                }
+                StreamItem::Batch(b) => {
+                    let rows = b.len();
+                    ctx.counters.tuples_processed += rows as u64;
+                    let shared = Arc::new(b);
+                    for row in 0..rows {
+                        let ts = shared.ts_at(row);
+                        if ts > port_wm {
+                            port_wm = ts;
+                        }
+                        buffer.push_back(Slot::Batch {
+                            batch: Arc::clone(&shared),
+                            row: row as u32,
+                        });
+                    }
+                    inserted += rows;
                 }
                 StreamItem::Punctuation(p) => {
                     if p.watermark > port_wm {
@@ -399,6 +481,49 @@ mod tests {
     #[should_panic(expected = "at least one input port")]
     fn zero_input_union_is_rejected() {
         let _ = UnionOp::new("union", 0);
+    }
+
+    #[test]
+    fn batches_merge_with_rows_and_recoalesce_on_release() {
+        let mut op = UnionOp::new("union", 2);
+        let mut ctx = OpContext::new();
+        // Port 0 delivers a 3-row batch; port 1 delivers plain rows that
+        // interleave with the batch rows by timestamp.
+        let batch = ColumnBatch::from_tuples(&[tup(1, 10), tup(3, 30), tup(5, 50)]).unwrap();
+        op.process(0, StreamItem::Batch(batch), &mut ctx);
+        assert!(collect_ts(ctx.take_outputs()).is_empty());
+        assert_eq!(op.buffered_len(), 3);
+        op.process(1, tup(2, 20).into(), &mut ctx);
+        op.process(1, tup(4, 40).into(), &mut ctx);
+        op.process(
+            0,
+            Punctuation::new(Timestamp::from_secs(9)).into(),
+            &mut ctx,
+        );
+        op.process(
+            1,
+            Punctuation::new(Timestamp::from_secs(9)).into(),
+            &mut ctx,
+        );
+        op.flush(&mut ctx);
+        // Rows leave in global timestamp order; runs of batch rows leave as
+        // re-coalesced batches, interleaved rows as tuples.
+        let mut vals = Vec::new();
+        for (_, item) in ctx.take_outputs() {
+            match item {
+                StreamItem::Tuple(t) => vals.push(t.value(0).unwrap().as_int().unwrap()),
+                StreamItem::Batch(b) => {
+                    for t in b.materialize() {
+                        vals.push(t.value(0).unwrap().as_int().unwrap());
+                    }
+                }
+                StreamItem::Punctuation(_) => {}
+            }
+        }
+        assert_eq!(vals, vec![10, 20, 30, 40, 50]);
+        // One merge comparison per released row, batch rows included.
+        assert_eq!(ctx.counters.union_comparisons, 5);
+        assert_eq!(op.buffered_len(), 0);
     }
 
     #[test]

@@ -213,6 +213,13 @@ impl Operator for WindowJoinOp {
     fn process(&mut self, port: PortId, item: StreamItem, ctx: &mut OpContext) {
         let tuple = match item {
             StreamItem::Tuple(t) => t,
+            StreamItem::Batch(b) => {
+                // Row fallback: terminal joins are not on the columnar path.
+                for t in b.materialize() {
+                    self.process(port, StreamItem::Tuple(t), ctx);
+                }
+                return;
+            }
             StreamItem::Punctuation(p) => {
                 // Progress markers just pass through to the result port.
                 ctx.emit(0, p);
@@ -280,6 +287,14 @@ impl Operator for WindowJoinOp {
         for item in items.drain(..) {
             let mut tuple = match item {
                 StreamItem::Tuple(t) => t,
+                StreamItem::Batch(b) => {
+                    // Row fallback (see `process`); purges per row, which is
+                    // the row path's own (equivalent) schedule.
+                    for t in b.materialize() {
+                        self.process(port, StreamItem::Tuple(t), ctx);
+                    }
+                    continue;
+                }
                 StreamItem::Punctuation(p) => {
                     ctx.emit(0, p);
                     continue;
@@ -331,6 +346,14 @@ impl Operator for WindowJoinOp {
 
     fn state_size(&self) -> usize {
         self.state_a.len() + self.state_b.len()
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.state_a.live_bytes() + self.state_b.live_bytes()
+    }
+
+    fn state_capacity_bytes(&self) -> usize {
+        self.state_a.capacity_bytes() + self.state_b.capacity_bytes()
     }
 
     fn drain_window_states(&mut self) -> Option<(Vec<Tuple>, Vec<Tuple>)> {
@@ -419,6 +442,13 @@ impl Operator for OneWayWindowJoinOp {
     fn process(&mut self, port: PortId, item: StreamItem, ctx: &mut OpContext) {
         let tuple = match item {
             StreamItem::Tuple(t) => t,
+            StreamItem::Batch(b) => {
+                // Row fallback: terminal joins are not on the columnar path.
+                for t in b.materialize() {
+                    self.process(port, StreamItem::Tuple(t), ctx);
+                }
+                return;
+            }
             StreamItem::Punctuation(p) => {
                 ctx.emit(0, p);
                 return;
@@ -472,6 +502,11 @@ impl Operator for OneWayWindowJoinOp {
                         }
                         self.state_a.push(t);
                     }
+                    StreamItem::Batch(b) => {
+                        for t in b.materialize() {
+                            self.process(port, StreamItem::Tuple(t), ctx);
+                        }
+                    }
                     StreamItem::Punctuation(p) => ctx.emit(0, p),
                 }
             }
@@ -482,6 +517,12 @@ impl Operator for OneWayWindowJoinOp {
         for item in items.drain(..) {
             let mut tuple = match item {
                 StreamItem::Tuple(t) => t,
+                StreamItem::Batch(b) => {
+                    for t in b.materialize() {
+                        self.process(port, StreamItem::Tuple(t), ctx);
+                    }
+                    continue;
+                }
                 StreamItem::Punctuation(p) => {
                     ctx.emit(0, p);
                     continue;
@@ -516,6 +557,14 @@ impl Operator for OneWayWindowJoinOp {
 
     fn state_size(&self) -> usize {
         self.state_a.len()
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.state_a.live_bytes()
+    }
+
+    fn state_capacity_bytes(&self) -> usize {
+        self.state_a.capacity_bytes()
     }
 
     fn drain_window_states(&mut self) -> Option<(Vec<Tuple>, Vec<Tuple>)> {

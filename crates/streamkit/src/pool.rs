@@ -390,7 +390,7 @@ mod tests {
                 Some(Value::Int(v)) => *v,
                 _ => panic!("expected int payload"),
             },
-            StreamItem::Punctuation(_) => panic!("expected tuple"),
+            StreamItem::Batch(_) | StreamItem::Punctuation(_) => panic!("expected tuple"),
         }
     }
 

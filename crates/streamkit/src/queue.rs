@@ -2,34 +2,45 @@
 
 use std::collections::VecDeque;
 
+use crate::columnar::ColumnBatch;
 use crate::punctuation::Punctuation;
 use crate::time::Timestamp;
 use crate::tuple::Tuple;
 
-/// An item travelling through a queue: either a data tuple or a punctuation.
+/// An item travelling through a queue: a data tuple, a column-major run of
+/// tuples, or a punctuation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StreamItem {
     /// A data tuple.
     Tuple(Tuple),
+    /// A column-major run of data tuples (columnar execution).  Never empty;
+    /// rows are in timestamp order, and the *first* row's timestamp is the
+    /// item's position in the global order (later rows may exceed another
+    /// port's head — safe, because every order-sensitive consumer reorders
+    /// by per-row timestamp: the union buffers rows behind its watermark and
+    /// sinks/fallbacks look at row timestamps, never at item granularity).
+    Batch(ColumnBatch),
     /// A progress marker.
     Punctuation(Punctuation),
 }
 
 impl StreamItem {
-    /// Timestamp used for ordering decisions: the tuple timestamp or the
-    /// punctuation watermark.
+    /// Timestamp used for ordering decisions: the tuple timestamp, the first
+    /// row's timestamp, or the punctuation watermark.
     pub fn timestamp(&self) -> Timestamp {
         match self {
             StreamItem::Tuple(t) => t.ts,
+            StreamItem::Batch(b) => b.first_ts().unwrap_or(Timestamp::from_micros(0)),
             StreamItem::Punctuation(p) => p.watermark,
         }
     }
 
-    /// The contained tuple, if any.
+    /// The contained tuple, if any (`None` for batches: their rows are not
+    /// materialized as row tuples).
     pub fn as_tuple(&self) -> Option<&Tuple> {
         match self {
             StreamItem::Tuple(t) => Some(t),
-            StreamItem::Punctuation(_) => None,
+            StreamItem::Batch(_) | StreamItem::Punctuation(_) => None,
         }
     }
 
@@ -37,7 +48,7 @@ impl StreamItem {
     pub fn into_tuple(self) -> Option<Tuple> {
         match self {
             StreamItem::Tuple(t) => Some(t),
-            StreamItem::Punctuation(_) => None,
+            StreamItem::Batch(_) | StreamItem::Punctuation(_) => None,
         }
     }
 
@@ -50,6 +61,12 @@ impl StreamItem {
 impl From<Tuple> for StreamItem {
     fn from(t: Tuple) -> Self {
         StreamItem::Tuple(t)
+    }
+}
+
+impl From<ColumnBatch> for StreamItem {
+    fn from(b: ColumnBatch) -> Self {
+        StreamItem::Batch(b)
     }
 }
 
@@ -117,6 +134,36 @@ impl Queue {
                 }
                 _ => break,
             }
+        }
+        popped
+    }
+
+    /// Columnar variant of [`Queue::pop_run_into`]: pop the leading run of
+    /// *tuples* (same `max` / `min_other_ts` bound) directly into a
+    /// [`ColumnBatch`], without materializing intermediate `Vec<StreamItem>`.
+    ///
+    /// Stops early at the first punctuation, pre-built batch, or tuple whose
+    /// arity does not fit `batch` — those stay queued for the row path.
+    /// Returns the number of tuples transposed into `batch`.
+    pub fn pop_run_columnar(
+        &mut self,
+        max: usize,
+        min_other_ts: Option<Timestamp>,
+        batch: &mut ColumnBatch,
+    ) -> usize {
+        let mut popped = 0;
+        while popped < max {
+            let fits = match self.items.front() {
+                Some(StreamItem::Tuple(t)) if min_other_ts.is_none_or(|bound| t.ts <= bound) => {
+                    batch.push_tuple(t)
+                }
+                _ => false,
+            };
+            if !fits {
+                break;
+            }
+            self.items.pop_front();
+            popped += 1;
         }
         popped
     }
@@ -250,6 +297,48 @@ mod tests {
         let run = q.pop_run(10, Some(Timestamp::from_secs(2)));
         assert_eq!(run.len(), 2);
         assert!(run[1].is_punctuation());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pop_run_columnar_transposes_the_leading_tuple_run() {
+        let mut q = Queue::new();
+        for s in [1u64, 2, 4] {
+            q.push(at(s));
+        }
+        q.push(Punctuation::new(Timestamp::from_secs(5)).into());
+        q.push(at(6));
+
+        // Bound 4 (inclusive) with a punctuation behind: only tuples join the
+        // batch, the punctuation stays queued for the row path.
+        let mut batch = ColumnBatch::new();
+        let popped = q.pop_run_columnar(10, Some(Timestamp::from_secs(4)), &mut batch);
+        assert_eq!(popped, 3);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.first_ts(), Some(Timestamp::from_secs(1)));
+        assert_eq!(batch.last_ts(), Some(Timestamp::from_secs(4)));
+        assert!(q.pop().unwrap().is_punctuation());
+
+        // Arity mismatch leaves the tuple queued (caller flushes and retries).
+        let mut narrow = ColumnBatch::new();
+        assert!(narrow.push_tuple(&Tuple::of_ints(
+            Timestamp::from_secs(5),
+            StreamId::A,
+            &[1, 2, 3]
+        )));
+        assert_eq!(q.pop_run_columnar(10, None, &mut narrow), 0);
+        assert_eq!(q.len(), 1);
+
+        // A queued batch item carries the first row's timestamp and is opaque
+        // to the tuple-run pop.
+        let mut tail = ColumnBatch::new();
+        assert_eq!(q.pop_run_columnar(10, None, &mut tail), 1);
+        let item = StreamItem::from(tail);
+        assert_eq!(item.timestamp(), Timestamp::from_secs(6));
+        assert_eq!(item.as_tuple(), None);
+        q.push(item);
+        let mut other = ColumnBatch::new();
+        assert_eq!(q.pop_run_columnar(10, None, &mut other), 0);
         assert_eq!(q.len(), 1);
     }
 

@@ -512,6 +512,14 @@ impl ShardedExecutor {
                     self.shards[0].ingest(entry, t)?;
                     Ok(Some(0))
                 }
+                StreamItem::Batch(b) => {
+                    // Ingest-side batches are routed row by row (routing may
+                    // scatter a batch's rows across shards in general).
+                    for t in b.materialize() {
+                        self.ingest_routed(entry, t)?;
+                    }
+                    Ok(None)
+                }
                 StreamItem::Punctuation(p) => {
                     self.shards[0].ingest(entry, p)?;
                     Ok(None)
@@ -554,6 +562,14 @@ impl ShardedExecutor {
                 self.stats.routed_tuples[shard] += 1;
                 self.push_pending(shard, entry, StreamItem::Tuple(t))?;
                 Ok(Some(shard))
+            }
+            StreamItem::Batch(b) => {
+                // Routing may scatter a batch's rows across shards: route
+                // each row individually.
+                for t in b.materialize() {
+                    self.ingest_routed(entry, t)?;
+                }
+                Ok(None)
             }
             StreamItem::Punctuation(p) => {
                 for shard in 0..self.count {

@@ -69,7 +69,14 @@ impl CostCounters {
     }
 }
 
-/// State-memory statistics in tuples, sampled during execution.
+/// State-memory statistics in tuples *and bytes*, sampled during execution.
+///
+/// Tuple counts are the paper's own metric (Section 7 reports state memory
+/// as tuple counts); the byte figures quantify the same curves in real
+/// memory, sampled from the join states' arena bookkeeping
+/// ([`crate::arena::TupleArena`]): *live* bytes are the estimated resident
+/// footprint of the stored tuples, *capacity* bytes additionally count
+/// purged-but-unreleased slots and unfilled tail capacity the arenas hold.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct MemoryStats {
     /// Largest total state size observed across all stateful operators.
@@ -78,6 +85,15 @@ pub struct MemoryStats {
     pub avg_state_tuples: f64,
     /// Final total state size when execution finished.
     pub final_state_tuples: usize,
+    /// Largest total live state bytes observed across all stateful operators.
+    pub peak_state_bytes: usize,
+    /// Time-averaged total live state bytes (mean over samples).
+    pub avg_state_bytes: f64,
+    /// Final total live state bytes when execution finished.
+    pub final_state_bytes: usize,
+    /// Largest total arena-capacity bytes observed (live bytes plus
+    /// unreleased/unfilled arena slots — what the allocator actually holds).
+    pub peak_capacity_bytes: usize,
     /// Largest total queue length observed.
     pub peak_queue_items: usize,
     /// Largest occupancy (queued runs) observed on the sharded executor's
@@ -90,27 +106,56 @@ pub struct MemoryStats {
 
 impl MemoryStats {
     /// Record one sample of the current state / queue sizes.
-    pub fn record(&mut self, state_tuples: usize, queue_items: usize) {
+    pub fn record(
+        &mut self,
+        state_tuples: usize,
+        state_bytes: usize,
+        capacity_bytes: usize,
+        queue_items: usize,
+    ) {
         self.peak_state_tuples = self.peak_state_tuples.max(state_tuples);
+        self.peak_state_bytes = self.peak_state_bytes.max(state_bytes);
+        self.peak_capacity_bytes = self.peak_capacity_bytes.max(capacity_bytes);
         self.peak_queue_items = self.peak_queue_items.max(queue_items);
         let n = self.samples as f64;
         self.avg_state_tuples = (self.avg_state_tuples * n + state_tuples as f64) / (n + 1.0);
+        self.avg_state_bytes = (self.avg_state_bytes * n + state_bytes as f64) / (n + 1.0);
         self.samples += 1;
         self.final_state_tuples = state_tuples;
+        self.final_state_bytes = state_bytes;
     }
 
     /// Absorb the statistics of another partition of the same run (used when
     /// merging per-shard reports).  Sizes add up: the partitions hold
-    /// disjoint state concurrently, so the summed per-partition peaks bound
-    /// the true instantaneous total from above, and the summed time-averages
-    /// are the time-average of the total when the partitions sample evenly.
+    /// disjoint state concurrently, so the summed per-partition peaks —
+    /// tuple, byte and capacity peaks alike — bound the true instantaneous
+    /// total from above (the partitions need not peak at the same moment),
+    /// and the summed time-averages are the time-average of the total when
+    /// the partitions sample evenly.
+    ///
+    /// `avg_state_bytes` deliberately merges differently: it is the
+    /// **sample-weighted mean** of the per-partition means, i.e. the average
+    /// live bytes *per partition sample*, robust to partitions that sampled
+    /// at different rates.  (`avg_state_tuples` keeps its historical
+    /// summed-average semantics — changing it would silently rescale every
+    /// committed benchmark.)  The asymmetry is pinned by
+    /// `merge_byte_semantics_are_pinned`.
     pub fn merge(&mut self, other: &MemoryStats) {
         self.peak_state_tuples += other.peak_state_tuples;
+        self.peak_state_bytes += other.peak_state_bytes;
+        self.peak_capacity_bytes += other.peak_capacity_bytes;
         self.peak_queue_items += other.peak_queue_items;
         self.peak_ring_runs += other.peak_ring_runs;
         self.avg_state_tuples += other.avg_state_tuples;
+        let total_samples = self.samples + other.samples;
+        if total_samples > 0 {
+            self.avg_state_bytes = (self.avg_state_bytes * self.samples as f64
+                + other.avg_state_bytes * other.samples as f64)
+                / total_samples as f64;
+        }
         self.final_state_tuples += other.final_state_tuples;
-        self.samples += other.samples;
+        self.final_state_bytes += other.final_state_bytes;
+        self.samples = total_samples;
     }
 }
 
@@ -125,6 +170,10 @@ pub struct NodeStats {
     pub state_tuples: usize,
     /// Peak state size in tuples.
     pub peak_state_tuples: usize,
+    /// Final live state bytes.
+    pub state_bytes: usize,
+    /// Peak live state bytes.
+    pub peak_state_bytes: usize,
 }
 
 #[cfg(test)]
@@ -187,10 +236,10 @@ mod tests {
     #[test]
     fn merge_sums_partition_sizes() {
         let mut a = MemoryStats::default();
-        a.record(10, 2);
-        a.record(20, 4);
+        a.record(10, 100, 120, 2);
+        a.record(20, 200, 240, 4);
         let mut b = MemoryStats::default();
-        b.record(5, 1);
+        b.record(5, 50, 60, 1);
         a.peak_ring_runs = 2;
         b.peak_ring_runs = 3;
         a.merge(&b);
@@ -205,13 +254,49 @@ mod tests {
     #[test]
     fn memory_stats_tracks_peak_and_average() {
         let mut m = MemoryStats::default();
-        m.record(10, 1);
-        m.record(30, 5);
-        m.record(20, 2);
+        m.record(10, 100, 150, 1);
+        m.record(30, 300, 450, 5);
+        m.record(20, 200, 300, 2);
         assert_eq!(m.peak_state_tuples, 30);
         assert_eq!(m.peak_queue_items, 5);
         assert_eq!(m.final_state_tuples, 20);
         assert_eq!(m.samples, 3);
         assert!((m.avg_state_tuples - 20.0).abs() < 1e-9);
+        assert_eq!(m.peak_state_bytes, 300);
+        assert_eq!(m.peak_capacity_bytes, 450);
+        assert_eq!(m.final_state_bytes, 200);
+        assert!((m.avg_state_bytes - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_byte_semantics_are_pinned() {
+        // Byte peaks merge like tuple peaks: summed per-partition peaks are
+        // an upper bound on the instantaneous total (partitions need not
+        // peak simultaneously).  The byte *average* is sample-weighted, NOT
+        // summed like avg_state_tuples — this test pins the asymmetry.
+        let mut a = MemoryStats::default();
+        a.record(10, 1000, 1200, 0);
+        a.record(10, 3000, 3600, 0); // avg_state_bytes = 2000 over 2 samples
+        let mut b = MemoryStats::default();
+        b.record(4, 500, 600, 0); // avg_state_bytes = 500 over 1 sample
+        a.merge(&b);
+        assert_eq!(a.peak_state_bytes, 3000 + 500, "byte peaks sum");
+        assert_eq!(a.peak_capacity_bytes, 3600 + 600, "capacity peaks sum");
+        assert_eq!(a.final_state_bytes, 3000 + 500, "final bytes sum");
+        // Sample-weighted: (2000*2 + 500*1) / 3.
+        assert!((a.avg_state_bytes - 4500.0 / 3.0).abs() < 1e-9);
+        // ...whereas the tuple average keeps the historical summed form.
+        assert!((a.avg_state_tuples - (10.0 + 4.0)).abs() < 1e-9);
+        // Merging into an empty (0-sample) report keeps the other's average.
+        let mut empty = MemoryStats::default();
+        let mut c = MemoryStats::default();
+        c.record(1, 700, 700, 0);
+        empty.merge(&c);
+        assert!((empty.avg_state_bytes - 700.0).abs() < 1e-9);
+        // Merging two empty reports must not divide by zero.
+        let mut e1 = MemoryStats::default();
+        e1.merge(&MemoryStats::default());
+        assert_eq!(e1.avg_state_bytes, 0.0);
+        assert_eq!(e1.samples, 0);
     }
 }

@@ -1,0 +1,392 @@
+//! Property test for columnar result transport: planning the chain with
+//! [`PlannerOptions::columnar_results`] (sliced joins emit per-run
+//! [`ColumnBatch`](state_slice_repro::streamkit::columnar::ColumnBatch)
+//! result batches, carried through the order-preserving unions to the sinks
+//! without materializing row tuples) is indistinguishable from the row-tuple
+//! path.  For random workloads, streams, slicings and shard counts the two
+//! modes must produce:
+//!
+//! * identical per-sink result multisets (and zero out-of-order deliveries —
+//!   batches are flushed before every interleaved punctuation, so per-port
+//!   FIFO order survives the transposition),
+//! * identical output-scaling comparison counters (`probe`, `route`,
+//!   `filter`, `split`, `union`), `purge_comparisons` and
+//!   `tuples_processed` — batching results changes their transport, never
+//!   the work that produces or consumes them,
+//! * identical final join states in every slice.
+//!
+//! A second property pins the same equivalence under mid-run
+//! [`LiveReslicer`] churn: queries entering and leaving re-slice the chain
+//! online (eager or lazy migration, 1 or 4 shards), and every query
+//! instance's lifetime deliveries and the final drained states must agree
+//! between the columnar and row modes — including across operator rebuilds,
+//! which must preserve the columnar flag.
+
+use proptest::prelude::*;
+use state_slice_repro::core::live::{LiveOptions, LiveReslicer, MigrationMode};
+use state_slice_repro::core::planner::{merge_streams, PlannerOptions, CHAIN_ENTRY};
+use state_slice_repro::core::verify::collected_fingerprints;
+use state_slice_repro::core::{
+    ChainPlanFactory, ChainSpec, ChurnOutcome, JoinQuery, QueryWorkload, SlicedBinaryJoinOp,
+};
+use state_slice_repro::streamkit::tuple::StreamId;
+use state_slice_repro::streamkit::window::SliceWindow;
+use state_slice_repro::streamkit::{
+    CostCounters, JoinCondition, Predicate, ShardedExecutor, TimeDelta, Timestamp, Tuple,
+};
+
+fn tuple(stream: StreamId, tenths: u64, key: i64, value: i64) -> Tuple {
+    Tuple::of_ints(Timestamp::from_millis(tenths * 100), stream, &[key, value])
+}
+
+/// Per-shard, per-slice `(window, A side, B side)` state fingerprints.
+type StateSnapshot = Vec<Vec<(SliceWindow, Vec<(Timestamp, i64)>, Vec<(Timestamp, i64)>)>>;
+
+fn collect_states(exec: &ShardedExecutor) -> StateSnapshot {
+    let fp = |tuples: Vec<Tuple>| -> Vec<(Timestamp, i64)> {
+        tuples
+            .into_iter()
+            .map(|t| (t.ts, t.value(0).and_then(|v| v.as_int()).unwrap_or(-1)))
+            .collect()
+    };
+    exec.shards()
+        .iter()
+        .map(|shard| {
+            shard
+                .plan()
+                .nodes()
+                .iter()
+                .filter_map(|n| n.operator.as_any().downcast_ref::<SlicedBinaryJoinOp>())
+                .map(|op| {
+                    let (a, b) = op.state_tuples();
+                    (op.window(), fp(a), fp(b))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Per-query sorted result fingerprints, merged cost counters, and the final
+/// per-shard per-slice states.
+type Outcome = (
+    Vec<(String, Vec<(Timestamp, TimeDelta)>)>,
+    CostCounters,
+    StateSnapshot,
+);
+
+fn run_mode(
+    workload: &QueryWorkload,
+    spec: &ChainSpec,
+    input: &[Tuple],
+    shards: usize,
+    columnar: bool,
+) -> Outcome {
+    let mut options = PlannerOptions {
+        retain_results: true,
+        ..PlannerOptions::default()
+    }
+    .with_shards(shards);
+    if columnar {
+        options = options.with_columnar_results();
+    }
+    let factory = ChainPlanFactory::new(workload.clone(), spec.clone(), options);
+    let mut exec = factory.sharded().expect("sharded executor builds");
+    exec.ingest_all(CHAIN_ENTRY, input.to_vec())
+        .expect("ingest");
+    let report = exec.run().expect("run");
+    let results = workload
+        .queries()
+        .iter()
+        .map(|q| {
+            let mut fp: Vec<(Timestamp, TimeDelta)> = exec
+                .sink_collected(&q.name)
+                .iter()
+                .map(|t| (t.ts, t.origin_span))
+                .collect();
+            fp.sort_unstable();
+            assert_eq!(fp.len() as u64, report.sink_count(&q.name));
+            (q.name.clone(), fp)
+        })
+        .collect();
+    let states = collect_states(&exec);
+    (results, report.totals, states)
+}
+
+fn assert_columnar_invariant(row: &Outcome, columnar: &Outcome) {
+    // Identical per-sink result multisets.
+    assert_eq!(row.0, columnar.0);
+    // Result transport changes neither the work that produces results nor
+    // the work that consumes them: every comparison counter matches.
+    assert_eq!(row.1.probe_comparisons, columnar.1.probe_comparisons);
+    assert_eq!(row.1.purge_comparisons, columnar.1.purge_comparisons);
+    assert_eq!(row.1.route_comparisons, columnar.1.route_comparisons);
+    assert_eq!(row.1.filter_comparisons, columnar.1.filter_comparisons);
+    assert_eq!(row.1.split_comparisons, columnar.1.split_comparisons);
+    assert_eq!(row.1.union_comparisons, columnar.1.union_comparisons);
+    assert_eq!(row.1.tuples_processed, columnar.1.tuples_processed);
+    assert_eq!(row.1.items_dropped, 0);
+    assert_eq!(columnar.1.items_dropped, 0);
+    // Identical final join state per shard per slice.
+    assert_eq!(row.2, columnar.2);
+}
+
+#[test]
+fn columnar_matches_row_path_on_a_fixed_stream() {
+    let workload = QueryWorkload::new(
+        vec![
+            JoinQuery::new("Q1", TimeDelta::from_secs(2)),
+            JoinQuery::with_filter("Q2", TimeDelta::from_secs(7), Predicate::gt(1, 3i64)),
+        ],
+        JoinCondition::equi(0),
+    )
+    .unwrap();
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for i in 0..300u64 {
+        a.push(tuple(StreamId::A, i * 2, (i % 9) as i64, (i % 8) as i64));
+        b.push(tuple(StreamId::B, i * 2 + 1, (i * 5 % 9) as i64, 0));
+    }
+    let input = merge_streams(a, b);
+    let spec = ChainSpec::memory_optimal(&workload);
+    for shards in [1usize, 4] {
+        let row = run_mode(&workload, &spec, &input, shards, false);
+        let columnar = run_mode(&workload, &spec, &input, shards, true);
+        assert_columnar_invariant(&row, &columnar);
+        assert!(row.0.iter().any(|(_, r)| !r.is_empty()));
+        assert!(row.1.probe_comparisons > 0);
+        assert!(!row.2.is_empty(), "chain plans expose their slices");
+    }
+}
+
+/// Windows churned queries draw from (all below the anchor's 15 s).
+const POOL: [u64; 4] = [2, 5, 7, 11];
+
+fn pool_query(window_secs: u64) -> JoinQuery {
+    JoinQuery::new(format!("C{window_secs}"), TimeDelta::from_secs(window_secs))
+}
+
+fn churn_workload(pool_windows: &[u64]) -> QueryWorkload {
+    let mut queries = vec![JoinQuery::new("QA", TimeDelta::from_secs(15))];
+    queries.extend(pool_windows.iter().map(|&w| pool_query(w)));
+    QueryWorkload::new(queries, JoinCondition::equi(0)).unwrap()
+}
+
+#[derive(Debug, Clone)]
+enum Action {
+    Add(u64),
+    Remove(u64),
+}
+
+/// Turn an abstract schedule (chunk lengths plus add/remove picks) into a
+/// concrete, always-valid event list over the query pool.
+fn resolve_schedule(
+    schedule: &[(usize, bool, usize)],
+    input_len: usize,
+    initial: &[u64],
+) -> (Vec<usize>, Vec<Action>) {
+    let mut active: Vec<u64> = initial.to_vec();
+    let mut pos = 0usize;
+    let mut cuts = Vec::new();
+    let mut actions = Vec::new();
+    for &(chunk, add, pick) in schedule {
+        pos = (pos + chunk).min(input_len);
+        let avail: Vec<u64> = POOL
+            .iter()
+            .copied()
+            .filter(|w| !active.contains(w))
+            .collect();
+        let add = (add && !avail.is_empty()) || active.is_empty();
+        if add {
+            if avail.is_empty() {
+                continue;
+            }
+            let w = avail[pick % avail.len()];
+            active.push(w);
+            actions.push(Action::Add(w));
+        } else {
+            let w = active.remove(pick % active.len());
+            actions.push(Action::Remove(w));
+        }
+        cuts.push(pos);
+    }
+    (cuts, actions)
+}
+
+/// Drive a live reslicer over the schedule in one transport mode; return the
+/// churn outcome and the final drained state snapshot.
+fn run_live(
+    input: &[Tuple],
+    initial: &[u64],
+    cuts: &[usize],
+    actions: &[Action],
+    shards: usize,
+    mode: MigrationMode,
+    columnar: bool,
+) -> (ChurnOutcome, StateSnapshot) {
+    let mut planner = PlannerOptions {
+        retain_results: true,
+        shards,
+        ..PlannerOptions::default()
+    };
+    if columnar {
+        planner = planner.with_columnar_results();
+    }
+    let options = LiveOptions {
+        planner,
+        mode,
+        ..LiveOptions::default()
+    };
+    let mut live = LiveReslicer::launch(churn_workload(initial), options).unwrap();
+    let mut done = 0usize;
+    for (&cut, action) in cuts.iter().zip(actions) {
+        live.ingest_all(input[done..cut].to_vec()).unwrap();
+        done = cut;
+        match action {
+            Action::Add(w) => live.add_query(pool_query(*w)).unwrap(),
+            Action::Remove(w) => live.remove_query(&format!("C{w}")).map(|_| ()).unwrap(),
+        }
+    }
+    live.ingest_all(input[done..].to_vec()).unwrap();
+    live.drain().unwrap();
+    let states = collect_states(live.executor());
+    (live.finish().unwrap(), states)
+}
+
+/// Per query instance (name, added epoch), the sorted lifetime delivery
+/// fingerprints.
+type InstanceFingerprints = Vec<((String, u64), Vec<(Timestamp, TimeDelta, Timestamp)>)>;
+
+fn instance_multisets(outcome: &ChurnOutcome) -> InstanceFingerprints {
+    let mut out: Vec<_> = outcome
+        .queries
+        .iter()
+        .map(|q| {
+            let mut fps = collected_fingerprints(&q.collected);
+            fps.sort_unstable();
+            ((q.name.clone(), q.added_epoch), fps)
+        })
+        .collect();
+    out.sort_by(|(a, _), (b, _)| a.cmp(b));
+    out
+}
+
+fn check_churn_schedule(
+    arrivals: &[(u64, bool, i64)],
+    initial: &[u64],
+    schedule: &[(usize, bool, usize)],
+    shards: usize,
+    mode: MigrationMode,
+) {
+    let mut tenths = 0u64;
+    let input: Vec<Tuple> = arrivals
+        .iter()
+        .map(|&(delta, is_a, key)| {
+            tenths += delta;
+            let stream = if is_a { StreamId::A } else { StreamId::B };
+            Tuple::of_ints(Timestamp::from_millis(tenths * 100), stream, &[key])
+        })
+        .collect();
+    let (cuts, actions) = resolve_schedule(schedule, input.len(), initial);
+    let (row_outcome, row_states) = run_live(&input, initial, &cuts, &actions, shards, mode, false);
+    let (col_outcome, col_states) = run_live(&input, initial, &cuts, &actions, shards, mode, true);
+    assert_eq!(row_outcome.migrations.len(), actions.len());
+    assert_eq!(col_outcome.migrations.len(), actions.len());
+    assert_eq!(
+        instance_multisets(&row_outcome),
+        instance_multisets(&col_outcome),
+        "per-instance lifetime deliveries diverged between transports"
+    );
+    assert_eq!(row_states, col_states, "final drained states diverged");
+}
+
+#[test]
+fn churned_chain_is_transport_invariant() {
+    // A mid-run add_query + remove_query on 4 eager shards, columnar vs row.
+    let arrivals: Vec<(u64, bool, i64)> = (0..400)
+        .map(|i| (i % 4, i % 3 == 0, (i % 5) as i64))
+        .collect();
+    let initial = [5u64];
+    let schedule = [(140usize, true, 1usize), (130, false, 0)];
+    check_churn_schedule(&arrivals, &initial, &schedule, 4, MigrationMode::Eager);
+}
+
+#[test]
+fn lazy_churned_chain_is_transport_invariant() {
+    let arrivals: Vec<(u64, bool, i64)> = (0..300)
+        .map(|i| ((i * 7) % 5, i % 2 == 0, (i % 4) as i64))
+        .collect();
+    let initial = [2u64, 11];
+    let schedule = [(80usize, true, 0usize), (90, false, 1), (60, true, 2)];
+    check_churn_schedule(&arrivals, &initial, &schedule, 1, MigrationMode::Lazy);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property: for random streams, random window sets, optional
+    /// selections, both Mem-Opt and fully merged slicings and 1 or 4
+    /// shards, columnar result transport is indistinguishable from the row
+    /// path (per-sink multisets, all comparison counters, final states).
+    #[test]
+    fn columnar_transport_is_invisible(
+        a_arrivals in prop::collection::vec((0u64..300, 0i64..8, 0i64..8), 1..60),
+        b_arrivals in prop::collection::vec((0u64..300, 0i64..8), 1..60),
+        windows in prop::collection::btree_set(1u64..15, 1..4),
+        with_filter in proptest::bool::ANY,
+        merge_all in proptest::bool::ANY,
+        four_shards in proptest::bool::ANY,
+    ) {
+        let mut a: Vec<Tuple> = a_arrivals
+            .iter()
+            .map(|&(t, k, v)| tuple(StreamId::A, t, k, v))
+            .collect();
+        let mut b: Vec<Tuple> = b_arrivals
+            .iter()
+            .map(|&(t, k)| tuple(StreamId::B, t, k, 0))
+            .collect();
+        a.sort_by_key(|t| t.ts);
+        b.sort_by_key(|t| t.ts);
+        let queries: Vec<JoinQuery> = windows
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                let window = TimeDelta::from_secs(w);
+                if with_filter && i > 0 {
+                    JoinQuery::with_filter(format!("Q{i}"), window, Predicate::gt(1, 3i64))
+                } else {
+                    JoinQuery::new(format!("Q{i}"), window)
+                }
+            })
+            .collect();
+        let workload = QueryWorkload::new(queries, JoinCondition::equi(0)).unwrap();
+        let input = merge_streams(a, b);
+        let spec = if merge_all {
+            ChainSpec::fully_merged(&workload)
+        } else {
+            ChainSpec::memory_optimal(&workload)
+        };
+        let shards = if four_shards { 4 } else { 1 };
+        let row = run_mode(&workload, &spec, &input, shards, false);
+        let columnar = run_mode(&workload, &spec, &input, shards, true);
+        assert_columnar_invariant(&row, &columnar);
+    }
+
+    /// Property: random input and random churn schedule — the live-migrated
+    /// chain delivers the same per-instance lifetime results and final
+    /// states whether results travel as column batches or row tuples, in
+    /// both migration modes and shard counts (operator rebuilds during
+    /// re-slicing must preserve the columnar flag).
+    #[test]
+    fn churn_preserves_columnar_equivalence(
+        arrivals in prop::collection::vec((0u64..6, proptest::bool::ANY, 0i64..4), 60..200),
+        initial_picks in prop::collection::btree_set(0usize..POOL.len(), 0..3),
+        schedule in prop::collection::vec((20usize..90, proptest::bool::ANY, 0usize..8), 1..4),
+        four_shards in proptest::bool::ANY,
+        lazy in proptest::bool::ANY,
+    ) {
+        let initial: Vec<u64> = initial_picks.iter().map(|&i| POOL[i]).collect();
+        let shards = if four_shards { 4 } else { 1 };
+        let mode = if lazy { MigrationMode::Lazy } else { MigrationMode::Eager };
+        check_churn_schedule(&arrivals, &initial, &schedule, shards, mode);
+    }
+}
