@@ -29,13 +29,21 @@
 //!   hash routing, and on N shards with skew-aware hot-key replication
 //!   (`SS_SKEW_SHARDS`, default 4), and writes `BENCH_skew.json` with the
 //!   busiest-shard load shares.
+//! * **`--adaptive`** — runs an equi workload whose join selectivity
+//!   collapses and recovers mid-stream under two statically-planned chains
+//!   (Mem-Opt, and the chain CPU-Opt picks for the collapsed phase), under
+//!   an adaptive supervisor that re-costs and re-cuts the chain live, and
+//!   under a stationary control (whose adaptation log must stay empty), and
+//!   writes `BENCH_adaptive.json` (`SS_BENCH_REPS` repetitions, default 3,
+//!   best service rate kept per variant).
 //!
 //! Usage: `cargo run --release -p ss_bench --bin bench_report
-//! [-- --shards 8 | --batch 256 | --churn 10,30 | --skew 1.2]`.  Set
+//! [-- --shards 8 | --batch 256 | --churn 10,30 | --skew 1.2 | --adaptive]`.  Set
 //! `SS_DURATION_SECS` to scale the stream length (default 30 s),
 //! `SS_BENCH_RATE` to change the per-stream arrival rate (default 100 t/s)
 //! and `SS_BENCH_OUT` to override the output path.
 
+use ss_bench::adaptive::run_adaptive_bench;
 use ss_bench::churn::run_churn_bench;
 use ss_bench::default_duration_secs;
 use ss_bench::report::{
@@ -142,6 +150,67 @@ fn main() {
     let churn_arg = flag_value("--churn");
     let skew_arg = flag_value("--skew");
     let columnar = args.iter().any(|a| a == "--columnar");
+    let adaptive = args.iter().any(|a| a == "--adaptive");
+
+    if adaptive {
+        let reps = std::env::var("SS_BENCH_REPS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n: &usize| n >= 1)
+            .unwrap_or(3);
+        let out_path =
+            std::env::var("SS_BENCH_OUT").unwrap_or_else(|_| "BENCH_adaptive.json".to_string());
+        eprintln!(
+            "# bench_report: adaptive re-optimization on a drifting equi workload ({duration} s, {rate} t/s, {reps} rep(s))"
+        );
+        let (report, log) =
+            run_adaptive_bench(duration, rate, reps).expect("adaptive bench harness");
+        for run in &report.runs {
+            eprintln!(
+                "{:<16} service rate {:>12.1} t/s, comparisons {}, outputs {}, replans {}, pause {:.2} ms",
+                run.name,
+                run.perf.service_rate,
+                run.perf.total_comparisons,
+                run.perf.total_outputs,
+                run.replans,
+                run.total_pause_ms,
+            );
+        }
+        for record in log.records() {
+            eprintln!(
+                "t={:>6.1}s {:<12} S⋈={:.5} win {:>10.0} / pause {:>8.0} -> {:?}",
+                record.stream_secs,
+                record.trigger.name(),
+                record.measured.sel_join,
+                record.modeled_win,
+                record.modeled_pause,
+                record.action,
+            );
+        }
+        eprintln!(
+            "adaptive vs oracle-best static: {:.3}x; vs worse static: {:.3}x; control decisions: {}",
+            report.adaptive_vs_oracle(),
+            report.adaptive_vs_worst(),
+            report.control_log_len,
+        );
+        assert!(
+            report.results_match,
+            "adaptive / static runs diverged in per-query results"
+        );
+        assert!(
+            !log.is_empty(),
+            "the drifting run confirmed no drift at all"
+        );
+        assert_eq!(
+            report.control_log_len, 0,
+            "the stationary control confirmed phantom drift"
+        );
+        let json = report.to_json();
+        std::fs::write(&out_path, &json).expect("write BENCH_adaptive.json");
+        eprintln!("# wrote {out_path}");
+        print!("{json}");
+        return;
+    }
 
     if columnar {
         let out_path =

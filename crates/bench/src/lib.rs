@@ -16,12 +16,14 @@
 //! sweeps plus the `probe_scaling` state-size × key-cardinality grid.
 //! `EXPERIMENTS.md` records the paper-vs-measured comparison.
 
+pub mod adaptive;
 pub mod churn;
 pub mod figures;
 pub mod report;
 pub mod runner;
 pub mod table2;
 
+pub use adaptive::{drift_profile, run_adaptive_bench, AdaptiveBenchReport, AdaptiveRun};
 pub use churn::{run_churn_bench, ChurnBenchReport, ChurnRun, InstanceCheck};
 pub use figures::{
     fig11_rows, figure_17_18_panels, figure_18_extra_panels, figure_19_panels, format_rows,

@@ -8,6 +8,7 @@
 //! [`ss_cost_model::chain::edge_cost`].
 
 use ss_cost_model::chain::{chain_cost_with_model, edge_cost_with_model, ChainParams, ProbeModel};
+use ss_cost_model::MeasuredParams;
 use streamkit::error::{Result, StreamError};
 use streamkit::join_state::equi_key_fields;
 use streamkit::shard::{ShardSpec, ShardedExecutor};
@@ -47,6 +48,28 @@ impl Default for CostConfig {
 }
 
 impl CostConfig {
+    /// Overlay runtime-measured parameters onto this configuration: every
+    /// field the executor actually observed (finite, in range) replaces the
+    /// declared value; the rest fall through.  This is how the adaptive
+    /// supervisor re-costs chains against reality.
+    pub fn with_measured(&self, measured: &MeasuredParams) -> CostConfig {
+        // The overlay only touches the scalar parameters, so any valid
+        // window list will do here.
+        let p = measured.apply_to(&ChainParams {
+            lambda_a: self.lambda_a,
+            lambda_b: self.lambda_b,
+            windows: vec![1.0],
+            sel_join: self.sel_join,
+            csys: self.csys,
+        });
+        CostConfig {
+            lambda_a: p.lambda_a,
+            lambda_b: p.lambda_b,
+            sel_join: p.sel_join,
+            csys: p.csys,
+        }
+    }
+
     /// Convert to the cost-model chain parameters for the given workload.
     pub fn chain_params(&self, workload: &QueryWorkload) -> ChainParams {
         ChainParams {

@@ -23,6 +23,8 @@
 //! * [`migration`] — online merging / splitting of slices (Section 5.3),
 //! * [`live`] — live query churn: online add/remove of queries against a
 //!   running executor via chain re-slicing ([`live::LiveReslicer`]),
+//! * [`adaptive`] — runtime-statistics feedback: drift detectors and the
+//!   [`adaptive::Supervisor`] that re-costs and re-cuts the chain live,
 //! * [`verify`] — a brute-force equivalence oracle used by tests.
 //!
 //! # Example
@@ -57,6 +59,7 @@
 //! assert_eq!(report.sink_count("Q2"), 1);
 //! ```
 
+pub mod adaptive;
 pub mod builder;
 pub mod chain;
 pub mod dijkstra;
@@ -69,6 +72,9 @@ pub mod sliced_binary;
 pub mod sliced_one_way;
 pub mod verify;
 
+pub use adaptive::{
+    AdaptationAction, AdaptationLog, AdaptationRecord, DriftKind, Supervisor, SupervisorConfig,
+};
 pub use builder::{BuiltChain, ChainBuilder, ChainPlanFactory, CostConfig};
 pub use chain::{ChainSpec, SliceSpec};
 pub use dijkstra::{shortest_path, ShortestPath};

@@ -621,6 +621,32 @@ impl LiveReslicer {
         &self.spec
     }
 
+    /// The chain buildup strategy applied at the next workload change.
+    pub fn strategy(&self) -> &SliceStrategy {
+        &self.options.strategy
+    }
+
+    /// Switch the chain buildup strategy and immediately re-plan the current
+    /// workload under it (the adaptive supervisor's entry point).  If the new
+    /// strategy derives the same slice boundaries, this is a true no-op: no
+    /// pause, no plan swap, no migration record.
+    pub fn set_strategy(
+        &mut self,
+        strategy: SliceStrategy,
+        reason: impl Into<String>,
+    ) -> Result<()> {
+        self.options.strategy = strategy;
+        self.reslice(self.workload.clone(), reason.into())
+    }
+
+    /// Drain to a punctuation boundary and sample the windowed runtime
+    /// statistics (arrival rates, operator selectivities, live state) merged
+    /// across all shards.
+    pub fn stats_snapshot(&mut self) -> Result<streamkit::StatsSnapshot> {
+        self.exec.run()?;
+        Ok(self.exec.stats_snapshot())
+    }
+
     /// The running executor (state inspection in tests and tools).
     pub fn executor(&self) -> &ShardedExecutor {
         &self.exec
@@ -906,6 +932,14 @@ impl LiveReslicer {
         //    mutated, so a failed add/remove leaves the session untouched.
         let new_spec = self.options.strategy.spec_for(&new_workload)?;
         let edits = ChainEditPlan::between(&self.spec, &new_spec);
+        if edits.is_empty() && new_workload == self.workload {
+            // Same queries, same boundaries: the running plans already *are*
+            // the re-derived chain (a strategy switch that lands on the
+            // current slicing).  Swapping plans would stall the executor and
+            // discard warm state for nothing, so don't.
+            debug_assert_eq!(new_spec, self.spec);
+            return Ok(());
+        }
         let planner = PlannerOptions {
             shards: self.exec.num_shards(),
             ..self.options.planner
@@ -1075,6 +1109,48 @@ mod tests {
 
     fn keyed(secs: u64, stream: StreamId, key: i64) -> Tuple {
         Tuple::of_ints(Timestamp::from_secs(secs), stream, &[key])
+    }
+
+    #[test]
+    fn strategy_switch_onto_the_same_boundaries_is_a_free_no_op() {
+        let wl = workload(&[4, 16]);
+        // High selectivity keeps routing a merged slice expensive, so CPU-Opt
+        // picks the same all-boundaries chain Mem-Opt starts with.
+        let cost = CostConfig {
+            lambda_a: 20.0,
+            lambda_b: 20.0,
+            sel_join: 0.1,
+            csys: 1.0,
+        };
+        let cpu_opt = SliceStrategy::CpuOpt(cost);
+        let mut live = LiveReslicer::launch(wl.clone(), LiveOptions::default()).unwrap();
+        let spec_before = live.spec().clone();
+        assert_eq!(
+            cpu_opt.spec_for(&wl).unwrap(),
+            spec_before,
+            "precondition: both strategies must cut the same boundaries"
+        );
+        // Warm some state up so a plan swap would be observable.
+        for t in 0..10 {
+            live.ingest(keyed(t, StreamId::A, 1)).unwrap();
+            live.ingest(keyed(t, StreamId::B, 1)).unwrap();
+        }
+        live.drain().unwrap();
+        live.set_strategy(cpu_opt, "cost refresh").unwrap();
+        // The strategy changed but the slicing did not: the diff is empty and
+        // the reslice must short-circuit with no stall, no epoch, no record.
+        assert!(matches!(live.strategy(), SliceStrategy::CpuOpt(_)));
+        assert_eq!(live.spec(), &spec_before);
+        assert_eq!(live.epoch(), 0);
+        assert!(live.migrations().is_empty());
+        // Warm state survived: later arrivals still join earlier ones.
+        live.ingest(keyed(10, StreamId::A, 1)).unwrap();
+        live.ingest(keyed(10, StreamId::B, 1)).unwrap();
+        let outcome = live.finish().unwrap();
+        assert_eq!(outcome.report.paused_secs, 0.0, "no-op reslice paused");
+        assert_eq!(outcome.total_pause_secs(), 0.0);
+        let q16 = outcome.query("Q16").unwrap();
+        assert!(q16.count > 20, "warm state was dropped: {}", q16.count);
     }
 
     fn chain_ops(windows: &[(u64, u64)]) -> Vec<SlicedBinaryJoinOp> {

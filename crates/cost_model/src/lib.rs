@@ -9,13 +9,17 @@
 //!   Figure 11),
 //! * [`chain`] — per-slice and per-merged-slice costs for arbitrary N-query
 //!   chains; these are the edge lengths of the slice-merge DAG that the
-//!   CPU-Opt algorithm (Section 5.2) runs Dijkstra over.
+//!   CPU-Opt algorithm (Section 5.2) runs Dijkstra over,
+//! * [`measured`] — runtime-measured overlays ([`MeasuredParams`]) that feed
+//!   observed rates / selectivities back into the chain model for adaptive
+//!   re-costing.
 //!
 //! Units: arrival rates are tuples/second, windows are seconds, tuple sizes
 //! are KB, CPU costs are comparisons/second and memory costs are KB — the
 //! same units as Table 1 of the paper.
 
 pub mod chain;
+pub mod measured;
 pub mod params;
 pub mod pullup;
 pub mod pushdown;
@@ -26,6 +30,7 @@ pub use chain::{
     chain_cost, chain_cost_with_model, edge_cost, edge_cost_with_model, mem_opt_cost,
     ChainCostBreakdown, ChainParams, ProbeModel,
 };
+pub use measured::MeasuredParams;
 pub use params::{CostEstimate, SystemParams};
 pub use pullup::pullup_cost;
 pub use pushdown::pushdown_cost;

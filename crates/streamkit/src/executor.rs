@@ -13,7 +13,11 @@ use crate::operator::{OpContext, PortId};
 use crate::plan::Plan;
 use crate::queue::{Queue, StreamItem};
 use crate::scheduler::{RoundRobinScheduler, Scheduler};
-use crate::stats::{CostCounters, MemoryStats, NodeStats};
+use crate::stats::{
+    CostCounters, MemoryStats, NodeStats, OperatorSnapshot, StatsSnapshot, StatsWindow,
+    DEFAULT_STATS_ALPHA,
+};
+use crate::tuple::StreamId;
 
 /// Executor tuning knobs.
 #[derive(Debug, Clone)]
@@ -193,6 +197,14 @@ pub struct Executor {
     /// Sink deliveries of plans retired by [`Executor::swap_plan`], folded
     /// into every subsequent report's sink counts.
     carried_sinks: HashMap<String, u64>,
+    /// Data tuples ingested per stream (A, B); tuples of other streams and
+    /// pre-built columnar batches count only into `ingested`.
+    ingested_by_stream: [u64; 2],
+    /// Largest ingested tuple timestamp seen so far, in seconds — the
+    /// stream-time clock that measured arrival rates are computed against.
+    ingest_max_ts_secs: f64,
+    /// Incremental state behind [`Executor::stats_snapshot`].
+    stats_window: StatsWindow,
     /// Per-node queued-item counts, maintained incrementally on every push
     /// and pop so a scheduler round never rescans the queues.
     node_backlog: Vec<usize>,
@@ -238,6 +250,9 @@ impl Executor {
             total_rounds: 0,
             carried_totals: CostCounters::default(),
             carried_sinks: HashMap::new(),
+            ingested_by_stream: [0, 0],
+            ingest_max_ts_secs: 0.0,
+            stats_window: StatsWindow::default(),
             node_backlog: vec![0; n],
             total_backlog: 0,
             scratch_ctx: OpContext::new(),
@@ -348,7 +363,24 @@ impl Executor {
         self.peak_state_bytes = vec![0; n];
         self.node_backlog = vec![0; n];
         self.total_backlog = 0;
+        self.stats_window.reset_nodes();
         Ok(old)
+    }
+
+    /// Track per-stream ingest counts and stream-time progress for
+    /// [`Executor::stats_snapshot`]'s measured arrival rates.
+    fn meter_ingest(&mut self, item: &StreamItem) {
+        if let StreamItem::Tuple(t) = item {
+            if t.stream == StreamId::A {
+                self.ingested_by_stream[0] += 1;
+            } else if t.stream == StreamId::B {
+                self.ingested_by_stream[1] += 1;
+            }
+            let secs = t.ts.as_micros() as f64 / 1e6;
+            if secs > self.ingest_max_ts_secs {
+                self.ingest_max_ts_secs = secs;
+            }
+        }
     }
 
     /// The wrapped plan.
@@ -371,6 +403,7 @@ impl Executor {
         let item = item.into();
         if !item.is_punctuation() {
             self.ingested += 1;
+            self.meter_ingest(&item);
         }
         self.queues[node.0][port].push(item);
         self.node_backlog[node.0] += 1;
@@ -391,6 +424,7 @@ impl Executor {
             let item = item.into();
             if !item.is_punctuation() {
                 self.ingested += 1;
+                self.meter_ingest(&item);
             }
             self.queues[node.0][port].push(item);
             pushed += 1;
@@ -742,6 +776,108 @@ impl Executor {
         let mut scheduler = RoundRobinScheduler;
         self.run_with_scheduler(&mut scheduler)
     }
+
+    /// Sample a measured-statistics snapshot: windowed deltas since the
+    /// previous snapshot, with arrival rates and per-operator selectivities
+    /// EWMA-smoothed across windows (see [`StatsSnapshot`]).
+    ///
+    /// Call between runs — the punctuation boundary of this pull-based
+    /// executor — where reading the counters needs no locks and cannot touch
+    /// the hot path.
+    pub fn stats_snapshot(&mut self) -> StatsSnapshot {
+        self.stats_snapshot_with_alpha(DEFAULT_STATS_ALPHA)
+    }
+
+    /// [`Executor::stats_snapshot`] with an explicit EWMA smoothing factor in
+    /// `(0, 1]` — `1.0` means no smoothing (the last window only).
+    pub fn stats_snapshot_with_alpha(&mut self, alpha: f64) -> StatsSnapshot {
+        let w = &mut self.stats_window;
+        w.seq += 1;
+        let stream_secs = (self.ingest_max_ts_secs - w.prev_stream_secs).max(0.0);
+        w.prev_stream_secs = self.ingest_max_ts_secs;
+        let ingested_delta = self.ingested - w.prev_ingested;
+        w.prev_ingested = self.ingested;
+        // A window with no stream-time progress cannot measure a rate; the
+        // previous smoothed value stands.
+        let mut rates = [0.0f64; 2];
+        for (s, rate) in rates.iter_mut().enumerate() {
+            let delta = self.ingested_by_stream[s] - w.prev_stream_count[s];
+            w.prev_stream_count[s] = self.ingested_by_stream[s];
+            if stream_secs > 0.0 {
+                let inst = delta as f64 / stream_secs;
+                w.rate_ewma[s] = Some(StatsWindow::smooth(w.rate_ewma[s], inst, alpha));
+            }
+            *rate = w.rate_ewma[s].unwrap_or(0.0);
+        }
+        let n = self.plan.num_nodes();
+        w.prev_in.resize(n, 0);
+        w.prev_out.resize(n, 0);
+        w.sel_ewma.resize(n, None);
+        let mut operators = Vec::with_capacity(n);
+        let mut state_tuples = 0usize;
+        let mut state_bytes = 0usize;
+        for (i, node) in self.plan.nodes().iter().enumerate() {
+            let counters = &self.node_counters[i];
+            let tuples_in = counters.tuples_processed - w.prev_in[i];
+            let tuples_out = counters.items_emitted - w.prev_out[i];
+            w.prev_in[i] = counters.tuples_processed;
+            w.prev_out[i] = counters.items_emitted;
+            if tuples_in > 0 {
+                let inst = tuples_out as f64 / tuples_in as f64;
+                w.sel_ewma[i] = Some(StatsWindow::smooth(w.sel_ewma[i], inst, alpha));
+            }
+            let transient = node.operator.is_transient_buffer();
+            let op_tuples = if transient {
+                0
+            } else {
+                node.operator.state_size()
+            };
+            let op_bytes = if transient {
+                0
+            } else {
+                node.operator.state_bytes()
+            };
+            state_tuples += op_tuples;
+            state_bytes += op_bytes;
+            operators.push(OperatorSnapshot {
+                name: node.operator.name().to_string(),
+                tuples_in,
+                tuples_out,
+                selectivity: w.sel_ewma[i].unwrap_or(1.0),
+                measured: w.sel_ewma[i].is_some(),
+                state_tuples: op_tuples,
+                state_bytes: op_bytes,
+                backlog: self.node_backlog[i],
+            });
+        }
+        let mut sink_out = Vec::new();
+        for (name, id) in self.plan.sinks() {
+            let Ok(node) = self.plan.node(id) else {
+                continue;
+            };
+            if let Some(sink) = node.operator.as_any().downcast_ref::<crate::ops::SinkOp>() {
+                let total = self.carried_sinks.get(&name).copied().unwrap_or(0) + sink.count();
+                let prev = w.prev_sinks.insert(name.clone(), total).unwrap_or(0);
+                sink_out.push((name, total - prev));
+            }
+        }
+        sink_out.sort();
+        StatsSnapshot {
+            seq: w.seq,
+            active_secs: self.active_secs,
+            stream_secs,
+            ingested_delta,
+            rate_a: rates[0],
+            rate_b: rates[1],
+            operators,
+            sink_out,
+            state_tuples,
+            state_bytes,
+            backlog: self.total_backlog,
+            busiest_shard_share: 0.0,
+            router: None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -938,6 +1074,45 @@ mod tests {
         let third = exec.run().unwrap();
         assert!(third.paused_secs >= second.paused_secs);
         assert_eq!(exec.active_secs(), third.elapsed_secs);
+    }
+
+    #[test]
+    fn stats_snapshot_windows_rates_and_selectivities() {
+        let mut exec = Executor::new(join_plan());
+        // Window 1: both streams at 1 tuple per stream-second over 10s, with
+        // keys that never match (selectivity 0 at the join).
+        exec.ingest_all("A", (1..=10).map(|s| a(s, 1))).unwrap();
+        exec.ingest_all("B", (1..=10).map(|s| b(s, 2))).unwrap();
+        exec.run().unwrap();
+        let s1 = exec.stats_snapshot();
+        assert_eq!(s1.seq, 1);
+        assert_eq!(s1.ingested_delta, 20);
+        assert!((s1.stream_secs - 10.0).abs() < 1e-9);
+        assert!((s1.rate_a - 1.0).abs() < 1e-9, "rate_a {}", s1.rate_a);
+        assert!((s1.rate_b - 1.0).abs() < 1e-9, "rate_b {}", s1.rate_b);
+        let join = s1.operator("join").unwrap();
+        assert!(join.measured);
+        assert_eq!(join.tuples_in, 20);
+        assert!(join.selectivity < 1e-9, "no key ever matches");
+        assert!(join.state_tuples > 0, "the window retains state");
+        assert!(s1.state_bytes > 0);
+        assert_eq!(s1.backlog, 0, "sampled at quiescence");
+        assert_eq!(s1.sink_out, vec![("q1".to_string(), 0)]);
+        // Window 2: stream A doubles to 2/sec, stream B stops.  EWMA with
+        // the default alpha 0.5 lands halfway between the windows.
+        exec.ingest_all("A", (0..20).map(|i| a(11 + i / 2, 1)))
+            .unwrap();
+        exec.run().unwrap();
+        let s2 = exec.stats_snapshot();
+        assert_eq!(s2.seq, 2);
+        assert!((s2.stream_secs - 10.0).abs() < 1e-9);
+        assert!((s2.rate_a - 1.5).abs() < 1e-9, "rate_a {}", s2.rate_a);
+        assert!((s2.rate_b - 0.5).abs() < 1e-9, "rate_b {}", s2.rate_b);
+        assert_eq!(s2.ingested_delta, 20);
+        // A third snapshot without progress keeps the smoothed rates.
+        let s3 = exec.stats_snapshot();
+        assert_eq!(s3.ingested_delta, 0);
+        assert!((s3.rate_a - 1.5).abs() < 1e-9, "no progress: EWMA stands");
     }
 
     #[test]

@@ -62,7 +62,9 @@ pub use punctuation::Punctuation;
 pub use queue::StreamItem;
 pub use shard::{RouterStats, ShardSpec, ShardedExecutor};
 pub use skew::{HotKeyTracker, SkewConfig, SpaceSavingSketch};
-pub use stats::{CostCounters, MemoryStats, NodeStats};
+pub use stats::{
+    CostCounters, MemoryStats, NodeStats, OperatorSnapshot, StatsSnapshot, DEFAULT_STATS_ALPHA,
+};
 pub use time::{TimeDelta, Timestamp};
 pub use tuple::{Field, Schema, StreamId, Tuple, TupleRole, Value};
 pub use window::{SliceWindow, WindowSpec};

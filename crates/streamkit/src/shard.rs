@@ -71,6 +71,7 @@ use crate::pool::{Job, WorkerPool, DEFAULT_RING_CAPACITY};
 use crate::predicate::JoinCondition;
 use crate::queue::StreamItem;
 use crate::skew::{HotKeyTracker, SkewConfig};
+use crate::stats::StatsSnapshot;
 use crate::tuple::{KeyClass, StreamId, Tuple};
 
 /// Default number of items the router buffers per shard before forwarding
@@ -189,6 +190,9 @@ pub struct RouterStats {
     pub hot_spread: u64,
     /// Keys promoted to the hot set.
     pub promotions: u64,
+    /// Keys demoted from the hot set after their share decayed (their
+    /// replicated state was migrated back to hash routing).
+    pub demotions: u64,
     /// Times the router blocked on a full worker ring.
     pub stalls: u64,
 }
@@ -538,6 +542,17 @@ impl ShardedExecutor {
                         self.replicate_hot_key(hash)?;
                         self.stats.promotions += 1;
                     }
+                    // Keys whose share decayed below the demotion threshold
+                    // go back to hash routing before this tuple is placed.
+                    let demoted = self
+                        .skew
+                        .as_mut()
+                        .expect("skew enabled above")
+                        .take_demotions();
+                    for cold in demoted {
+                        self.demote_hot_key(cold)?;
+                        self.stats.demotions += 1;
+                    }
                     let tracker = self.skew.as_mut().expect("skew enabled above");
                     if tracker.is_hot(hash) {
                         if t.stream == self.spec.stream_b {
@@ -776,6 +791,90 @@ impl ShardedExecutor {
         Ok(())
     }
 
+    /// Undo [`ShardedExecutor::replicate_hot_key`] for a demoted key: drop
+    /// the replicated probe-side (stream B) copies from every shard except
+    /// the key's hash home (the home kept the originals), and migrate the
+    /// key's build-side (stream A) tuples — spread round-robin while the key
+    /// was hot — back to the home shard.  After this the hash-routing
+    /// invariant holds again for the key: every stored tuple lives on
+    /// `hash % count`, every pair is still produced exactly once, and once
+    /// no hot keys remain shard-count rescaling is unblocked.
+    fn demote_hot_key(&mut self, hash: u64) -> Result<()> {
+        self.quiesce()?;
+        let spec = self.spec;
+        let home = (hash % self.count as u64) as usize;
+        let num_nodes = self.shards[home].plan().num_nodes();
+        let key_matches =
+            |t: &Tuple| tuple_key(t, spec.key_field(t.stream)) == KeyClass::Hash(hash);
+        for node in 0..num_nodes {
+            let node_id = NodeId(node);
+            let mut moved_a: Vec<Tuple> = Vec::new();
+            let mut moved_b: Vec<Tuple> = Vec::new();
+            for shard in (0..self.count).filter(|&s| s != home) {
+                let Some((side_a, side_b)) = self.shards[shard]
+                    .plan_mut()
+                    .node_mut(node_id)?
+                    .operator
+                    .drain_window_states()
+                else {
+                    continue; // stateless / non-migratable operator
+                };
+                let (take_a, keep_a): (Vec<Tuple>, Vec<Tuple>) =
+                    side_a.into_iter().partition(&key_matches);
+                let (take_b, keep_b): (Vec<Tuple>, Vec<Tuple>) =
+                    side_b.into_iter().partition(&key_matches);
+                // Probe-side copies are replicas of the home shard's
+                // originals and are simply dropped; build-side tuples are
+                // unique per shard and migrate home.
+                moved_a.extend(take_a.into_iter().filter(|t| t.stream != spec.stream_b));
+                moved_b.extend(take_b.into_iter().filter(|t| t.stream != spec.stream_b));
+                self.shards[shard]
+                    .plan_mut()
+                    .node_mut(node_id)?
+                    .operator
+                    .load_window_states(keep_a, keep_b);
+            }
+            if moved_a.is_empty() && moved_b.is_empty() {
+                continue;
+            }
+            let Some((mut side_a, mut side_b)) = self.shards[home]
+                .plan_mut()
+                .node_mut(node_id)?
+                .operator
+                .drain_window_states()
+            else {
+                continue;
+            };
+            side_a.extend(moved_a);
+            side_b.extend(moved_b);
+            side_a.sort_by_key(|t| t.ts);
+            side_b.sort_by_key(|t| t.ts);
+            self.shards[home]
+                .plan_mut()
+                .node_mut(node_id)?
+                .operator
+                .load_window_states(side_a, side_b);
+        }
+        Ok(())
+    }
+
+    /// Measured-statistics snapshot of one logical sample, merged across
+    /// shards ([`StatsSnapshot::merge`]), with the router's cumulative
+    /// counters and the busiest shard's load share attached.  Panics while a
+    /// run is in flight — sample between runs, like the per-shard accessors.
+    pub fn stats_snapshot(&mut self) -> StatsSnapshot {
+        self.expect_parked("stats_snapshot()");
+        let snapshots = self
+            .shards
+            .iter_mut()
+            .map(|shard| shard.stats_snapshot())
+            .collect();
+        let mut merged = StatsSnapshot::merge(snapshots);
+        merged.busiest_shard_share = self.stats.busiest_share();
+        merged.router = Some(self.stats.clone());
+        merged
+    }
+
     /// All tuples the named retaining sink collected, gathered across shards
     /// (shard index order; within a shard, the sink's delivery order).
     /// Panics while a run is in flight.
@@ -1010,13 +1109,15 @@ mod tests {
         assert!(exec.enable_skew(SkewConfig::default()).is_err());
     }
 
-    /// A skew config that promotes a heavy key quickly (for tests).
+    /// A skew config that promotes a heavy key quickly and never demotes
+    /// (for the promotion-path tests).
     fn eager_skew() -> SkewConfig {
         SkewConfig {
             hot_share: 0.3,
             min_observations: 8,
             sketch_capacity: 16,
             max_hot_keys: 2,
+            demote_observations: 0,
         }
     }
 
@@ -1074,6 +1175,96 @@ mod tests {
             report.totals.probe_comparisons
         );
         assert_eq!(oracle_report.totals.items_dropped, 0);
+        assert_eq!(report.totals.items_dropped, 0);
+    }
+
+    #[test]
+    fn sharded_stats_snapshot_merges_shards_and_attaches_router_stats() {
+        let plans: Vec<Plan> = (0..2).map(|_| join_plan(false)).collect();
+        let mut exec = ShardedExecutor::new(plans, ShardSpec::symmetric(0)).unwrap();
+        let (aa, bb) = inputs();
+        exec.ingest_all("A", aa).unwrap();
+        exec.ingest_all("B", bb).unwrap();
+        exec.run().unwrap();
+        let snap = exec.stats_snapshot();
+        assert_eq!(snap.seq, 1);
+        assert_eq!(snap.ingested_delta, 120);
+        assert!(snap.rate_a > 0.0 && snap.rate_b > 0.0);
+        assert_eq!(snap.operators.len(), 2, "join + sink, merged shard-wise");
+        let join = snap.operator("join").unwrap();
+        assert_eq!(join.tuples_in, 120, "both shards' inputs sum");
+        let router = snap.router.as_ref().expect("sharded snapshot has router");
+        assert_eq!(router.routed_tuples.iter().sum::<u64>(), 120);
+        assert!(
+            snap.busiest_shard_share >= 0.5,
+            "two shards: max share >= 1/2"
+        );
+        // A second sample with no traffic has zero deltas.
+        let snap2 = exec.stats_snapshot();
+        assert_eq!(snap2.seq, 2);
+        assert_eq!(snap2.ingested_delta, 0);
+        assert_eq!(snap2.operator("join").unwrap().tuples_in, 0);
+    }
+
+    #[test]
+    fn demoted_hot_key_matches_hash_only_results_and_unblocks_rescale() {
+        // Phase 1 (ts 0..80): key 0 carries ~60% of both streams.  Phase 2
+        // (ts 80..480): key 0 cools to 5% but stays present, so arrivals
+        // after the demotion still probe the migrated state.
+        let mut stream = Vec::new();
+        let heavy = |i: usize| if i % 5 < 3 { 0 } else { (i % 5) as i64 };
+        for i in 0..80usize {
+            stream.push(a(i as u64, heavy(i)));
+            stream.push(b(i as u64, heavy(i + 1)));
+        }
+        let cool = |i: usize| {
+            if i.is_multiple_of(20) {
+                0
+            } else {
+                (i % 6 + 1) as i64
+            }
+        };
+        for i in 0..400usize {
+            let ts = (80 + i) as u64;
+            stream.push(a(ts, cool(i)));
+            stream.push(b(ts, cool(i + 3)));
+        }
+        stream.sort_by_key(|t| t.ts);
+        let run = |skew: Option<SkewConfig>, shards: usize| {
+            let plans: Vec<Plan> = (0..shards).map(|_| join_plan(true)).collect();
+            let mut exec = ShardedExecutor::new(plans, ShardSpec::symmetric(0)).unwrap();
+            if let Some(cfg) = skew {
+                exec.enable_skew(cfg).unwrap();
+                exec.set_router_batch(8);
+            }
+            for t in &stream {
+                let entry = if t.stream == StreamId::A { "A" } else { "B" };
+                exec.ingest(entry, t.clone()).unwrap();
+            }
+            let report = exec.run().unwrap();
+            (exec, report)
+        };
+        let (oracle, oracle_report) = run(None, 1);
+        let cfg = SkewConfig {
+            demote_observations: 30,
+            ..eager_skew()
+        };
+        let (skewed, report) = run(Some(cfg), 4);
+        assert!(skewed.router_stats().promotions > 0, "key 0 promotes");
+        assert!(
+            skewed.router_stats().demotions > 0,
+            "key 0 demotes once its share decays below hot_share/2"
+        );
+        assert!(
+            !skewed.has_hot_keys(),
+            "an empty hot set unblocks shard-count rescaling"
+        );
+        // Un-replication must preserve the exactly-once result multiset.
+        assert_eq!(
+            result_fingerprints(oracle.sink_collected("q1")),
+            result_fingerprints(skewed.sink_collected("q1"))
+        );
+        assert_eq!(oracle_report.sink_count("q1"), report.sink_count("q1"));
         assert_eq!(report.totals.items_dropped, 0);
     }
 

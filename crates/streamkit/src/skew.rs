@@ -1,6 +1,7 @@
 //! Skew detection for the sharded router: a space-bounded heavy-hitter
-//! sketch over canonical join-key hashes, plus the sticky hot-key set that
-//! switches keys from hash routing to replicate-to-all-shards routing.
+//! sketch over canonical join-key hashes, plus the hot-key set that switches
+//! keys from hash routing to replicate-to-all-shards routing (and back, once
+//! they cool down).
 //!
 //! Hash partitioning on the join key balances load only when the key
 //! frequencies do: under a Zipf-skewed key distribution one shard receives
@@ -17,8 +18,12 @@
 //!
 //! Each result pair is still produced exactly once (the A tuple lives in
 //! exactly one shard; B is everywhere), so no dedup pass is needed beyond
-//! the existing union/sink wiring.  Promotion is sticky: demotion would
-//! require un-replicating state and is left out deliberately.
+//! the existing union/sink wiring.  Promotion is **not** sticky: a hot key
+//! whose guaranteed share decays below half the promotion threshold for
+//! [`SkewConfig::demote_observations`] consecutive observations is demoted —
+//! the tracker queues it in [`HotKeyTracker::take_demotions`] and the router
+//! migrates its state back to plain hash routing, so a transient hot spot no
+//! longer blocks shard-count rescaling forever.
 
 /// Configuration of the hot-key detector.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,6 +38,12 @@ pub struct SkewConfig {
     pub sketch_capacity: usize,
     /// Upper bound on promoted keys; replication cost grows with each.
     pub max_hot_keys: usize,
+    /// A hot key whose guaranteed share stays below `hot_share / 2` for this
+    /// many consecutive observations is demoted back to hash routing.  The
+    /// half-threshold hysteresis band keeps a key oscillating around
+    /// `hot_share` from thrashing between promotion and demotion.  `0`
+    /// disables demotion (the old sticky behaviour).
+    pub demote_observations: u64,
 }
 
 impl Default for SkewConfig {
@@ -42,6 +53,7 @@ impl Default for SkewConfig {
             min_observations: 128,
             sketch_capacity: 64,
             max_hot_keys: 4,
+            demote_observations: 256,
         }
     }
 }
@@ -129,12 +141,19 @@ impl SpaceSavingSketch {
     }
 }
 
-/// Tracks key frequencies and the sticky hot set for the sharded router.
+/// Tracks key frequencies and the hot set for the sharded router, promoting
+/// heavy keys and demoting keys whose share has decayed (see the module
+/// docs).
 #[derive(Debug, Clone)]
 pub struct HotKeyTracker {
     config: SkewConfig,
     sketch: SpaceSavingSketch,
     hot: Vec<u64>,
+    /// Per-hot-key count of consecutive observations with guaranteed share
+    /// below `hot_share / 2`, parallel to `hot`.
+    decay: Vec<u64>,
+    /// Keys demoted since the last [`HotKeyTracker::take_demotions`] call.
+    pending_demotions: Vec<u64>,
     spread_next: usize,
 }
 
@@ -146,6 +165,8 @@ impl HotKeyTracker {
             config,
             sketch,
             hot: Vec::new(),
+            decay: Vec::new(),
+            pending_demotions: Vec::new(),
             spread_next: 0,
         }
     }
@@ -158,8 +179,13 @@ impl HotKeyTracker {
     /// Observe one keyed tuple.  Returns `true` exactly when this
     /// observation promotes `key` to the hot set (the caller must then
     /// replicate the key's stored bucket before routing anything else).
+    /// Every observation also advances the demotion decay counters of the
+    /// current hot keys; demoted keys queue up in
+    /// [`HotKeyTracker::take_demotions`] and may be re-promoted later if
+    /// their share recovers.
     pub fn observe(&mut self, key: u64) -> bool {
         self.sketch.observe(key);
+        self.update_decay();
         if self.hot.contains(&key) || self.hot.len() >= self.config.max_hot_keys {
             return false;
         }
@@ -172,10 +198,49 @@ impl HotKeyTracker {
         let guaranteed = count.saturating_sub(error) as f64;
         if guaranteed / self.sketch.total() as f64 >= self.config.hot_share {
             self.hot.push(key);
+            self.decay.push(0);
             true
         } else {
             false
         }
+    }
+
+    /// Advance every hot key's decay counter: below half the promotion
+    /// threshold the counter grows, at or above it the counter resets, and a
+    /// counter reaching [`SkewConfig::demote_observations`] demotes the key.
+    fn update_decay(&mut self) {
+        if self.config.demote_observations == 0 || self.hot.is_empty() {
+            return;
+        }
+        let total = self.sketch.total() as f64;
+        let threshold = self.config.hot_share / 2.0;
+        let mut i = 0;
+        while i < self.hot.len() {
+            let key = self.hot[i];
+            let guaranteed = self
+                .sketch
+                .estimate(key)
+                .map_or(0.0, |(count, error)| count.saturating_sub(error) as f64);
+            if guaranteed / total < threshold {
+                self.decay[i] += 1;
+            } else {
+                self.decay[i] = 0;
+            }
+            if self.decay[i] >= self.config.demote_observations {
+                self.hot.remove(i);
+                self.decay.remove(i);
+                self.pending_demotions.push(key);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Keys demoted since the last call, in demotion order.  The caller must
+    /// migrate each key's replicated state back to hash routing (the router
+    /// does this in `ShardedExecutor::demote_hot_key`).
+    pub fn take_demotions(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.pending_demotions)
     }
 
     /// Whether `key` is in the hot set.
@@ -239,6 +304,7 @@ mod tests {
             min_observations: 10,
             sketch_capacity: 8,
             max_hot_keys: 2,
+            demote_observations: 0,
         });
         for _ in 0..9 {
             assert!(!t.observe(42), "no promotion before min observations");
@@ -255,6 +321,7 @@ mod tests {
             min_observations: 4,
             sketch_capacity: 8,
             max_hot_keys: 1,
+            demote_observations: 0,
         });
         // Interleave two keys at 50% each: first to cross gets the only slot.
         let mut promotions = 0;
@@ -274,11 +341,70 @@ mod tests {
             min_observations: 4,
             sketch_capacity: 8,
             max_hot_keys: 4,
+            demote_observations: 0,
         });
         for i in 0..100u64 {
             assert!(!t.observe(i % 10), "10% share below 40% threshold");
         }
         assert!(t.hot_keys().is_empty());
+    }
+
+    #[test]
+    fn hot_key_demotes_after_share_decay_and_can_repromote() {
+        let mut t = HotKeyTracker::new(SkewConfig {
+            hot_share: 0.5,
+            min_observations: 4,
+            sketch_capacity: 8,
+            max_hot_keys: 2,
+            demote_observations: 10,
+        });
+        for i in 0..4 {
+            let promoted = t.observe(7);
+            assert_eq!(promoted, i == 3, "promotion on the 4th observation");
+        }
+        assert!(t.is_hot(7));
+        // A cold-key flood decays 7's share: guaranteed 4/total drops below
+        // hot_share/2 = 0.25 past 16 observations, and 10 consecutive
+        // low-share observations demote.
+        for i in 0..40u64 {
+            assert!(!t.observe(100 + (i % 4)));
+            if !t.is_hot(7) {
+                break;
+            }
+        }
+        assert!(!t.is_hot(7), "decayed key must be demoted");
+        assert_eq!(t.take_demotions(), vec![7]);
+        assert!(t.take_demotions().is_empty(), "demotions drain once");
+        // The demoted key can re-promote when its share recovers.
+        let mut repromoted = false;
+        for _ in 0..400 {
+            if t.observe(7) {
+                repromoted = true;
+                break;
+            }
+        }
+        assert!(repromoted, "a recovered key promotes again");
+        assert!(t.is_hot(7));
+    }
+
+    #[test]
+    fn demotion_disabled_keeps_promotions_sticky() {
+        let mut t = HotKeyTracker::new(SkewConfig {
+            hot_share: 0.5,
+            min_observations: 4,
+            sketch_capacity: 8,
+            max_hot_keys: 2,
+            demote_observations: 0,
+        });
+        for _ in 0..4 {
+            t.observe(7);
+        }
+        assert!(t.is_hot(7));
+        for i in 0..200u64 {
+            t.observe(100 + (i % 4));
+        }
+        assert!(t.is_hot(7), "demote_observations = 0 is sticky");
+        assert!(t.take_demotions().is_empty());
     }
 
     #[test]

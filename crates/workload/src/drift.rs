@@ -1,0 +1,286 @@
+//! Piecewise-drifting workloads: scheduled rate / selectivity / key-skew
+//! shifts at stream timestamps.
+//!
+//! A [`DriftProfile`] is a base [`WorkloadConfig`] plus an ordered list of
+//! [`DriftPhase`]s.  Each phase pins the arrival rate, join selectivity and
+//! key distribution from its start timestamp until the next phase (the last
+//! phase runs to the base duration).  Within a phase, generation works
+//! exactly like [`StreamGenerator`] — Poisson arrivals, key-domain-driven
+//! `S⋈`, a filtered value attribute — with a phase-distinct sub-seed, and
+//! the segment is shifted to the phase's start time.
+//!
+//! This is the input side of the adaptive re-optimization experiments: a
+//! statically planned chain is optimal for exactly one phase, and the
+//! supervisor's drift detectors have to notice every transition.
+
+use streamkit::tuple::{StreamId, Tuple};
+use streamkit::TimeDelta;
+
+use crate::generator::{KeyDistribution, StreamGenerator, WorkloadConfig};
+
+/// One stationary segment of a drifting workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftPhase {
+    /// Stream-time second this phase starts at (the first phase must start
+    /// at 0).
+    pub at_secs: f64,
+    /// Arrival rate per stream during the phase, tuples/second.
+    pub rate: f64,
+    /// Join selectivity `S⋈` during the phase.
+    pub sel_join: f64,
+    /// Join-key distribution during the phase.
+    pub key_dist: KeyDistribution,
+}
+
+impl DriftPhase {
+    /// A phase taking its rate / selectivity / distribution from `config`.
+    pub fn from_config(at_secs: f64, config: &WorkloadConfig) -> Self {
+        DriftPhase {
+            at_secs,
+            rate: config.rate,
+            sel_join: config.sel_join,
+            key_dist: config.key_dist,
+        }
+    }
+}
+
+/// A piecewise-stationary workload: scheduled drift over a base
+/// configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftProfile {
+    base: WorkloadConfig,
+    phases: Vec<DriftPhase>,
+}
+
+impl DriftProfile {
+    /// Build and validate a profile.  Phases must be non-empty, start at 0,
+    /// have strictly increasing start times inside the base duration, and
+    /// each phase must form a valid [`WorkloadConfig`] on its own.
+    pub fn new(base: WorkloadConfig, phases: Vec<DriftPhase>) -> Result<Self, String> {
+        if phases.is_empty() {
+            return Err("a drift profile needs at least one phase".to_string());
+        }
+        if phases[0].at_secs != 0.0 {
+            return Err(format!(
+                "the first phase must start at 0, not {}",
+                phases[0].at_secs
+            ));
+        }
+        let mut prev = -1.0;
+        for (i, phase) in phases.iter().enumerate() {
+            if phase.at_secs <= prev {
+                return Err(format!(
+                    "phase {i} starts at {} which is not after {prev}",
+                    phase.at_secs
+                ));
+            }
+            if phase.at_secs >= base.duration_secs {
+                return Err(format!(
+                    "phase {i} starts at {} beyond the duration {}",
+                    phase.at_secs, base.duration_secs
+                ));
+            }
+            prev = phase.at_secs;
+        }
+        let profile = DriftProfile { base, phases };
+        for i in 0..profile.phases.len() {
+            profile
+                .phase_config(i)
+                .validate()
+                .map_err(|e| format!("phase {i}: {e}"))?;
+        }
+        Ok(profile)
+    }
+
+    /// A control profile with no drift: one phase covering the whole run.
+    pub fn stationary(base: WorkloadConfig) -> Self {
+        let phases = vec![DriftPhase::from_config(0.0, &base)];
+        DriftProfile { base, phases }
+    }
+
+    /// The base configuration (duration, filter selectivity, seed).
+    pub fn base(&self) -> &WorkloadConfig {
+        &self.base
+    }
+
+    /// The scheduled phases, in start order.
+    pub fn phases(&self) -> &[DriftPhase] {
+        &self.phases
+    }
+
+    /// `true` when the profile actually drifts (more than one phase).
+    pub fn drifts(&self) -> bool {
+        self.phases.len() > 1
+    }
+
+    /// The phase transition timestamps (excluding 0), in seconds — the
+    /// moments an adaptive executor should notice.
+    pub fn transitions(&self) -> Vec<f64> {
+        self.phases[1..].iter().map(|p| p.at_secs).collect()
+    }
+
+    /// End of phase `i`, in seconds.
+    fn phase_end(&self, i: usize) -> f64 {
+        self.phases
+            .get(i + 1)
+            .map(|p| p.at_secs)
+            .unwrap_or(self.base.duration_secs)
+    }
+
+    /// The phase active at stream-time `secs`.
+    pub fn phase_at(&self, secs: f64) -> &DriftPhase {
+        let idx = self
+            .phases
+            .partition_point(|p| p.at_secs <= secs)
+            .saturating_sub(1);
+        &self.phases[idx]
+    }
+
+    /// The stand-alone [`WorkloadConfig`] describing phase `i` (its duration
+    /// is the phase span; the seed is phase-distinct).
+    pub fn phase_config(&self, i: usize) -> WorkloadConfig {
+        let phase = &self.phases[i];
+        WorkloadConfig {
+            rate: phase.rate,
+            duration_secs: self.phase_end(i) - phase.at_secs,
+            sel_join: phase.sel_join,
+            sel_filter: self.base.sel_filter,
+            seed: self
+                .base
+                .seed
+                .wrapping_mul(0x2545_F491_4F6C_DD1D)
+                .wrapping_add(i as u64),
+            key_dist: phase.key_dist,
+        }
+    }
+
+    /// Generate one stream's tuples across all phases, in timestamp order.
+    pub fn generate(&self, stream: StreamId) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        for i in 0..self.phases.len() {
+            let offset = TimeDelta::from_secs_f64(self.phases[i].at_secs);
+            let segment = StreamGenerator::new(self.phase_config(i)).generate(stream);
+            out.extend(segment.into_iter().map(|mut t| {
+                t.ts = t.ts + offset;
+                t
+            }));
+        }
+        out
+    }
+
+    /// Generate both streams: `(stream A, stream B)`.
+    pub fn generate_pair(&self) -> (Vec<Tuple>, Vec<Tuple>) {
+        (self.generate(StreamId::A), self.generate(StreamId::B))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::JOIN_KEY_FIELD;
+    use streamkit::tuple::Value;
+
+    fn base() -> WorkloadConfig {
+        WorkloadConfig {
+            rate: 50.0,
+            duration_secs: 60.0,
+            sel_join: 0.1,
+            sel_filter: 1.0,
+            seed: 7,
+            key_dist: KeyDistribution::Uniform,
+        }
+    }
+
+    fn two_phase() -> DriftProfile {
+        DriftProfile::new(
+            base(),
+            vec![
+                DriftPhase {
+                    at_secs: 0.0,
+                    rate: 50.0,
+                    sel_join: 0.1,
+                    key_dist: KeyDistribution::Uniform,
+                },
+                DriftPhase {
+                    at_secs: 30.0,
+                    rate: 150.0,
+                    sel_join: 0.002,
+                    key_dist: KeyDistribution::Uniform,
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_malformed_schedules() {
+        let phase = |at| DriftPhase {
+            at_secs: at,
+            rate: 10.0,
+            sel_join: 0.1,
+            key_dist: KeyDistribution::Uniform,
+        };
+        assert!(DriftProfile::new(base(), vec![]).is_err());
+        assert!(DriftProfile::new(base(), vec![phase(5.0)]).is_err());
+        assert!(DriftProfile::new(base(), vec![phase(0.0), phase(0.0)]).is_err());
+        assert!(DriftProfile::new(base(), vec![phase(0.0), phase(90.0)]).is_err());
+        let mut bad_rate = phase(30.0);
+        bad_rate.rate = 0.0;
+        assert!(DriftProfile::new(base(), vec![phase(0.0), bad_rate]).is_err());
+        assert!(DriftProfile::new(base(), vec![phase(0.0), phase(30.0)]).is_ok());
+    }
+
+    #[test]
+    fn stationary_profile_matches_the_plain_generator() {
+        let profile = DriftProfile::stationary(base());
+        assert!(!profile.drifts());
+        assert!(profile.transitions().is_empty());
+        // Same arrivals-and-keys machinery, just a phase-derived seed.
+        let direct = StreamGenerator::new(profile.phase_config(0)).generate(StreamId::A);
+        assert_eq!(profile.generate(StreamId::A), direct);
+    }
+
+    #[test]
+    fn phases_shift_rate_and_key_domain_at_the_boundary() {
+        let profile = two_phase();
+        assert!(profile.drifts());
+        assert_eq!(profile.transitions(), vec![30.0]);
+        assert_eq!(profile.phase_at(0.0).rate, 50.0);
+        assert_eq!(profile.phase_at(29.9).sel_join, 0.1);
+        assert_eq!(profile.phase_at(30.0).sel_join, 0.002);
+        assert_eq!(profile.phase_at(59.0).rate, 150.0);
+        let a = profile.generate(StreamId::A);
+        assert!(a.windows(2).all(|w| w[1].ts >= w[0].ts), "sorted output");
+        let (early, late): (Vec<_>, Vec<_>) = a.iter().partition(|t| t.ts.as_secs_f64() < 30.0);
+        // Rate tripled: both halves cover 30 s of stream time.
+        let observed_ratio = late.len() as f64 / early.len() as f64;
+        assert!(
+            (2.0..=4.5).contains(&observed_ratio),
+            "rate ratio {observed_ratio} not near 3"
+        );
+        // Key domain widened from 10 to 500 at the transition.
+        let max_key = |ts: &[&Tuple]| {
+            ts.iter()
+                .filter_map(|t| match t.value(JOIN_KEY_FIELD) {
+                    Some(&Value::Int(k)) => Some(k),
+                    _ => None,
+                })
+                .max()
+                .unwrap()
+        };
+        assert!(max_key(&early) < 10);
+        assert!(max_key(&late) >= 100);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_phase_seeds_differ() {
+        let profile = two_phase();
+        assert_eq!(profile.generate(StreamId::A), profile.generate(StreamId::A));
+        assert_ne!(profile.generate(StreamId::A), profile.generate(StreamId::B));
+        assert_ne!(
+            profile.phase_config(0).seed,
+            profile.phase_config(1).seed,
+            "phase segments must not replay the same arrivals"
+        );
+    }
+}

@@ -15,16 +15,21 @@
 //! * [`scenario`] — complete experiment scenarios (rate sweeps, parameters)
 //!   used by the figure-reproduction harnesses,
 //! * [`churn`] — Poisson schedules of queries entering/leaving the system
-//!   (drives the live chain re-slicing of `core::live`).
+//!   (drives the live chain re-slicing of `core::live`),
+//! * [`drift`] — piecewise-drifting profiles: scheduled rate / selectivity /
+//!   key-skew shifts (drives the adaptive re-optimization of
+//!   `core::adaptive`).
 
 pub mod churn;
 pub mod distributions;
+pub mod drift;
 pub mod generator;
 pub mod poisson;
 pub mod scenario;
 
 pub use churn::{churn_schedule, ChurnAction, ChurnConfig, ChurnEvent};
 pub use distributions::WindowDistribution;
+pub use drift::{DriftPhase, DriftProfile};
 pub use generator::{
     KeyDistribution, StreamGenerator, WorkloadConfig, JOIN_KEY_FIELD, MAX_ZIPF_DOMAIN, VALUE_FIELD,
 };

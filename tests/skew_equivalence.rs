@@ -58,6 +58,7 @@ fn eager_skew() -> SkewConfig {
         min_observations: 12,
         sketch_capacity: 8,
         max_hot_keys: 2,
+        demote_observations: 0,
     }
 }
 

@@ -200,6 +200,7 @@ fn rescale_refuses_while_hot_keys_are_replicated_and_session_survives() {
         min_observations: 8,
         sketch_capacity: 16,
         max_hot_keys: 2,
+        demote_observations: 0,
     })
     .unwrap();
     let mut live = LiveReslicer::attach(exec, wl, spec, live_options(shards)).unwrap();
