@@ -36,9 +36,18 @@
 //!   under a stationary control (whose adaptation log must stay empty), and
 //!   writes `BENCH_adaptive.json` (`SS_BENCH_REPS` repetitions, default 3,
 //!   best service rate kept per variant).
+//! * **`--recovery`** — runs the fig18-style equi workload (punctuated every
+//!   stream second) under a crash-recovery supervisor twice: uninterrupted,
+//!   and with a deterministic worker panic injected at a mid-stream
+//!   punctuation epoch (recovered from the last punctuation-aligned
+//!   checkpoint plus a replay of the ring), and writes
+//!   `BENCH_recovery.json` with the recovery latency, the replayed-tuple
+//!   volume and the result-equivalence check (`SS_RECOVERY_SHARDS`,
+//!   default 4).
 //!
 //! Usage: `cargo run --release -p ss_bench --bin bench_report
-//! [-- --shards 8 | --batch 256 | --churn 10,30 | --skew 1.2 | --adaptive]`.  Set
+//! [-- --shards 8 | --batch 256 | --churn 10,30 | --skew 1.2 | --adaptive |
+//! --recovery]`.  Set
 //! `SS_DURATION_SECS` to scale the stream length (default 30 s),
 //! `SS_BENCH_RATE` to change the per-stream arrival rate (default 100 t/s)
 //! and `SS_BENCH_OUT` to override the output path.
@@ -46,6 +55,7 @@
 use ss_bench::adaptive::run_adaptive_bench;
 use ss_bench::churn::run_churn_bench;
 use ss_bench::default_duration_secs;
+use ss_bench::recovery::run_recovery_bench;
 use ss_bench::report::{
     run_batch_bench, run_columnar_bench, run_join_bench, run_shard_bench, run_skew_bench,
 };
@@ -151,6 +161,57 @@ fn main() {
     let skew_arg = flag_value("--skew");
     let columnar = args.iter().any(|a| a == "--columnar");
     let adaptive = args.iter().any(|a| a == "--adaptive");
+    let recovery = args.iter().any(|a| a == "--recovery");
+
+    if recovery {
+        let shards = std::env::var("SS_RECOVERY_SHARDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n: &usize| n >= 1)
+            .unwrap_or(4);
+        let out_path =
+            std::env::var("SS_BENCH_OUT").unwrap_or_else(|_| "BENCH_recovery.json".to_string());
+        eprintln!(
+            "# bench_report: crash recovery on the fig18-style equi workload ({duration} s, {rate} t/s, {shards} shard(s))"
+        );
+        let report = run_recovery_bench(duration, rate, shards).expect("recovery bench harness");
+        for run in &report.runs {
+            eprintln!(
+                "{:<14} service rate {:>12.1} t/s, outputs {}, checkpoints {}, recoveries {}",
+                run.name,
+                run.perf.service_rate,
+                run.perf.total_outputs,
+                run.checkpoints,
+                run.recoveries,
+            );
+        }
+        for rec in report.log.recoveries() {
+            eprintln!(
+                "recovered from checkpoint #{} (epoch {}): replayed {} items, dropped {} in-flight, {:.2} ms total ({:.2} ms restore) [{}]",
+                rec.checkpoint_seq,
+                rec.checkpoint_epoch,
+                rec.replayed,
+                rec.dropped_inflight,
+                1e3 * rec.recovery_secs,
+                1e3 * rec.restore_secs,
+                rec.trigger,
+            );
+        }
+        assert!(
+            report.results_match,
+            "crash-recovered results diverged from the uninterrupted session"
+        );
+        assert_eq!(
+            report.log.recoveries().len(),
+            1,
+            "the armed panic must fire exactly one recovery"
+        );
+        let json = report.to_json();
+        std::fs::write(&out_path, &json).expect("write BENCH_recovery.json");
+        eprintln!("# wrote {out_path}");
+        print!("{json}");
+        return;
+    }
 
     if adaptive {
         let reps = std::env::var("SS_BENCH_REPS")

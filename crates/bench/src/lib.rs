@@ -8,7 +8,11 @@
 //!   linear-scan join probes (written to `BENCH_join.json`),
 //! * [`churn`] — the live-query-churn harness: online add/remove of queries
 //!   with in-executor chain re-slicing vs a statically-planned oracle
-//!   (written to `BENCH_churn.json`).
+//!   (written to `BENCH_churn.json`),
+//! * [`recovery`] — the crash-recovery harness: an injected worker panic
+//!   mid-stream, recovered from a punctuation-aligned checkpoint plus
+//!   replay, vs an uninterrupted session (written to
+//!   `BENCH_recovery.json`).
 //!
 //! The binaries `fig11`, `fig17`, `fig18`, `fig19` and `table2` print the
 //! corresponding rows and `bench_report` writes the perf trajectory; the
@@ -19,6 +23,7 @@
 pub mod adaptive;
 pub mod churn;
 pub mod figures;
+pub mod recovery;
 pub mod report;
 pub mod runner;
 pub mod table2;
@@ -29,6 +34,7 @@ pub use figures::{
     fig11_rows, figure_17_18_panels, figure_18_extra_panels, figure_19_panels, format_rows,
     measure_fig19, measure_panels, Fig11Row, MeasuredRow,
 };
+pub use recovery::{run_recovery_bench, RecoveryBenchReport, RecoveryRun};
 pub use report::{run_join_bench, JoinBenchReport, MicrobenchRow, RunPerf, StrategyComparison};
 pub use runner::{build_workload, cost_config, run_strategies, run_strategy, RunMetrics, Strategy};
 pub use table2::{format_table2, table2_trace, TraceRow};

@@ -112,7 +112,7 @@ pub struct JoinBenchReport {
     pub microbench: Vec<MicrobenchRow>,
 }
 
-fn perf_of(report: &streamkit::ExecutionReport) -> RunPerf {
+pub(crate) fn perf_of(report: &streamkit::ExecutionReport) -> RunPerf {
     RunPerf {
         service_rate: report.service_rate(),
         elapsed_secs: report.elapsed_secs,

@@ -34,7 +34,7 @@
 //! stays correct for any slicing of the chain, because slicing never changes
 //! what the union delivers (Theorems 1–2).
 
-use streamkit::error::Result;
+use streamkit::error::{Result, StreamError};
 use streamkit::stats::DEFAULT_STATS_ALPHA;
 use streamkit::StatsSnapshot;
 
@@ -467,7 +467,9 @@ impl Supervisor {
             AdaptationAction::KeepPlan
         } else if modeled_win >= self.config.min_win_ratio * modeled_pause {
             live.set_strategy(strategy, reason)?;
-            let migration = live.migrations().last().expect("non-empty edits migrate");
+            let migration = live.migrations().last().ok_or_else(|| {
+                StreamError::Execution("re-plan applied without recording a migration".to_string())
+            })?;
             AdaptationAction::Replan {
                 strategy: strategy_name.to_string(),
                 merges: migration.merges,
@@ -534,10 +536,11 @@ impl Supervisor {
             let win = chain_cpu * self.horizon_secs(live) * (1.0 - from as f64 / to as f64);
             if win >= self.config.min_win_ratio * modeled_pause {
                 live.rescale_shards(to)?;
-                let migration = live
-                    .migrations()
-                    .last()
-                    .expect("rescale records a migration");
+                let migration = live.migrations().last().ok_or_else(|| {
+                    StreamError::Execution(
+                        "rescale applied without recording a migration".to_string(),
+                    )
+                })?;
                 (
                     win,
                     AdaptationAction::Rescale {

@@ -25,6 +25,9 @@
 //!   running executor via chain re-slicing ([`live::LiveReslicer`]),
 //! * [`adaptive`] — runtime-statistics feedback: drift detectors and the
 //!   [`adaptive::Supervisor`] that re-costs and re-cuts the chain live,
+//! * [`recovery`] — fault tolerance: punctuation-aligned checkpoints, a
+//!   bounded replay ring and the [`recovery::RecoverySupervisor`] that
+//!   restores crashed shards and replays lost input,
 //! * [`verify`] — a brute-force equivalence oracle used by tests.
 //!
 //! # Example
@@ -68,6 +71,7 @@ pub mod live;
 pub mod migration;
 pub mod planner;
 pub mod query;
+pub mod recovery;
 pub mod sliced_binary;
 pub mod sliced_one_way;
 pub mod verify;
@@ -89,6 +93,10 @@ pub use migration::{
 };
 pub use planner::{merge_streams, PlannerOptions, SharedChainPlan, CHAIN_ENTRY};
 pub use query::{JoinQuery, QueryWorkload};
+pub use recovery::{
+    CheckpointRecord, OverflowPolicy, RecoveryConfig, RecoveryLog, RecoveryRecord,
+    RecoverySupervisor,
+};
 pub use sliced_binary::SlicedBinaryJoinOp;
 pub use sliced_one_way::SlicedOneWayJoinOp;
 pub use verify::{collected_fingerprints, expected_fingerprints, expected_results};

@@ -303,12 +303,18 @@ pub fn apply_chain_edits(
                 // that never covered `[to, from)` would have purged exactly
                 // this state into oblivion at its last slice.
                 while ops.last().is_some_and(|o| o.window().start >= to) {
-                    let dropped = ops.pop().expect("peeked");
+                    let dropped = ops.pop().ok_or_else(|| {
+                        StreamError::Execution("truncate lost the slice it just peeked".to_string())
+                    })?;
                     stats.tuples_dropped += dropped.state_len();
                 }
                 if let Some(last) = ops.last() {
                     if last.window().end > to {
-                        let op = ops.pop().expect("peeked");
+                        let op = ops.pop().ok_or_else(|| {
+                            StreamError::Execution(
+                                "truncate lost the slice it just peeked".to_string(),
+                            )
+                        })?;
                         let name = op.name().to_string();
                         stats.tuples_moved += op.state_len();
                         // Truncation is always eager: keeping over-aged state
@@ -378,9 +384,9 @@ fn lift_slice_op(op: &mut SlicedBinaryJoinOp) -> SlicedBinaryJoinOp {
 fn lift_slice_ops(plan: &mut Plan) -> Vec<SlicedBinaryJoinOp> {
     let mut ops = Vec::new();
     for idx in 0..plan.num_nodes() {
-        let node = plan
-            .node_mut(streamkit::NodeId(idx))
-            .expect("index in range");
+        let Ok(node) = plan.node_mut(streamkit::NodeId(idx)) else {
+            continue;
+        };
         if let Some(op) = node
             .operator
             .as_any_mut()
@@ -754,7 +760,11 @@ impl LiveReslicer {
             .collect();
         let new_workload = QueryWorkload::new(queries, self.workload.join_condition().clone())?;
         self.reslice(new_workload, format!("remove {name}"))?;
-        let mut done = self.active.remove(name).expect("checked above");
+        let mut done = self.active.remove(name).ok_or_else(|| {
+            StreamError::Execution(format!(
+                "query '{name}' vanished during its removal reslice"
+            ))
+        })?;
         done.removed_epoch = Some(self.epoch);
         self.finished.push(done.clone());
         Ok(done)

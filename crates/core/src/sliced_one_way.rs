@@ -306,6 +306,20 @@ impl Operator for SlicedOneWayJoinOp {
         self.state.capacity_bytes()
     }
 
+    fn drain_window_states(&mut self) -> Option<(Vec<Tuple>, Vec<Tuple>)> {
+        // One-sided state: the probe stream keeps nothing in this operator.
+        Some((self.state.drain_ordered(), Vec::new()))
+    }
+
+    fn load_window_states(&mut self, side_a: Vec<Tuple>, side_b: Vec<Tuple>) {
+        debug_assert!(
+            side_b.is_empty(),
+            "a one-way sliced join stores only its state stream"
+        );
+        self.state.load_ordered(side_a);
+        self.peak_state = self.peak_state.max(self.state.len());
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }

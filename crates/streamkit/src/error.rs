@@ -19,6 +19,11 @@ pub enum StreamError {
     Parse(String),
     /// Configuration values are inconsistent.
     InvalidConfig(String),
+    /// A shard worker died (panicked or exited) instead of completing its
+    /// work.  Recoverable via `core::recovery::RecoverySupervisor`.
+    WorkerFailed(String),
+    /// Checkpoint capture or restore failed.
+    Checkpoint(String),
 }
 
 impl fmt::Display for StreamError {
@@ -31,6 +36,8 @@ impl fmt::Display for StreamError {
             StreamError::Execution(m) => write!(f, "execution error: {m}"),
             StreamError::Parse(m) => write!(f, "parse error: {m}"),
             StreamError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            StreamError::WorkerFailed(m) => write!(f, "worker failed: {m}"),
+            StreamError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
         }
     }
 }
@@ -54,6 +61,10 @@ mod tests {
         assert!(e.to_string().contains('7'));
         let e = StreamError::Parse("bad token".into());
         assert!(e.to_string().contains("bad token"));
+        let e = StreamError::WorkerFailed("shard 3 panicked".into());
+        assert!(e.to_string().contains("shard 3 panicked"));
+        let e = StreamError::Checkpoint("no checkpoint taken yet".into());
+        assert!(e.to_string().contains("no checkpoint taken yet"));
     }
 
     #[test]

@@ -9,6 +9,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use crate::error::{Result, StreamError};
+use crate::fault::{FaultKind, FaultPlan, FAULT_PANIC_PREFIX};
 use crate::operator::{OpContext, PortId};
 use crate::plan::Plan;
 use crate::queue::{Queue, StreamItem};
@@ -36,6 +37,9 @@ pub struct ExecutorConfig {
     /// are identical either way (pinned by `tests/batch_equivalence.rs`);
     /// the toggle exists so the speedup stays measurable.
     pub vectorized: bool,
+    /// Deterministic fault to inject (crash-recovery testing only; `None`
+    /// in production).  See [`crate::fault`].
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for ExecutorConfig {
@@ -49,6 +53,7 @@ impl Default for ExecutorConfig {
             memory_sample_every: 256,
             max_rounds: u64::MAX,
             vectorized: true,
+            fault: None,
         }
     }
 }
@@ -220,6 +225,16 @@ pub struct Executor {
     scratch_group: Vec<StreamItem>,
     /// Reusable per-round buffer.
     order_buf: Vec<usize>,
+    /// Punctuation epochs seen at ingest (each ingested punctuation is one
+    /// epoch boundary) — the clock faults and checkpoints align to.
+    punct_epochs: u64,
+    /// Whether the armed fault (if any) has already fired.  Survives
+    /// checkpoint restore and replay, so recovery never re-triggers the
+    /// crash it is recovering from.
+    fault_fired: bool,
+    /// A `FaultKind::PoisonRun` trigger was reached: panic mid-run, after
+    /// the next scheduler round has partially processed the backlog.
+    fault_poison_armed: bool,
 }
 
 impl Executor {
@@ -260,6 +275,9 @@ impl Executor {
             scratch_run: Vec::new(),
             scratch_group: Vec::new(),
             order_buf: Vec::new(),
+            punct_epochs: 0,
+            fault_fired: false,
+            fault_poison_armed: false,
         }
     }
 
@@ -367,6 +385,42 @@ impl Executor {
         Ok(old)
     }
 
+    /// Crash-recovery variant of [`Executor::swap_plan`]: replace the plan
+    /// of an executor whose state is *suspect* (a caught worker panic may
+    /// have interrupted it mid-run).  Unlike `swap_plan` it
+    ///
+    /// * tolerates queued items — they belong to work the crash lost and
+    ///   are dropped (the recovery supervisor re-delivers everything since
+    ///   the checkpoint from its replay ring),
+    /// * folds the old operators' cost counters into the carried totals
+    ///   (the CPU work genuinely happened; replayed work is then honestly
+    ///   counted a second time and reported separately as replay volume),
+    /// * does **not** fold the old sinks' delivery counts — the checkpoint
+    ///   restores sink state absolutely, and replay re-delivers the
+    ///   post-checkpoint results, so carrying the crashed plan's counts
+    ///   would double-count them.
+    ///
+    /// Returns the number of queued items that were dropped.
+    pub fn recover_plan(&mut self, plan: Plan) -> usize {
+        let dropped = self.total_backlog;
+        for counters in &self.node_counters {
+            self.carried_totals.add(counters);
+        }
+        self.plan = plan;
+        self.queues = Self::build_queues(&self.plan);
+        self.routing = Self::build_routing(&self.plan);
+        let n = self.plan.num_nodes();
+        self.node_counters = vec![CostCounters::default(); n];
+        self.peak_state = vec![0; n];
+        self.peak_state_bytes = vec![0; n];
+        self.node_backlog = vec![0; n];
+        self.total_backlog = 0;
+        self.processed_since_sample = 0;
+        self.fault_poison_armed = false;
+        self.stats_window.reset_nodes();
+        dropped
+    }
+
     /// Track per-stream ingest counts and stream-time progress for
     /// [`Executor::stats_snapshot`]'s measured arrival rates.
     fn meter_ingest(&mut self, item: &StreamItem) {
@@ -380,6 +434,80 @@ impl Executor {
             if secs > self.ingest_max_ts_secs {
                 self.ingest_max_ts_secs = secs;
             }
+        }
+    }
+
+    /// Arm a deterministic fault on this executor (overrides any fault the
+    /// config was built with).  See [`crate::fault`].
+    pub fn arm_fault(&mut self, plan: FaultPlan) {
+        self.config.fault = Some(plan);
+        self.fault_fired = false;
+        self.fault_poison_armed = false;
+    }
+
+    /// Punctuation epochs ingested so far (each punctuation is one epoch).
+    pub fn punctuation_epochs(&self) -> u64 {
+        self.punct_epochs
+    }
+
+    /// Whether the armed fault (if any) has already fired.
+    pub fn fault_fired(&self) -> bool {
+        self.fault_fired
+    }
+
+    /// Ingest-progress counters a checkpoint captures: `(ingested tuples,
+    /// per-stream ingest counts, max ingested timestamp in seconds,
+    /// punctuation epochs)`.
+    pub fn ingest_progress(&self) -> (u64, [u64; 2], f64, u64) {
+        (
+            self.ingested,
+            self.ingested_by_stream,
+            self.ingest_max_ts_secs,
+            self.punct_epochs,
+        )
+    }
+
+    /// Restore checkpointed ingest progress (absolute: replay re-counts the
+    /// post-checkpoint input exactly once).  Also resets the incremental
+    /// statistics window — windowed deltas spanning a recovery would
+    /// underflow against the rolled-back cumulative counters.
+    pub fn restore_ingest_progress(
+        &mut self,
+        ingested: u64,
+        by_stream: [u64; 2],
+        max_ts_secs: f64,
+        punct_epochs: u64,
+    ) {
+        self.ingested = ingested;
+        self.ingested_by_stream = by_stream;
+        self.ingest_max_ts_secs = max_ts_secs;
+        self.punct_epochs = punct_epochs;
+        self.stats_window = StatsWindow::default();
+    }
+
+    /// Advance the punctuation-epoch clock and fire the armed fault when
+    /// its trigger epoch is reached.  `Panic` unwinds right here, inside
+    /// the worker's ingest (caught by the pool's `catch_unwind` barrier);
+    /// `Stall` sleeps so the shard's bounded ring fills behind it;
+    /// `PoisonRun` arms a panic for the middle of the next run.
+    fn note_punctuation(&mut self) {
+        self.punct_epochs += 1;
+        let Some(fault) = self.config.fault else {
+            return;
+        };
+        if self.fault_fired || self.punct_epochs < fault.at_epoch {
+            return;
+        }
+        self.fault_fired = true;
+        match fault.kind {
+            FaultKind::Panic => panic!(
+                "{FAULT_PANIC_PREFIX}: injected worker panic at punctuation epoch {}",
+                self.punct_epochs
+            ),
+            FaultKind::Stall { millis } => {
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+            }
+            FaultKind::PoisonRun => self.fault_poison_armed = true,
         }
     }
 
@@ -401,13 +529,17 @@ impl Executor {
     pub fn ingest(&mut self, entry: &str, item: impl Into<StreamItem>) -> Result<()> {
         let (node, port) = self.plan.entry(entry)?;
         let item = item.into();
-        if !item.is_punctuation() {
+        let is_punct = item.is_punctuation();
+        if !is_punct {
             self.ingested += 1;
             self.meter_ingest(&item);
         }
         self.queues[node.0][port].push(item);
         self.node_backlog[node.0] += 1;
         self.total_backlog += 1;
+        if is_punct {
+            self.note_punctuation();
+        }
         Ok(())
     }
 
@@ -422,12 +554,21 @@ impl Executor {
         let mut pushed = 0usize;
         for item in items {
             let item = item.into();
-            if !item.is_punctuation() {
+            let is_punct = item.is_punctuation();
+            if !is_punct {
                 self.ingested += 1;
                 self.meter_ingest(&item);
             }
             self.queues[node.0][port].push(item);
             pushed += 1;
+            if is_punct {
+                // Settle backlog accounting before the epoch hook: an
+                // injected panic must not leave pushed items uncounted.
+                self.node_backlog[node.0] += pushed;
+                self.total_backlog += pushed;
+                pushed = 0;
+                self.note_punctuation();
+            }
         }
         self.node_backlog[node.0] += pushed;
         self.total_backlog += pushed;
@@ -568,7 +709,12 @@ impl Executor {
                     while let Some((_, next)) = iter.next_if(|(p, _)| *p == out_port) {
                         group_buf.push(next);
                     }
-                    let (last, rest) = destinations.split_last().expect("len >= 2");
+                    // The 0-destination arm above makes this infallible;
+                    // treat an impossible empty fan-out like a dangling
+                    // port rather than panicking mid-route.
+                    let Some((last, rest)) = destinations.split_last() else {
+                        continue;
+                    };
                     for &(to, to_port) in rest {
                         queues[to][to_port].extend(group_buf.iter().cloned());
                         node_backlog[to] += group_buf.len();
@@ -695,6 +841,13 @@ impl Executor {
                 }
             }
             self.order_buf = order;
+            if self.fault_poison_armed {
+                // The round above partially processed the backlog; panicking
+                // here leaves genuinely mid-run state (queued items, staged
+                // outputs) for recovery to discard.
+                self.fault_poison_armed = false;
+                panic!("{FAULT_PANIC_PREFIX}: injected mid-run poison after round {rounds}");
+            }
             if !any {
                 // Defensive: queues are non-empty but nothing was consumable.
                 return Err(StreamError::Execution(

@@ -1,0 +1,149 @@
+//! Deterministic fault injection for crash-recovery testing.
+//!
+//! A [`FaultPlan`] arms one reproducible failure on an
+//! [`Executor`](crate::executor::Executor): a worker panic when a given
+//! punctuation epoch is reached, a worker stall (which fills the shard's
+//! input ring and backpressures the router), or a poisoned run (a panic
+//! fired *mid-run*, after the scheduler has partially processed the
+//! backlog, leaving harder-to-repair in-flight state than an
+//! ingest-boundary panic).  Plans are plain data threaded through
+//! [`ExecutorConfig`](crate::executor::ExecutorConfig) — or armed on one
+//! shard via
+//! [`ShardedExecutor::arm_fault`](crate::shard::ShardedExecutor::arm_fault)
+//! — so every failure mode is exactly reproducible in tests and benches.
+//!
+//! Injected panics carry the [`FAULT_PANIC_PREFIX`] marker so test panic
+//! hooks can silence the intentional ones without hiding real failures.
+
+/// Marker prefix of every injected panic message.
+pub const FAULT_PANIC_PREFIX: &str = "ss-fault-inject";
+
+/// The failure mode a [`FaultPlan`] injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic the worker thread while it ingests the trigger punctuation.
+    Panic,
+    /// Stall the worker for this many milliseconds at the trigger
+    /// punctuation.  The shard's bounded input ring fills behind it and the
+    /// stall surfaces in the router's `stalls` counter.
+    Stall {
+        /// Stall duration in milliseconds.
+        millis: u64,
+    },
+    /// Arm a panic that fires mid-run, after at least one scheduler round
+    /// has partially processed the backlog.
+    PoisonRun,
+}
+
+/// One armed, reproducible fault: fire `kind` at the first punctuation
+/// epoch `>= at_epoch` (epochs count ingested punctuations, starting at 1).
+///
+/// The fault fires **once** per executor lifetime: the fired flag survives
+/// checkpoint restore and input replay, so recovery does not re-trigger the
+/// crash it is recovering from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Punctuation epoch (1-based) at which to inject it.
+    pub at_epoch: u64,
+}
+
+impl FaultPlan {
+    /// Panic the worker at punctuation epoch `epoch`.
+    pub fn panic_at(epoch: u64) -> FaultPlan {
+        FaultPlan {
+            kind: FaultKind::Panic,
+            at_epoch: epoch,
+        }
+    }
+
+    /// Stall the worker for `millis` ms at punctuation epoch `epoch`.
+    pub fn stall_at(epoch: u64, millis: u64) -> FaultPlan {
+        FaultPlan {
+            kind: FaultKind::Stall { millis },
+            at_epoch: epoch,
+        }
+    }
+
+    /// Arm a mid-run panic at punctuation epoch `epoch`.
+    pub fn poison_at(epoch: u64) -> FaultPlan {
+        FaultPlan {
+            kind: FaultKind::PoisonRun,
+            at_epoch: epoch,
+        }
+    }
+
+    /// Derive a plan deterministically from a seed: the epoch lands in
+    /// `1..=max_epoch` and the kind cycles through all three failure modes.
+    /// The same seed always yields the same plan (splitmix64, no global
+    /// RNG), which is what makes seed-driven fault campaigns replayable.
+    pub fn from_seed(seed: u64, max_epoch: u64) -> FaultPlan {
+        let mut state = seed;
+        let at_epoch = 1 + splitmix64(&mut state) % max_epoch.max(1);
+        let kind = match splitmix64(&mut state) % 3 {
+            0 => FaultKind::Panic,
+            1 => FaultKind::Stall {
+                millis: 1 + splitmix64(&mut state) % 20,
+            },
+            _ => FaultKind::PoisonRun,
+        };
+        FaultPlan { kind, at_epoch }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_in_range() {
+        for seed in 0..200u64 {
+            let a = FaultPlan::from_seed(seed, 7);
+            let b = FaultPlan::from_seed(seed, 7);
+            assert_eq!(a, b, "same seed, same plan");
+            assert!((1..=7).contains(&a.at_epoch), "epoch {}", a.at_epoch);
+            if let FaultKind::Stall { millis } = a.kind {
+                assert!((1..=20).contains(&millis));
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_cover_all_three_failure_modes() {
+        let kinds: std::collections::HashSet<u64> = (0..64)
+            .map(|seed| match FaultPlan::from_seed(seed, 5).kind {
+                FaultKind::Panic => 0,
+                FaultKind::Stall { .. } => 1,
+                FaultKind::PoisonRun => 2,
+            })
+            .collect();
+        assert_eq!(kinds.len(), 3, "64 seeds must hit every failure mode");
+    }
+
+    #[test]
+    fn constructors_set_the_obvious_fields() {
+        assert_eq!(
+            FaultPlan::panic_at(3),
+            FaultPlan {
+                kind: FaultKind::Panic,
+                at_epoch: 3
+            }
+        );
+        assert_eq!(
+            FaultPlan::stall_at(2, 10).kind,
+            FaultKind::Stall { millis: 10 }
+        );
+        assert_eq!(FaultPlan::poison_at(4).kind, FaultKind::PoisonRun);
+        // A zero max_epoch still produces a valid (epoch 1) plan.
+        assert_eq!(FaultPlan::from_seed(1, 0).at_epoch, 1);
+    }
+}

@@ -30,9 +30,11 @@
 //! [Wang et al., VLDB 2006]: https://dl.acm.org/doi/10.5555/1182635.1164186
 
 pub mod arena;
+pub mod checkpoint;
 pub mod columnar;
 pub mod error;
 pub mod executor;
+pub mod fault;
 pub mod join_state;
 pub mod operator;
 pub mod ops;
@@ -50,9 +52,11 @@ pub mod tuple;
 pub mod window;
 
 pub use arena::TupleArena;
+pub use checkpoint::{Checkpoint, NodeCheckpoint, ShardCheckpoint, CHECKPOINT_VERSION};
 pub use columnar::ColumnBatch;
 pub use error::{Result, StreamError};
 pub use executor::{ExecutionReport, Executor, ExecutorConfig};
+pub use fault::{FaultKind, FaultPlan, FAULT_PANIC_PREFIX};
 pub use join_state::JoinState;
 pub use operator::{OpContext, Operator, PortId};
 pub use plan::{NodeId, Plan, PlanBuilder};

@@ -62,6 +62,23 @@ impl SinkOp {
     pub fn collected(&self) -> &[Tuple] {
         &self.collected
     }
+
+    /// Overwrite the sink's cumulative state with a checkpointed snapshot
+    /// (absolute, not additive: crash recovery restores the counts as of
+    /// the checkpoint and then replays the post-checkpoint input, which
+    /// re-delivers the post-checkpoint results).
+    pub fn restore(
+        &mut self,
+        count: u64,
+        last_ts: Option<Timestamp>,
+        out_of_order: u64,
+        collected: Vec<Tuple>,
+    ) {
+        self.count = count;
+        self.last_ts = last_ts;
+        self.out_of_order = out_of_order;
+        self.collected = collected;
+    }
 }
 
 impl Operator for SinkOp {

@@ -170,6 +170,34 @@ impl UnionOp {
     pub fn foreign_port_drops(&self) -> u64 {
         self.foreign_port_drops
     }
+
+    /// Per-port progress watermarks, in port order (checkpoint capture).
+    pub fn watermarks(&self) -> &[Timestamp] {
+        &self.watermarks
+    }
+
+    /// The merged watermark last forwarded downstream.
+    pub fn emitted_watermark(&self) -> Timestamp {
+        self.emitted_watermark
+    }
+
+    /// Restore the punctuation-driven progress state captured at a
+    /// checkpoint boundary.  The reorder buffers themselves are always
+    /// empty there (the post-run flush released everything), so the
+    /// watermarks *are* the union's persistent state.  Returns `false` —
+    /// and restores nothing — when the port count does not match.
+    pub fn restore_progress(
+        &mut self,
+        watermarks: Vec<Timestamp>,
+        emitted_watermark: Timestamp,
+    ) -> bool {
+        if watermarks.len() != self.inputs {
+            return false;
+        }
+        self.watermarks = watermarks;
+        self.emitted_watermark = emitted_watermark;
+        true
+    }
 }
 
 impl Operator for UnionOp {

@@ -30,9 +30,11 @@
 //!   scheduling-equivalent to single-executor runs (Lemma 1).
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crate::error::{Result, StreamError};
 use crate::executor::Executor;
@@ -40,6 +42,10 @@ use crate::queue::StreamItem;
 
 /// Default capacity (in queued runs) of each worker's input ring.
 pub const DEFAULT_RING_CAPACITY: usize = 8;
+
+/// How often `park_all` wakes from the reply channel to scan for dead
+/// workers while waiting on outstanding park replies.
+const PARK_POLL: Duration = Duration::from_millis(50);
 
 struct RingState<T> {
     buf: VecDeque<T>,
@@ -73,6 +79,20 @@ impl<T> Clone for SpscRing<T> {
 }
 
 impl<T> SpscRing<T> {
+    /// Lock the ring state, tolerating mutex poisoning.  Every mutation the
+    /// ring performs under the lock is a single panic-free step (`VecDeque`
+    /// push/pop, flag and counter writes), so a poisoned mutex can only mean
+    /// a *caller* panicked elsewhere while a guard was live on its stack —
+    /// the protected state itself is still consistent and safe to reuse.
+    /// Before this, one worker panic turned into a whole-session abort the
+    /// next time any thread touched the ring.
+    fn lock_state(&self) -> MutexGuard<'_, RingState<T>> {
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Create a ring holding at most `capacity` items.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "ring capacity must be positive");
@@ -94,11 +114,15 @@ impl<T> SpscRing<T> {
     /// space (a backpressure stall), `Ok(false)` on an immediate push, and an
     /// error if the ring was closed.
     pub fn push(&self, item: T) -> Result<bool> {
-        let mut state = self.inner.state.lock().expect("ring lock poisoned");
+        let mut state = self.lock_state();
         let mut stalled = false;
         while state.buf.len() >= state.capacity && !state.closed {
             stalled = true;
-            state = self.inner.not_full.wait(state).expect("ring lock poisoned");
+            state = self
+                .inner
+                .not_full
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         if state.closed {
             return Err(StreamError::Execution(
@@ -114,7 +138,7 @@ impl<T> SpscRing<T> {
 
     /// Non-blocking push.  Returns the item back when the ring is full.
     pub fn try_push(&self, item: T) -> std::result::Result<(), T> {
-        let mut state = self.inner.state.lock().expect("ring lock poisoned");
+        let mut state = self.lock_state();
         if state.closed || state.buf.len() >= state.capacity {
             return Err(item);
         }
@@ -127,7 +151,7 @@ impl<T> SpscRing<T> {
 
     /// Blocking pop.  Returns `None` once the ring is closed and drained.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.inner.state.lock().expect("ring lock poisoned");
+        let mut state = self.lock_state();
         loop {
             if let Some(item) = state.buf.pop_front() {
                 drop(state);
@@ -141,13 +165,13 @@ impl<T> SpscRing<T> {
                 .inner
                 .not_empty
                 .wait(state)
-                .expect("ring lock poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Non-blocking pop.
     pub fn try_pop(&self) -> Option<T> {
-        let mut state = self.inner.state.lock().expect("ring lock poisoned");
+        let mut state = self.lock_state();
         let item = state.buf.pop_front();
         if item.is_some() {
             drop(state);
@@ -158,7 +182,7 @@ impl<T> SpscRing<T> {
 
     /// Close the ring: producers error out, consumers drain then see `None`.
     pub fn close(&self) {
-        let mut state = self.inner.state.lock().expect("ring lock poisoned");
+        let mut state = self.lock_state();
         state.closed = true;
         drop(state);
         self.inner.not_full.notify_all();
@@ -167,12 +191,7 @@ impl<T> SpscRing<T> {
 
     /// Current occupancy.
     pub fn len(&self) -> usize {
-        self.inner
-            .state
-            .lock()
-            .expect("ring lock poisoned")
-            .buf
-            .len()
+        self.lock_state().buf.len()
     }
 
     /// Whether the ring is currently empty.
@@ -182,16 +201,12 @@ impl<T> SpscRing<T> {
 
     /// Maximum capacity.
     pub fn capacity(&self) -> usize {
-        self.inner
-            .state
-            .lock()
-            .expect("ring lock poisoned")
-            .capacity
+        self.lock_state().capacity
     }
 
     /// High-water mark of occupancy since creation.
     pub fn peak(&self) -> usize {
-        self.inner.state.lock().expect("ring lock poisoned").peak
+        self.lock_state().peak
     }
 }
 
@@ -280,22 +295,57 @@ impl WorkerPool {
     }
 
     /// Park every worker and collect the executors back, ordered by shard.
+    ///
+    /// Worker panics are caught inside the worker loop ([`worker_loop`]), so
+    /// a failed run normally still parks — with the failure in
+    /// [`ParkedShard::outcome`].  Should a worker thread nevertheless die
+    /// (a panic while unwinding, a stack overflow abort path, ...), the
+    /// barrier must not block forever on a reply that will never come: it
+    /// polls the reply channel and scans the outstanding workers' join
+    /// handles, surfacing the dead shards as a typed
+    /// [`StreamError::WorkerFailed`] instead of deadlocking.
     pub fn park_all(&self) -> Result<Vec<ParkedShard>> {
         for ring in &self.rings {
             ring.push(Job::Park)?;
         }
         let n = self.rings.len();
         let mut parked: Vec<Option<ParkedShard>> = (0..n).map(|_| None).collect();
-        for _ in 0..n {
-            let reply = self.replies.recv().map_err(|_| {
-                StreamError::Execution("shard worker exited without replying to park".into())
-            })?;
-            let slot = reply.shard;
-            parked[slot] = Some(reply);
+        let mut received = 0usize;
+        while received < n {
+            match self.replies.recv_timeout(PARK_POLL) {
+                Ok(reply) => {
+                    let slot = reply.shard;
+                    if parked[slot].replace(reply).is_some() {
+                        return Err(StreamError::Execution(format!(
+                            "shard {slot} replied to park twice"
+                        )));
+                    }
+                    received += 1;
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    let dead: Vec<usize> = self
+                        .handles
+                        .iter()
+                        .enumerate()
+                        .filter(|(shard, handle)| parked[*shard].is_none() && handle.is_finished())
+                        .map(|(shard, _)| shard)
+                        .collect();
+                    if !dead.is_empty() {
+                        return Err(StreamError::WorkerFailed(format!(
+                            "shard worker(s) {dead:?} died without replying to park"
+                        )));
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(StreamError::WorkerFailed(
+                        "all shard workers exited without replying to park".into(),
+                    ));
+                }
+            }
         }
         Ok(parked
             .into_iter()
-            .map(|p| p.expect("every shard replied exactly once"))
+            .map(|p| p.expect("received == n implies every slot is filled"))
             .collect())
     }
 
@@ -316,6 +366,33 @@ impl Drop for WorkerPool {
     }
 }
 
+/// Render a panic payload into a human-readable message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Execute a fallible executor step, converting a panic into a typed
+/// [`StreamError::WorkerFailed`] so the worker thread survives to park.  The
+/// executor's in-memory state after a caught panic is *suspect* (the panic
+/// may have interrupted processing mid-tuple); recovery discards it and
+/// restores from the last checkpoint, so handing the executor back anyway is
+/// safe and keeps the shard slot occupied.
+fn run_caught(shard: usize, step: impl FnOnce() -> Result<()>) -> Result<()> {
+    match catch_unwind(AssertUnwindSafe(step)) {
+        Ok(outcome) => outcome,
+        Err(payload) => Err(StreamError::WorkerFailed(format!(
+            "shard {shard} worker panicked: {}",
+            panic_message(payload)
+        ))),
+    }
+}
+
 fn worker_loop(shard: usize, ring: SpscRing<Job>, tx: mpsc::Sender<ParkedShard>) {
     let mut executor: Option<Box<Executor>> = None;
     let mut failed: Option<StreamError> = None;
@@ -331,9 +408,10 @@ fn worker_loop(shard: usize, ring: SpscRing<Job>, tx: mpsc::Sender<ParkedShard>)
                 }
                 match executor.as_mut() {
                     Some(exec) => {
-                        let outcome = exec
-                            .ingest_all(&entry, items)
-                            .and_then(|_| exec.run().map(|_| ()));
+                        let outcome = run_caught(shard, || {
+                            exec.ingest_all(&entry, items)
+                                .and_then(|_| exec.run().map(|_| ()))
+                        });
                         if let Err(err) = outcome {
                             failed = Some(err);
                         }
@@ -352,7 +430,7 @@ fn worker_loop(shard: usize, ring: SpscRing<Job>, tx: mpsc::Sender<ParkedShard>)
                 };
                 if outcome.is_ok() {
                     if let Some(exec) = executor.as_mut() {
-                        outcome = exec.run().map(|_| ());
+                        outcome = run_caught(shard, || exec.run().map(|_| ()));
                     }
                 }
                 let reply = ParkedShard {
@@ -508,6 +586,56 @@ mod tests {
             assert_eq!(p.shard, i);
             assert!(p.executor.is_none());
             assert!(p.outcome.is_ok());
+        }
+    }
+
+    /// Run `f` (which is expected to panic somewhere) with the default panic
+    /// hook silenced, so intentional panics don't spray backtraces into the
+    /// test output.
+    fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(hook);
+        out
+    }
+
+    #[test]
+    fn poisoned_ring_lock_recovers() {
+        let ring: SpscRing<u32> = SpscRing::new(2);
+        ring.try_push(7).unwrap();
+        let holder = ring.clone();
+        with_quiet_panics(|| {
+            std::thread::spawn(move || {
+                let _guard = holder.inner.state.lock().unwrap();
+                panic!("poison the ring lock");
+            })
+            .join()
+            .unwrap_err()
+        });
+        // The mutex is poisoned now; every ring operation must still work.
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.peak(), 1);
+        assert_eq!(ring.capacity(), 2);
+        assert_eq!(ring.try_pop(), Some(7));
+        ring.try_push(8).unwrap();
+        assert!(!ring.push(9).unwrap());
+        assert_eq!(ring.pop(), Some(8));
+        assert_eq!(ring.pop(), Some(9));
+        ring.close();
+        assert_eq!(ring.pop(), None);
+    }
+
+    #[test]
+    fn run_caught_converts_panics_to_worker_failed() {
+        assert!(run_caught(0, || Ok(())).is_ok());
+        let err = with_quiet_panics(|| run_caught(3, || panic!("boom {}", 42)));
+        match err {
+            Err(StreamError::WorkerFailed(msg)) => {
+                assert!(msg.contains("shard 3"), "got: {msg}");
+                assert!(msg.contains("boom 42"), "got: {msg}");
+            }
+            other => panic!("expected WorkerFailed, got {other:?}"),
         }
     }
 

@@ -65,6 +65,7 @@
 
 use crate::error::{Result, StreamError};
 use crate::executor::{ExecutionReport, Executor, ExecutorConfig};
+use crate::fault::FaultPlan;
 use crate::join_state::{equi_key_fields, memoize_key, tuple_key};
 use crate::plan::{NodeId, Plan};
 use crate::pool::{Job, WorkerPool, DEFAULT_RING_CAPACITY};
@@ -77,6 +78,12 @@ use crate::tuple::{KeyClass, StreamId, Tuple};
 /// Default number of items the router buffers per shard before forwarding
 /// them to the shard's worker as one run.
 pub const DEFAULT_ROUTER_BATCH: usize = 128;
+
+/// Every multi-shard session holds its worker pool for life; a missing pool
+/// is an internal invariant breach, reported typed instead of panicking.
+fn lost_pool() -> StreamError {
+    StreamError::Execution("multi-shard session lost its worker pool".to_string())
+}
 
 /// How to extract the partitioning key from an input tuple: one key field
 /// per join side (they differ for equi conditions like `A.x = B.y`).
@@ -423,6 +430,15 @@ impl ShardedExecutor {
         (self.shards, self.spec)
     }
 
+    /// `true` when the executors are parked in this wrapper (no run in
+    /// flight).  Crash recovery checks this before attempting plan surgery:
+    /// a run that failed *at the park barrier itself* (a worker died without
+    /// handing its executor back) leaves the session active and
+    /// unrecoverable.
+    pub fn is_parked(&self) -> bool {
+        !self.active
+    }
+
     /// `true` if every shard's queues are drained and no input is buffered
     /// router-side (safe for plan surgery).
     pub fn is_drained(&self) -> bool {
@@ -478,6 +494,58 @@ impl ShardedExecutor {
             old.push(shard.swap_plan(plan)?);
         }
         Ok(old)
+    }
+
+    /// Arm a deterministic fault on one shard's executor (see
+    /// [`crate::fault`]).  Panics while a run is in flight, like the other
+    /// parked-state accessors.
+    pub fn arm_fault(&mut self, shard: usize, plan: FaultPlan) -> Result<()> {
+        self.expect_parked("arm_fault()");
+        if shard >= self.count {
+            return Err(StreamError::InvalidConfig(format!(
+                "cannot arm a fault on shard {shard}: only {} shards",
+                self.count
+            )));
+        }
+        self.shards[shard].arm_fault(plan);
+        Ok(())
+    }
+
+    /// Reset the session after a failed run so a checkpoint can be
+    /// restored: drop the router-side buffered runs (they belong to work
+    /// the crash lost) and replace every shard's plan with a fresh instance
+    /// via [`Executor::recover_plan`] — which, unlike
+    /// [`ShardedExecutor::swap_plans`], tolerates the queued items a caught
+    /// worker panic leaves behind and drops them too.  Returns the total
+    /// number of items dropped (router-side plus in-executor); the recovery
+    /// supervisor re-delivers everything since the checkpoint from its
+    /// replay ring.
+    pub fn recover_reset(&mut self, plans: Vec<Plan>) -> Result<u64> {
+        self.expect_parked("recover_reset()");
+        if plans.len() != self.count {
+            return Err(StreamError::InvalidConfig(format!(
+                "got {} plan instances for {} shards",
+                plans.len(),
+                self.count
+            )));
+        }
+        Self::validate_instances(plans.iter())?;
+        let mut dropped: u64 = self.pending_len.iter().map(|&n| n as u64).sum();
+        for buf in &mut self.pending {
+            buf.clear();
+        }
+        for n in &mut self.pending_len {
+            *n = 0;
+        }
+        self.entry_names = plans[0]
+            .entry_names()
+            .into_iter()
+            .map(String::from)
+            .collect();
+        for (shard, plan) in self.shards.iter_mut().zip(plans) {
+            dropped += shard.recover_plan(plan) as u64;
+        }
+        Ok(dropped)
     }
 
     /// The shard a tuple routes to under plain hash routing (hot keys
@@ -544,16 +612,18 @@ impl ShardedExecutor {
                     }
                     // Keys whose share decayed below the demotion threshold
                     // go back to hash routing before this tuple is placed.
+                    let lost_tracker =
+                        || StreamError::Execution("skew tracker vanished mid-routing".to_string());
                     let demoted = self
                         .skew
                         .as_mut()
-                        .expect("skew enabled above")
+                        .ok_or_else(lost_tracker)?
                         .take_demotions();
                     for cold in demoted {
                         self.demote_hot_key(cold)?;
                         self.stats.demotions += 1;
                     }
-                    let tracker = self.skew.as_mut().expect("skew enabled above");
+                    let tracker = self.skew.as_mut().ok_or_else(lost_tracker)?;
                     if tracker.is_hot(hash) {
                         if t.stream == self.spec.stream_b {
                             // Probe side: broadcast to every shard.
@@ -635,7 +705,7 @@ impl ShardedExecutor {
         if self.active {
             return Ok(());
         }
-        let pool = self.pool.as_ref().expect("multi-shard has a pool");
+        let pool = self.pool.as_ref().ok_or_else(lost_pool)?;
         for (shard, exec) in self.shards.drain(..).enumerate() {
             pool.send(shard, Job::Adopt(Box::new(exec)))?;
         }
@@ -651,7 +721,7 @@ impl ShardedExecutor {
         self.ensure_active()?;
         let runs = std::mem::take(&mut self.pending[shard]);
         self.pending_len[shard] = 0;
-        let pool = self.pool.as_ref().expect("multi-shard has a pool");
+        let pool = self.pool.as_ref().ok_or_else(lost_pool)?;
         for (entry, items) in runs {
             if pool.send(shard, Job::Run { entry, items })? {
                 self.stats.stalls += 1;
@@ -673,11 +743,7 @@ impl ShardedExecutor {
         for shard in 0..self.count {
             self.flush_shard(shard)?;
         }
-        let parked = self
-            .pool
-            .as_ref()
-            .expect("multi-shard has a pool")
-            .park_all()?;
+        let parked = self.pool.as_ref().ok_or_else(lost_pool)?.park_all()?;
         self.active = false;
         let mut first_err: Option<StreamError> = None;
         let mut executors = Vec::with_capacity(self.count);

@@ -15,7 +15,10 @@
 //!   `router_stalls` counter never decreases across epochs, including
 //!   across rescales (retired executors' reports are folded in);
 //! * **skew guard** — shard rescaling refuses to run while replicated
-//!   hot keys are active, and the refusal leaves the session working.
+//!   hot keys are active, and the refusal leaves the session working;
+//! * **kill-and-recover soak** — repeated injected worker crashes recover
+//!   on the *same* pool (the named-worker census never moves), with the
+//!   backpressure and shed counters staying monotone throughout.
 //!
 //! `SS_TEST_SHARDS` (default 4, minimum 2) sets the pool width.
 
@@ -23,9 +26,14 @@ use std::sync::Mutex;
 
 use state_slice_repro::core::live::{LiveOptions, LiveReslicer};
 use state_slice_repro::core::planner::PlannerOptions;
+use state_slice_repro::core::recovery::{OverflowPolicy, RecoveryConfig, RecoverySupervisor};
 use state_slice_repro::core::{ChainPlanFactory, ChainSpec, JoinQuery, QueryWorkload};
+use state_slice_repro::streamkit::fault::FaultPlan;
+use state_slice_repro::streamkit::punctuation::Punctuation;
 use state_slice_repro::streamkit::tuple::StreamId;
-use state_slice_repro::streamkit::{JoinCondition, SkewConfig, TimeDelta, Timestamp, Tuple};
+use state_slice_repro::streamkit::{
+    ExecutorConfig, JoinCondition, SkewConfig, TimeDelta, Timestamp, Tuple,
+};
 
 /// Serialises the tests in this binary: thread-count assertions must not
 /// race another test's pool creation.
@@ -242,4 +250,82 @@ fn rescale_refuses_while_hot_keys_are_replicated_and_session_survives() {
     let report = live.drain().unwrap();
     assert!(report.sink_count("QA") > 0);
     assert!(live.executor().has_hot_keys(), "hot set survives churn");
+}
+
+#[test]
+fn kill_and_recover_soak_reuses_the_pool_and_keeps_counters_monotone() {
+    let _guard = THREAD_COUNT_LOCK.lock().unwrap();
+    let shards = test_shards();
+    let wl = workload(vec![query("QA", 15), query("C5", 5)]);
+    let spec = ChainSpec::memory_optimal(&wl);
+    let factory = ChainPlanFactory::new(
+        wl,
+        spec,
+        PlannerOptions {
+            retain_results: true,
+            ..PlannerOptions::default()
+        }
+        .with_shards(shards),
+    );
+    // A tiny shedding ring keeps the overflow path exercised alongside the
+    // crashes (recovery is best-effort under Shed, but the pool and counter
+    // invariants must hold regardless).
+    let mut sup = RecoverySupervisor::launch(
+        factory,
+        ExecutorConfig::default(),
+        RecoveryConfig {
+            checkpoint_every_epochs: 3,
+            replay_capacity: 64,
+            overflow: OverflowPolicy::Shed,
+        },
+    )
+    .unwrap();
+    assert_workers_settle(shards, "launch");
+
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut secs = 0u64;
+    let mut last_stalls = 0u64;
+    let mut last_shed = 0u64;
+    for round in 0..4usize {
+        // Re-arm a fresh crash a few punctuation epochs ahead, rotating the
+        // victim shard; each second feeds both streams plus a punctuation.
+        sup.arm_fault(round % shards, FaultPlan::panic_at(secs + 3))
+            .unwrap();
+        for _ in 0..8 {
+            sup.ingest(tuple(StreamId::A, secs * 10, (secs % 8) as i64))
+                .unwrap();
+            sup.ingest(tuple(StreamId::B, secs * 10 + 1, ((secs * 3) % 8) as i64))
+                .unwrap();
+            sup.ingest(Punctuation::new(Timestamp::from_secs(secs)))
+                .unwrap();
+            secs += 1;
+        }
+        let report = sup.run().unwrap();
+        assert_eq!(
+            sup.log().recoveries().len(),
+            round + 1,
+            "round {round}: each armed panic fires exactly one recovery"
+        );
+        // The leak check, re-run after every recovery: the crash unwound
+        // inside the worker's catch harness, so the pool never respawns.
+        assert_workers_settle(shards, &format!("after recovery {round}"));
+        assert!(
+            report.totals.router_stalls >= last_stalls,
+            "round {round}: router_stalls must stay monotone across recoveries"
+        );
+        last_stalls = report.totals.router_stalls;
+        assert!(
+            sup.log().items_shed() >= last_shed,
+            "round {round}: items_shed must be monotone"
+        );
+        last_shed = sup.log().items_shed();
+    }
+    std::panic::set_hook(hook);
+
+    // The soaked session still computes and shuts down clean.
+    let (report, log) = sup.finish().unwrap();
+    assert!(report.sink_count("QA") > 0, "anchor query starved");
+    assert_eq!(log.recoveries().len(), 4);
+    assert_workers_settle(0, "after finish");
 }
