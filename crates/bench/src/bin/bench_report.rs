@@ -36,6 +36,12 @@
 //!   under a stationary control (whose adaptation log must stay empty), and
 //!   writes `BENCH_adaptive.json` (`SS_BENCH_REPS` repetitions, default 3,
 //!   best service rate kept per variant).
+//! * **`--band W`** — runs a band-join workload (`|a.key − b.key| ≤ W`, no
+//!   equi component, so no hash index applies) at three arrival rates, each
+//!   point once with the value-ordered band index and once with linear-scan
+//!   probes on identical input, checks per-sink results and drained final
+//!   states for equality, and writes `BENCH_band.json` with the
+//!   probe-comparison ratios.
 //! * **`--recovery`** — runs the fig18-style equi workload (punctuated every
 //!   stream second) under a crash-recovery supervisor twice: uninterrupted,
 //!   and with a deterministic worker panic injected at a mid-stream
@@ -57,7 +63,8 @@ use ss_bench::churn::run_churn_bench;
 use ss_bench::default_duration_secs;
 use ss_bench::recovery::run_recovery_bench;
 use ss_bench::report::{
-    run_batch_bench, run_columnar_bench, run_join_bench, run_shard_bench, run_skew_bench,
+    run_band_bench, run_batch_bench, run_columnar_bench, run_join_bench, run_shard_bench,
+    run_skew_bench,
 };
 
 /// Parse a `--shards` value: a comma list of counts, or a single maximum
@@ -159,6 +166,7 @@ fn main() {
     let batch_arg = flag_value("--batch");
     let churn_arg = flag_value("--churn");
     let skew_arg = flag_value("--skew");
+    let band_arg = flag_value("--band");
     let columnar = args.iter().any(|a| a == "--columnar");
     let adaptive = args.iter().any(|a| a == "--adaptive");
     let recovery = args.iter().any(|a| a == "--recovery");
@@ -312,6 +320,58 @@ fn main() {
         );
         let json = report.to_json();
         std::fs::write(&out_path, &json).expect("write BENCH_columnar.json");
+        eprintln!("# wrote {out_path}");
+        print!("{json}");
+        return;
+    }
+
+    if let Some(arg) = band_arg {
+        let width = arg
+            .trim()
+            .parse::<i64>()
+            .ok()
+            .filter(|w| *w >= 0)
+            .unwrap_or_else(|| {
+                eprintln!(
+                    "bench_report: invalid --band value '{arg}' (need a non-negative half-width)"
+                );
+                std::process::exit(2);
+            });
+        let out_path =
+            std::env::var("SS_BENCH_OUT").unwrap_or_else(|_| "BENCH_band.json".to_string());
+        eprintln!(
+            "# bench_report: band-join workload |a.key - b.key| <= {width} ({duration} s, up to {rate} t/s), band index vs linear scan"
+        );
+        let report = run_band_bench(duration, rate, width).expect("band bench harness");
+        for row in &report.rows {
+            eprintln!(
+                "rate {:>6.1} t/s: probes {} indexed vs {} scan ({:.1}x fewer), service rate {:>12.1} vs {:>12.1} t/s, outputs {}, results_match={}, states_match={}",
+                row.rate,
+                row.indexed.probe_comparisons,
+                row.scan.probe_comparisons,
+                row.probe_comparison_ratio(),
+                row.indexed.service_rate,
+                row.scan.service_rate,
+                row.indexed.total_outputs,
+                row.results_match,
+                row.states_match,
+            );
+        }
+        assert!(
+            report.results_match,
+            "band-indexed results diverged from linear scans"
+        );
+        assert!(
+            report.states_match,
+            "band-indexed final states diverged from linear scans"
+        );
+        assert!(
+            report.peak_probe_ratio() >= 5.0,
+            "band probe-comparison ratio {:.2} below the 5x acceptance bar",
+            report.peak_probe_ratio()
+        );
+        let json = report.to_json();
+        std::fs::write(&out_path, &json).expect("write BENCH_band.json");
         eprintln!("# wrote {out_path}");
         print!("{json}");
         return;

@@ -12,9 +12,13 @@
 use std::time::Instant;
 
 use ss_baselines::{PullUpPlanBuilder, ENTRY_A, ENTRY_B};
-use ss_workload::{KeyDistribution, Scenario, StreamGenerator, WindowDistribution};
+use ss_workload::{
+    band_condition, BandGenerator, KeyDistribution, Scenario, StreamGenerator, WindowDistribution,
+    WorkloadConfig,
+};
 use state_slice_core::planner::{merge_streams, PlannerOptions, CHAIN_ENTRY};
-use state_slice_core::{ChainBuilder, ChainPlanFactory, SharedChainPlan};
+use state_slice_core::{ChainBuilder, ChainPlanFactory, JoinQuery, QueryWorkload, SharedChainPlan};
+use streamkit::checkpoint::ShardCheckpoint;
 use streamkit::error::Result;
 use streamkit::ops::WindowJoinOp;
 use streamkit::tuple::StreamId;
@@ -1050,6 +1054,214 @@ pub fn run_columnar_bench(duration_secs: f64, rate: f64) -> Result<ColumnarBench
     })
 }
 
+/// One rate point of the band bench: the band-join workload run once with
+/// the value-ordered band index and once with linear-scan probes, on
+/// byte-identical input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandRun {
+    /// Arrival rate per stream (tuples/second) — the state-size lever, since
+    /// the windows are fixed.
+    pub rate: f64,
+    /// Run with the band-indexed join state.
+    pub indexed: RunPerf,
+    /// Run with linear-scan probes.
+    pub scan: RunPerf,
+    /// Per-sink result counts (identical across both runs when
+    /// `results_match`), in ascending window order.
+    pub sink_counts: Vec<(String, u64)>,
+    /// `true` iff both runs delivered identical per-sink counts.
+    pub results_match: bool,
+    /// `true` iff both runs ended in identical final operator states
+    /// (captured as drained punctuation-aligned checkpoints — stored tuples,
+    /// union watermarks, sink counters and ingest progress).
+    pub states_match: bool,
+}
+
+impl BandRun {
+    /// How many times fewer probe comparisons the band index performs.
+    pub fn probe_comparison_ratio(&self) -> f64 {
+        if self.indexed.probe_comparisons == 0 {
+            0.0
+        } else {
+            self.scan.probe_comparisons as f64 / self.indexed.probe_comparisons as f64
+        }
+    }
+}
+
+/// The band-join report written to `BENCH_band.json`: a non-equi band
+/// workload (`|a.key − b.key| ≤ W`, no hash index applies) swept over
+/// arrival rates, each point run indexed and linear on the same input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandBenchReport {
+    /// Stream duration of the runs (seconds).
+    pub duration_secs: f64,
+    /// Largest swept arrival rate (tuples/second).
+    pub rate: f64,
+    /// Band half-width `W`.
+    pub width: i64,
+    /// Band selectivity (expected fraction of pairs within the band).
+    pub sel_band: f64,
+    /// One row per swept rate (ascending — state size grows with the rate).
+    pub rows: Vec<BandRun>,
+    /// `true` iff every row's indexed and scan runs delivered identical
+    /// per-sink counts.
+    pub results_match: bool,
+    /// `true` iff every row's runs ended in identical final states.
+    pub states_match: bool,
+}
+
+impl BandBenchReport {
+    /// The probe-comparison ratio at the largest state point (the last,
+    /// highest-rate row) — the PR's ≥5× acceptance metric.
+    pub fn peak_probe_ratio(&self) -> f64 {
+        self.rows
+            .last()
+            .map(BandRun::probe_comparison_ratio)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Band selectivity of the bench workload (sets the key domain to
+/// `(2W + 1) / 0.02`).
+pub const BAND_SEL: f64 = 0.02;
+
+/// The band-join workload: the fig18-style Uniform windows (10/20/30 s), no
+/// selections, joined on [`band_condition`] instead of the equi key.
+fn band_workload() -> Result<QueryWorkload> {
+    let queries = WindowDistribution::Uniform
+        .windows(3)
+        .into_iter()
+        .enumerate()
+        .map(|(i, window)| JoinQuery::new(format!("Q{}", i + 1), window))
+        .collect();
+    QueryWorkload::new(queries, band_condition())
+}
+
+/// One band-chain run: perf, per-sink counts and the drained final state.
+type BandChainOutcome = (RunPerf, Vec<(String, u64)>, ShardCheckpoint);
+
+/// Run the Mem-Opt chain on the band workload with explicit input streams,
+/// with or without the band index, and capture the drained final state.
+fn run_band_chain(
+    workload: &QueryWorkload,
+    a: Vec<Tuple>,
+    b: Vec<Tuple>,
+    indexed: bool,
+) -> Result<BandChainOutcome> {
+    let spec = ChainBuilder::new(workload.clone()).memory_optimal();
+    let options = PlannerOptions {
+        index_join_state: indexed,
+        ..PlannerOptions::default()
+    };
+    let shared = SharedChainPlan::build(workload, &spec, &options)?;
+    let mut exec = Executor::with_config(shared.plan, executor_config());
+    exec.ingest_all(CHAIN_ENTRY, merge_streams(a, b))?;
+    let report = exec.run()?;
+    let sink_counts = workload
+        .queries()
+        .iter()
+        .map(|q| (q.name.clone(), report.sink_count(&q.name)))
+        .collect();
+    let state = ShardCheckpoint::capture(&mut exec)?;
+    Ok((perf_of(&report), sink_counts, state))
+}
+
+/// Run one rate point of the band bench: indexed vs linear on the same
+/// generated streams, with result and final-state equivalence checks.
+pub fn run_band_point(duration_secs: f64, rate: f64, width: i64) -> Result<BandRun> {
+    let workload = band_workload()?;
+    let generator = BandGenerator::new(
+        WorkloadConfig {
+            rate,
+            duration_secs,
+            sel_join: BAND_SEL,
+            sel_filter: 1.0,
+            seed: 7,
+            key_dist: KeyDistribution::Uniform,
+        },
+        width,
+    );
+    generator
+        .validate()
+        .map_err(streamkit::StreamError::InvalidConfig)?;
+    let (a, b) = generator.generate_pair();
+    let (indexed, indexed_sinks, indexed_state) =
+        run_band_chain(&workload, a.clone(), b.clone(), true)?;
+    let (scan, scan_sinks, scan_state) = run_band_chain(&workload, a, b, false)?;
+    Ok(BandRun {
+        rate,
+        indexed,
+        scan,
+        results_match: indexed_sinks == scan_sinks,
+        states_match: indexed_state == scan_state,
+        sink_counts: indexed_sinks,
+    })
+}
+
+/// Run the band bench: the band workload at `rate / 4`, `rate / 2` and
+/// `rate`, each point indexed vs linear.
+pub fn run_band_bench(duration_secs: f64, rate: f64, width: i64) -> Result<BandBenchReport> {
+    let mut rows = Vec::new();
+    for point in [rate / 4.0, rate / 2.0, rate] {
+        rows.push(run_band_point(duration_secs, point, width)?);
+    }
+    Ok(BandBenchReport {
+        duration_secs,
+        rate,
+        width,
+        sel_band: BAND_SEL,
+        results_match: rows.iter().all(|r| r.results_match),
+        states_match: rows.iter().all(|r| r.states_match),
+        rows,
+    })
+}
+
+impl BandBenchReport {
+    /// Serialise to the `BENCH_band.json` format (stable key order, no
+    /// external JSON dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"benchmark\": \"band_join\",\n");
+        out.push_str(&format!(
+            "  \"command\": \"SS_DURATION_SECS={:.0} cargo run --release -p ss_bench --bin bench_report -- --band {}\",\n",
+            self.duration_secs, self.width,
+        ));
+        out.push_str(&format!(
+            "  \"workload\": {{\"style\": \"band\", \"duration_secs\": {:.1}, \"rate\": {:.1}, \"width\": {}, \"sel_band\": {}, \"distribution\": \"Uniform\", \"num_queries\": 3, \"selections\": false}},\n",
+            self.duration_secs, self.rate, self.width, self.sel_band
+        ));
+        out.push_str(&format!(
+            "  \"results_match\": {},\n  \"states_match\": {},\n  \"peak_probe_ratio\": {:.2},\n",
+            self.results_match,
+            self.states_match,
+            self.peak_probe_ratio()
+        ));
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let sinks = row
+                .sink_counts
+                .iter()
+                .map(|(name, count)| format!("\"{name}\": {count}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "    {{\n      \"rate\": {:.1},\n      \"probe_comparison_ratio\": {:.2},\n      \"results_match\": {},\n      \"states_match\": {},\n      \"indexed\": {},\n      \"scan\": {},\n      \"sink_counts\": {{{}}}\n    }}{}\n",
+                row.rate,
+                row.probe_comparison_ratio(),
+                row.results_match,
+                row.states_match,
+                json_run(&row.indexed, "      "),
+                json_run(&row.scan, "      "),
+                sinks,
+                if i + 1 < self.rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
 fn json_run(perf: &RunPerf, indent: &str) -> String {
     format!(
         "{{\n{indent}  \"service_rate\": {:.1},\n{indent}  \"elapsed_secs\": {:.4},\n{indent}  \"probe_comparisons\": {},\n{indent}  \"total_comparisons\": {},\n{indent}  \"total_outputs\": {},\n{indent}  \"peak_state_tuples\": {},\n{indent}  \"peak_state_bytes\": {},\n{indent}  \"avg_state_bytes\": {:.0},\n{indent}  \"peak_capacity_bytes\": {}\n{indent}}}",
@@ -1240,6 +1452,32 @@ mod tests {
         assert!(json.contains("\"results_match\": true"));
         assert!(json.contains("\"probes_match\": true"));
         assert!(json.contains("\"label\": \"cpuopt-selective\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn band_index_matches_linear_and_prunes_probes() {
+        let report = run_band_bench(4.0, 40.0, 10).unwrap();
+        assert!(report.results_match, "band runs diverged from linear scans");
+        assert!(report.states_match, "band final states diverged");
+        assert_eq!(report.rows.len(), 3);
+        for row in &report.rows {
+            assert!(row.indexed.total_outputs > 0);
+            assert_eq!(row.indexed.total_outputs, row.scan.total_outputs);
+            assert_eq!(row.indexed.peak_state_tuples, row.scan.peak_state_tuples);
+        }
+        // The acceptance metric: ≥5× fewer probe comparisons at the largest
+        // state point (with full-length streams the ratio is far higher).
+        assert!(
+            report.peak_probe_ratio() >= 5.0,
+            "peak probe ratio {} below 5x",
+            report.peak_probe_ratio()
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"benchmark\": \"band_join\""));
+        assert!(json.contains("\"results_match\": true"));
+        assert!(json.contains("\"states_match\": true"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }

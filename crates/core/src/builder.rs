@@ -11,6 +11,7 @@ use ss_cost_model::chain::{chain_cost_with_model, edge_cost_with_model, ChainPar
 use ss_cost_model::MeasuredParams;
 use streamkit::error::{Result, StreamError};
 use streamkit::join_state::equi_key_fields;
+use streamkit::predicate::band_bounds;
 use streamkit::shard::{ShardSpec, ShardedExecutor};
 use streamkit::tuple::StreamId;
 use streamkit::ExecutorConfig;
@@ -110,12 +111,19 @@ impl ChainBuilder {
 
     /// The probe-cost model matching how the runtime will execute this
     /// workload's join: hash-indexed for conditions with an equi component
-    /// (the `JoinState` index), linear scan otherwise.  Either way the probe
-    /// term is slicing-invariant, so this only refines the absolute
-    /// estimates, never the chosen chain.
+    /// (the `JoinState` hash index), band-indexed for conditions with an
+    /// inequality theta but no equi (the value-ordered band index), linear
+    /// scan otherwise.  The first two keep the probe term slicing-invariant;
+    /// the band model's per-slice `log` searches genuinely depend on the
+    /// slicing, so for band workloads the model choice can shift which
+    /// chain the CPU-Opt buildup picks — matching the runtime, where every
+    /// tuple binary-searches each slice it probes.
     pub fn probe_model(&self) -> ProbeModel {
-        if equi_key_fields(self.workload.join_condition(), true).is_some() {
+        let cond = self.workload.join_condition();
+        if equi_key_fields(cond, true).is_some() {
             ProbeModel::HashIndexed
+        } else if band_bounds(cond, true).is_some() {
+            ProbeModel::BandIndexed
         } else {
             ProbeModel::LinearScan
         }

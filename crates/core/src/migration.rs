@@ -102,7 +102,8 @@ pub fn merge_slice_operators(
             "cannot merge sliced joins with different conditions or streams".to_string(),
         ));
     }
-    if left.is_indexed() != right.is_indexed() {
+    if left.is_indexed() != right.is_indexed() || left.is_band_indexed() != right.is_band_indexed()
+    {
         return Err(StreamError::InvalidConfig(
             "cannot merge sliced joins with different index modes".to_string(),
         ));
@@ -118,8 +119,11 @@ pub fn merge_slice_operators(
         stream_a,
         stream_b,
     );
-    if !left.is_indexed() {
-        // Preserve linear-scan mode (A/B reference runs) across migration.
+    if !left.is_indexed() && !left.is_band_indexed() {
+        // Preserve forced linear-scan mode (A/B reference runs) across
+        // migration.  A fresh op re-derives its natural mode — hash- or
+        // band-indexed — from the shared condition, so only the explicit
+        // `without_index` override needs carrying over.
         merged = merged.without_index();
     }
     merged.set_chain_head(left.is_chain_head());
@@ -160,8 +164,9 @@ pub fn split_slice_operator(
         stream_a,
         stream_b,
     );
-    if !left.is_indexed() {
-        // Preserve linear-scan mode (A/B reference runs) across migration.
+    if !left.is_indexed() && !left.is_band_indexed() {
+        // Preserve forced linear-scan mode (A/B reference runs) across
+        // migration; indexed modes re-derive from the shared condition.
         right = right.without_index();
     }
     right.set_has_next(left.has_next());
@@ -292,6 +297,7 @@ pub fn rehash_shard_states(
     let chain_head = template.is_chain_head();
     let has_next = template.has_next();
     let indexed = template.is_indexed();
+    let band_indexed = template.is_band_indexed();
     let columnar = template.emits_columnar_results();
     let name = template.name().to_string();
     for op in &shards {
@@ -301,6 +307,7 @@ pub fn rehash_shard_states(
             || op.is_chain_head() != chain_head
             || op.has_next() != has_next
             || op.is_indexed() != indexed
+            || op.is_band_indexed() != band_indexed
         {
             return Err(StreamError::InvalidConfig(
                 "cannot rehash shard instances of different sliced joins".to_string(),
@@ -327,7 +334,7 @@ pub fn rehash_shard_states(
     for (state_a, state_b) in new_a.into_iter().zip(new_b) {
         let mut op =
             SlicedBinaryJoinOp::new(name.clone(), window, condition.clone(), stream_a, stream_b);
-        if !indexed {
+        if !indexed && !band_indexed {
             op = op.without_index();
         }
         op.set_chain_head(chain_head);
@@ -431,6 +438,61 @@ mod tests {
         let linear =
             SlicedBinaryJoinOp::for_ab("J2", SliceWindow::from_secs(5, 10), cond).without_index();
         assert!(merge_slice_operators("bad", indexed, linear).is_err());
+    }
+
+    #[test]
+    fn merge_split_and_rehash_preserve_the_band_index_mode() {
+        use streamkit::predicate::CmpOp;
+        // A band condition (no equi): states are band-indexed, and every
+        // migration primitive must keep them that way instead of coercing
+        // to linear (is_indexed() is false for band mode, so a hash-only
+        // check would force-linearize).
+        let cond = JoinCondition::And(
+            Box::new(JoinCondition::Theta {
+                left_field: 0,
+                op: CmpOp::Ge,
+                right_field: 1,
+            }),
+            Box::new(JoinCondition::Theta {
+                left_field: 0,
+                op: CmpOp::Le,
+                right_field: 2,
+            }),
+        );
+        let left = SlicedBinaryJoinOp::for_ab("J1", SliceWindow::from_secs(0, 5), cond.clone());
+        let right = SlicedBinaryJoinOp::for_ab("J2", SliceWindow::from_secs(5, 10), cond.clone());
+        assert!(left.is_band_indexed() && !left.is_indexed());
+        let merged = merge_slice_operators("J12", left, right).unwrap();
+        assert!(merged.is_band_indexed(), "merge dropped the band index");
+        let (split_left, split_right) =
+            split_slice_operator(merged, TimeDelta::from_secs(5), "l", "r").unwrap();
+        assert!(split_left.is_band_indexed());
+        assert!(
+            split_right.is_band_indexed(),
+            "split dropped the band index"
+        );
+        // Rehash across one shard (band joins run single-shard, but the
+        // primitive must still round-trip the mode).
+        let spec = ShardSpec::symmetric(0);
+        let rehashed = rehash_shard_states(vec![split_left], 1, &spec).unwrap();
+        assert!(
+            rehashed[0].is_band_indexed(),
+            "rehash dropped the band index"
+        );
+        // Forced-linear band chains stay linear.
+        let linear_left =
+            SlicedBinaryJoinOp::for_ab("J1", SliceWindow::from_secs(0, 5), cond.clone())
+                .without_index();
+        let linear_right =
+            SlicedBinaryJoinOp::for_ab("J2", SliceWindow::from_secs(5, 10), cond.clone())
+                .without_index();
+        let merged = merge_slice_operators("J12", linear_left, linear_right).unwrap();
+        assert!(!merged.is_band_indexed() && !merged.is_indexed());
+        // Mixed band/linear merges are rejected.
+        let banded = SlicedBinaryJoinOp::for_ab("J1", SliceWindow::from_secs(0, 5), cond.clone());
+        let linear =
+            SlicedBinaryJoinOp::for_ab("J2", SliceWindow::from_secs(5, 10), cond).without_index();
+        assert!(merge_slice_operators("bad", banded, linear).is_err());
     }
 
     #[test]

@@ -182,6 +182,12 @@ impl SlicedBinaryJoinOp {
         self.state_a.is_indexed()
     }
 
+    /// `true` if this join's state is band-indexed (value-ordered order
+    /// index; conditions with an inequality theta but no equi component).
+    pub fn is_band_indexed(&self) -> bool {
+        self.state_a.is_band_indexed() || self.state_b.is_band_indexed()
+    }
+
     /// Change whether this join is the head of its chain.
     pub fn set_chain_head(&mut self, chain_head: bool) {
         self.chain_head = chain_head;

@@ -82,28 +82,52 @@ impl ChainParams {
 /// With a hash index on the equi-join key (the `streamkit::JoinState`
 /// subsystem) a probe touches only its key bucket, so the expected
 /// comparisons per probe drop from the full window population to the
-/// expected *match* count — a factor of `S⋈`.  Either way the probe total is
-/// identical for every slicing of the same overall window, so the model
-/// choice never changes which chain the CPU-Opt buildup picks; it changes
-/// the absolute cost estimates reported alongside.
+/// expected *match* count — a factor of `S⋈`.  With a value-ordered band
+/// index a probe binary-searches to its range and walks the matches —
+/// `O(log n + matches)` per probe.
+///
+/// `LinearScan` and `HashIndexed` probe totals are identical for every
+/// slicing of the same overall window (both are linear in the summed slice
+/// ranges), so under those models the probe term never changes which chain
+/// the CPU-Opt buildup picks.  `BandIndexed` is the exception: every tuple
+/// pays one `log`-search *per slice* it probes, so a finer slicing costs
+/// more probe-side — the honest trade-off the adaptive supervisor should
+/// see when it re-costs band chains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ProbeModel {
     /// Probe by scanning the whole opposite state (the paper's Equations
-    /// 1–3, and the runtime behaviour for non-equi conditions).
+    /// 1–3, and the runtime behaviour for conditions with no usable
+    /// component).
     #[default]
     LinearScan,
     /// Probe through a hash index on the equi-join key: expected comparisons
     /// per probe scale with `S⋈ ·` window population.
     HashIndexed,
+    /// Probe through a value-ordered band index: `log₂(state) + matches`
+    /// comparisons per probe (binary search plus the contiguous walk).
+    BandIndexed,
 }
 
 impl ProbeModel {
-    /// Expected probe comparisons given the full-scan comparison rate and
-    /// the join selectivity.
-    pub fn probe_cost(self, full_scan_rate: f64, sel_join: f64) -> f64 {
+    /// Expected probe comparisons per second for the sliced join of edge
+    /// `v_i -> v_j` (window range `w_j - w_i`).
+    pub fn probe_cost(self, params: &ChainParams, i: usize, j: usize) -> f64 {
+        let range = params.boundary(j) - params.boundary(i);
+        let full_scan_rate = 2.0 * params.lambda_a * params.lambda_b * range;
         match self {
             ProbeModel::LinearScan => full_scan_rate,
-            ProbeModel::HashIndexed => full_scan_rate * sel_join,
+            ProbeModel::HashIndexed => full_scan_rate * params.sel_join,
+            ProbeModel::BandIndexed => {
+                // Each A-arrival (rate λ_A, twice: male probe of both
+                // reference copies is folded into the factor-2 convention of
+                // the full-scan rate) binary-searches the B state of this
+                // slice (population λ_B · range) and walks its matches; and
+                // symmetrically for B-arrivals.  The match walk sums to the
+                // result rate, exactly the hash-indexed probe total.
+                let search = params.lambda_a * (1.0 + params.lambda_b * range).log2()
+                    + params.lambda_b * (1.0 + params.lambda_a * range).log2();
+                search + full_scan_rate * params.sel_join
+            }
         }
     }
 }
@@ -161,7 +185,9 @@ pub fn edge_cost(params: &ChainParams, i: usize, j: usize) -> ChainCostBreakdown
 
 /// [`edge_cost`] under an explicit [`ProbeModel`]: `HashIndexed` scales the
 /// probe term by `S⋈` (the expected bucket population), matching the
-/// hash-indexed runtime join state for equi conditions.
+/// hash-indexed runtime join state for equi conditions; `BandIndexed`
+/// charges `log₂(slice state) + matches` per probe, matching the
+/// value-ordered band index for inequality conditions.
 pub fn edge_cost_with_model(
     params: &ChainParams,
     i: usize,
@@ -176,7 +202,7 @@ pub fn edge_cost_with_model(
     let m = (j - i) as f64;
     let rate_product = 2.0 * params.lambda_a * params.lambda_b;
     let total_rate = params.total_rate();
-    let probe = model.probe_cost(rate_product * range, params.sel_join);
+    let probe = model.probe_cost(params, i, j);
     let purge = total_rate;
     let result_rate = rate_product * range * params.sel_join;
     let routing = result_rate * (m - 1.0);
@@ -310,6 +336,34 @@ mod tests {
         // CPU-Opt shortest path is unaffected by the model choice.
         let sliced = chain_cost_with_model(&p, &[0, 1, 2, 3], ProbeModel::HashIndexed);
         assert!((sliced.probe - indexed.probe).abs() < 1e-9);
+    }
+
+    #[test]
+    fn band_indexed_probe_model_charges_log_state_plus_matches() {
+        let p = params();
+        let scan = edge_cost_with_model(&p, 0, 3, ProbeModel::LinearScan);
+        let hash = edge_cost_with_model(&p, 0, 3, ProbeModel::HashIndexed);
+        let band = edge_cost_with_model(&p, 0, 3, ProbeModel::BandIndexed);
+        // Hand computation: range 30, λ = 10 each side, S⋈ = 0.1.
+        let search = 2.0 * 10.0 * (1.0 + 10.0 * 30.0f64).log2();
+        let matches = 2.0 * 10.0 * 10.0 * 30.0 * 0.1;
+        assert!((band.probe - (search + matches)).abs() < 1e-9);
+        // Band sits between hash (pure matches) and a linear scan here.
+        assert!(band.probe > hash.probe);
+        assert!(band.probe < scan.probe);
+        // Non-probe components are probe-model independent.
+        assert_eq!(band.purge, scan.purge);
+        assert_eq!(band.routing, scan.routing);
+        assert_eq!(band.system, scan.system);
+        assert_eq!(band.union, scan.union);
+        // Unlike the other two models the band probe term is NOT
+        // slicing-invariant: every tuple pays a log-search per slice it
+        // probes, so the finer slicing costs strictly more probe-side.
+        let sliced = chain_cost_with_model(&p, &[0, 1, 2, 3], ProbeModel::BandIndexed);
+        assert!(sliced.probe > band.probe);
+        // The excess is exactly the extra log terms — bounded by the
+        // per-slice searches, far below a linear scan's state term.
+        assert!(sliced.probe < scan.probe);
     }
 
     #[test]

@@ -19,9 +19,24 @@
 //! incremented by the callers consequently scale with the *output* size, not
 //! with the state size (the dominant cost in the paper's Figures 17–19).
 //!
-//! Non-equi conditions (cross products, band/theta predicates) transparently
-//! fall back to a linear scan over the time-ordered store, which is exactly
-//! the pre-index behaviour.
+//! Conditions with no equi component but an inequality (band/theta)
+//! component get a third mode, **`BandIndexed`**: a value-ordered secondary
+//! index (`BTreeMap` over an order-preserving encoding of the stored band
+//! key) maintained incrementally on insert and cleaned lazily like the hash
+//! buckets.  A band probe `lo ≤ stored.g ≤ hi` binary-searches to the range
+//! start and walks the contiguous run — O(log n + matches) instead of the
+//! O(n) scan (the classic ordered range-reporting bound).  Stored keys that
+//! do not order numerically (`Null`/`Bool`/`Str`/`NaN` — cross-type
+//! comparisons go through type ranks, so they *can* satisfy a band theta)
+//! live in a side list every band probe scans; a probe whose bound value is
+//! non-numeric degrades to a full scan, and range endpoints are widened to
+//! inclusive at `f64` granularity so `i64 → f64` rounding can never lose a
+//! true match.  As everywhere else: false positives are fine (callers
+//! re-evaluate the full condition per candidate), false negatives never.
+//!
+//! Cross products and conditions with no usable component at all fall back
+//! to a linear scan over the time-ordered store, which is exactly the
+//! pre-index behaviour.
 //!
 //! ## Correctness of the bucket mapping
 //!
@@ -54,12 +69,12 @@
 //! collision); that only widens a candidate set, and callers re-evaluate the
 //! condition per candidate, so correctness is unaffected.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 
 use crate::arena::{ArenaIter, TupleArena};
-use crate::predicate::JoinCondition;
+use crate::predicate::{band_bounds, BandProbe, JoinCondition};
 use crate::tuple::{KeyClass, Tuple, Value};
 
 /// The `(stored_field, probe_field)` pair of the first equi component of a
@@ -224,6 +239,49 @@ const MISSING_KEY_HASH: u64 = 0xaf63_bc4c_8601_b62c;
 /// small states never bother.
 const MIN_COMPACT_STALE: usize = 32;
 
+/// Order-preserving `u64` encoding of a *numeric* band key: `a < b` under
+/// [`Value::compare`] iff `bits(a) < bits(b)` (the classic sign-flip trick
+/// over IEEE-754 bits), with `-0.0` folded into `+0.0`.  Returns `None` for
+/// `NaN`, which has no place in a total order.
+pub(crate) fn monotone_band_bits(f: f64) -> Option<u64> {
+    let bits = canonical_bits(f)?;
+    Some(if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    })
+}
+
+/// Ordering key of a stored band-key value, or `None` for values the tree
+/// cannot order numerically (`NaN`, and the non-numeric types whose
+/// cross-type comparisons go through type ranks) — those go to the
+/// always-scanned side list.
+pub(crate) fn band_key_bits(v: &Value) -> Option<u64> {
+    match v {
+        Value::Int(i) => monotone_band_bits(*i as f64),
+        Value::Float(f) => monotone_band_bits(*f),
+        Value::Null | Value::Bool(_) | Value::Str(_) => None,
+    }
+}
+
+/// The value-ordered secondary index of a `BandIndexed` [`JoinState`].
+#[derive(Debug)]
+struct BandIndexState {
+    /// The band shape ([`band_bounds`]) this state answers probes for.
+    spec: BandProbe,
+    /// Order index: monotone key bits → sequence numbers in insertion order.
+    /// Holds only numerically-ordered keys; cleaned lazily like the hash
+    /// buckets (dead sequence numbers are skipped and swept by compaction).
+    tree: BTreeMap<u64, VecDeque<u64>>,
+    /// Sequence numbers of entries whose band key exists but is not
+    /// numerically ordered (`Null`/`Bool`/`Str`/`NaN`); every band probe
+    /// scans these in addition to its tree range.  Entries *missing* the
+    /// band key field are referenced by neither structure — a theta over an
+    /// absent field is false, and conditions are pure conjunctions, so such
+    /// tuples can never match.
+    side: VecDeque<u64>,
+}
+
 /// One stream's window-join state: an arena-backed, time-ordered tuple store
 /// with an optional incrementally-maintained hash index on the equi-join key.
 ///
@@ -253,13 +311,16 @@ pub struct JoinState {
     /// Sequence numbers of entries with unindexable (`NaN`) keys, in time
     /// order; scanned by every probe in addition to its bucket.
     unindexed: VecDeque<u64>,
-    /// Dead sequence numbers still referenced by `index`/`unindexed`
-    /// (indexed mode only); drives compaction.
+    /// Dead sequence numbers still referenced by `index`/`unindexed`/the
+    /// band index (indexed modes only); drives compaction.
     stale: usize,
     /// Field of *stored* tuples the index is built on (`None` = linear mode).
     stored_key_field: Option<usize>,
     /// Field of *probing* tuples holding the lookup key.
     probe_key_field: Option<usize>,
+    /// Value-ordered band index (`BandIndexed` mode); mutually exclusive
+    /// with the hash index.
+    band: Option<BandIndexState>,
 }
 
 impl JoinState {
@@ -279,13 +340,30 @@ impl JoinState {
         }
     }
 
+    /// A state band-indexed on `spec.stored_field` of inserted tuples,
+    /// answering range probes bounded by the probe-tuple fields in `spec`.
+    pub fn band_indexed(spec: BandProbe) -> JoinState {
+        JoinState {
+            band: Some(BandIndexState {
+                spec,
+                tree: BTreeMap::new(),
+                side: VecDeque::new(),
+            }),
+            ..JoinState::default()
+        }
+    }
+
     /// The right state for a join condition: hash-indexed on the condition's
-    /// first equi component if it has one, linear otherwise.
-    /// `stored_is_left` says whether this state stores the tuples that appear
-    /// on the *left* of the condition's `eval` calls.
+    /// first equi component if it has one, band-indexed on its band
+    /// component when there is no equi but an inequality theta, linear
+    /// otherwise.  `stored_is_left` says whether this state stores the
+    /// tuples that appear on the *left* of the condition's `eval` calls.
     pub fn for_condition(cond: &JoinCondition, stored_is_left: bool) -> JoinState {
-        match equi_key_fields(cond, stored_is_left) {
-            Some((stored, probe)) => JoinState::indexed(stored, probe),
+        if let Some((stored, probe)) = equi_key_fields(cond, stored_is_left) {
+            return JoinState::indexed(stored, probe);
+        }
+        match band_bounds(cond, stored_is_left) {
+            Some(spec) => JoinState::band_indexed(spec),
             None => JoinState::linear(),
         }
     }
@@ -293,6 +371,16 @@ impl JoinState {
     /// `true` if this state maintains a hash index.
     pub fn is_indexed(&self) -> bool {
         self.stored_key_field.is_some()
+    }
+
+    /// `true` if this state maintains a value-ordered band index.
+    pub fn is_band_indexed(&self) -> bool {
+        self.band.is_some()
+    }
+
+    /// The band shape a `BandIndexed` state answers probes for.
+    pub fn band_spec(&self) -> Option<&BandProbe> {
+        self.band.as_ref().map(|b| &b.spec)
     }
 
     /// Number of stored tuples.
@@ -351,6 +439,18 @@ impl JoinState {
                 Some(hash) => self.index.entry(hash).or_default().push_back(seq),
                 None => self.unindexed.push_back(seq),
             }
+        } else if let Some(band) = &mut self.band {
+            let seq = self.arena.next_seq();
+            match tuple.value(band.spec.stored_field) {
+                // A missing band key can never satisfy the (conjunctive)
+                // condition, so the entry is referenced by neither the tree
+                // nor the side list.
+                None => {}
+                Some(v) => match band_key_bits(v) {
+                    Some(bits) => band.tree.entry(bits).or_default().push_back(seq),
+                    None => band.side.push_back(seq),
+                },
+            }
         }
         self.arena.push(tuple);
     }
@@ -361,7 +461,7 @@ impl JoinState {
     /// touches the hash map.
     pub fn pop_front(&mut self) -> Option<Tuple> {
         let tuple = self.arena.pop_front()?;
-        if self.stored_key_field.is_some() {
+        if self.stored_key_field.is_some() || self.band.is_some() {
             self.stale += 1;
             if self.stale > self.arena.len().max(MIN_COMPACT_STALE) {
                 self.compact();
@@ -376,35 +476,56 @@ impl JoinState {
     /// dead backlog exceeds the live size (amortised O(1) per purge); public
     /// so state inspection and tests can force a consistent view.
     pub fn compact(&mut self) {
-        let Some(field) = self.stored_key_field else {
-            return;
-        };
-        self.index.clear();
-        self.unindexed.clear();
-        for (seq, tuple) in (self.arena.head_seq()..).zip(self.arena.iter()) {
-            let class = tuple
-                .memoized_key(field)
-                .unwrap_or_else(|| compute_key(tuple, field));
-            match Self::bucket_hash(class) {
-                Some(hash) => self.index.entry(hash).or_default().push_back(seq),
-                None => self.unindexed.push_back(seq),
+        if let Some(field) = self.stored_key_field {
+            self.index.clear();
+            self.unindexed.clear();
+            for (seq, tuple) in (self.arena.head_seq()..).zip(self.arena.iter()) {
+                let class = tuple
+                    .memoized_key(field)
+                    .unwrap_or_else(|| compute_key(tuple, field));
+                match Self::bucket_hash(class) {
+                    Some(hash) => self.index.entry(hash).or_default().push_back(seq),
+                    None => self.unindexed.push_back(seq),
+                }
             }
+            self.stale = 0;
+        } else if let Some(band) = &mut self.band {
+            band.tree.clear();
+            band.side.clear();
+            for (seq, tuple) in (self.arena.head_seq()..).zip(self.arena.iter()) {
+                match tuple.value(band.spec.stored_field) {
+                    None => {}
+                    Some(v) => match band_key_bits(v) {
+                        Some(bits) => band.tree.entry(bits).or_default().push_back(seq),
+                        None => band.side.push_back(seq),
+                    },
+                }
+            }
+            self.stale = 0;
         }
-        self.stale = 0;
     }
 
     /// The candidate tuples an arriving `probe` tuple has to be evaluated
-    /// against, oldest first within each source:
+    /// against:
     ///
-    /// * linear mode — every stored tuple,
-    /// * indexed mode — the probe key's bucket plus the `NaN` side list;
-    ///   a `NaN` probe key degrades to a full scan and a missing probe
-    ///   attribute yields no candidates (it can never satisfy the condition).
+    /// * linear mode — every stored tuple, oldest first,
+    /// * hash-indexed mode — the probe key's bucket plus the `NaN` side
+    ///   list; a `NaN` probe key degrades to a full scan and a missing probe
+    ///   attribute yields no candidates (it can never satisfy the condition),
+    /// * band-indexed mode — the tree range between the probe tuple's bound
+    ///   values (binary search + contiguous walk, value order) plus the
+    ///   non-numeric side list; a missing bound attribute yields no
+    ///   candidates and a non-numeric bound value degrades to a full scan.
     ///
     /// Callers must still evaluate the full join condition (and any window
-    /// validity check) per candidate: buckets may contain false positives.
-    /// The probe key hash is reused from the tuple's memo when present.
+    /// validity check) per candidate: buckets and band ranges may contain
+    /// false positives (band endpoints are deliberately widened to inclusive
+    /// at `f64` granularity).  The probe key hash is reused from the tuple's
+    /// memo when present.
     pub fn probe_candidates(&self, probe: &Tuple) -> Candidates<'_> {
+        if let Some(band) = &self.band {
+            return self.band_candidates(band, probe);
+        }
         let field = match self.probe_key_field {
             None => return Candidates::all(&self.arena),
             Some(field) => field,
@@ -419,6 +540,49 @@ impl JoinState {
                 arena: &self.arena,
                 bucket: self.index.get(&hash).map(|b| b.iter()),
                 extra: self.unindexed.iter(),
+            },
+        }
+    }
+
+    /// Band-probe candidate selection (see [`JoinState::probe_candidates`]).
+    fn band_candidates<'a>(&'a self, band: &'a BandIndexState, probe: &Tuple) -> Candidates<'a> {
+        use std::ops::Bound;
+        let mut lo = Bound::Unbounded;
+        let mut hi = Bound::Unbounded;
+        for (bound, slot) in [(band.spec.lower, &mut lo), (band.spec.upper, &mut hi)] {
+            if let Some((field, _inclusive)) = bound {
+                match probe.value(field) {
+                    // A missing bound attribute makes the band theta — and
+                    // with it the whole conjunction — false for every pair.
+                    None => return Candidates::empty(),
+                    Some(v) => match band_key_bits(v) {
+                        // Non-numeric (or NaN) bound: under the cross-type
+                        // total order the matching keys are not one
+                        // contiguous bits range, so degrade to a full scan.
+                        None => return Candidates::all(&self.arena),
+                        // Endpoints are always *inclusive* at f64-bucket
+                        // granularity, even for strict thetas: the monotone
+                        // (non-strict) i64 → f64 cast can collapse distinct
+                        // values into one bucket, and only widening keeps
+                        // every true match inside the range.  The re-eval of
+                        // the exact condition discards the false positives.
+                        Some(bits) => *slot = Bound::Included(bits),
+                    },
+                }
+            }
+        }
+        // An inverted range holds no tree matches (BTreeMap::range would
+        // panic on it); the side list must still be scanned.
+        let range = match (lo, hi) {
+            (Bound::Included(l), Bound::Included(h)) if l > h => band.tree.range(0..0),
+            _ => band.tree.range((lo, hi)),
+        };
+        Candidates {
+            inner: CandidatesInner::Band {
+                arena: &self.arena,
+                range,
+                bucket: None,
+                extra: band.side.iter(),
             },
         }
     }
@@ -454,16 +618,29 @@ impl JoinState {
     pub fn drain_ordered(&mut self) -> Vec<Tuple> {
         self.index.clear();
         self.unindexed.clear();
+        if let Some(band) = &mut self.band {
+            band.tree.clear();
+            band.side.clear();
+        }
         self.stale = 0;
         self.arena.drain()
     }
 
     /// Replace the contents with `tuples` (which must be in timestamp
     /// order), rebuilding the index.
+    /// The rebuild is deterministic: pushing the same ordered tuples always
+    /// yields the same index (band tree runs are in insertion = time order),
+    /// so a state restored from a checkpoint probes identically — same
+    /// candidates, same comparison counts — to the incrementally-maintained
+    /// original.
     pub fn load_ordered(&mut self, tuples: Vec<Tuple>) {
         self.arena.clear();
         self.index.clear();
         self.unindexed.clear();
+        if let Some(band) = &mut self.band {
+            band.tree.clear();
+            band.side.clear();
+        }
         self.stale = 0;
         for t in tuples {
             self.push(t);
@@ -483,6 +660,12 @@ enum CandidatesInner<'a> {
     All(ArenaIter<'a>),
     Indexed {
         arena: &'a TupleArena,
+        bucket: Option<std::collections::vec_deque::Iter<'a, u64>>,
+        extra: std::collections::vec_deque::Iter<'a, u64>,
+    },
+    Band {
+        arena: &'a TupleArena,
+        range: std::collections::btree_map::Range<'a, u64, VecDeque<u64>>,
         bucket: Option<std::collections::vec_deque::Iter<'a, u64>>,
         extra: std::collections::vec_deque::Iter<'a, u64>,
     },
@@ -523,6 +706,35 @@ impl<'a> Iterator for Candidates<'a> {
                         if let Some(tuple) = arena.get(seq) {
                             return Some(tuple);
                         }
+                    }
+                }
+                for &seq in extra.by_ref() {
+                    if let Some(tuple) = arena.get(seq) {
+                        return Some(tuple);
+                    }
+                }
+                None
+            }
+            CandidatesInner::Band {
+                arena,
+                range,
+                bucket,
+                extra,
+            } => {
+                // Walk the tree range run by run (value order, insertion
+                // order within a run), then the non-numeric side list; dead
+                // sequence numbers are skipped exactly as in the hash path.
+                loop {
+                    if let Some(iter) = bucket {
+                        for &seq in iter.by_ref() {
+                            if let Some(tuple) = arena.get(seq) {
+                                return Some(tuple);
+                            }
+                        }
+                    }
+                    match range.next() {
+                        Some((_, run)) => *bucket = Some(run.iter()),
+                        None => break,
                     }
                 }
                 for &seq in extra.by_ref() {
@@ -574,6 +786,58 @@ mod tests {
         assert_eq!(equi_key_fields(&theta, true), None);
         let both = JoinCondition::And(Box::new(theta), Box::new(equi));
         assert_eq!(equi_key_fields(&both, false), Some((2, 1)));
+    }
+
+    #[test]
+    fn equi_fields_are_found_anywhere_in_nested_conjunctions() {
+        // An equi component buried at any depth and any position of the And
+        // tree must be found — ShardSpec::from_condition relies on this to
+        // hash-partition shardable joins.
+        let equi = JoinCondition::Equi {
+            left_field: 3,
+            right_field: 4,
+        };
+        let theta = JoinCondition::Theta {
+            left_field: 0,
+            op: crate::predicate::CmpOp::Lt,
+            right_field: 0,
+        };
+        let deep_right = JoinCondition::And(
+            Box::new(theta.clone()),
+            Box::new(JoinCondition::And(
+                Box::new(JoinCondition::Cross),
+                Box::new(equi.clone()),
+            )),
+        );
+        assert_eq!(equi_key_fields(&deep_right, true), Some((3, 4)));
+        assert_eq!(equi_key_fields(&deep_right, false), Some((4, 3)));
+        let deep_left = JoinCondition::And(
+            Box::new(JoinCondition::And(
+                Box::new(equi.clone()),
+                Box::new(JoinCondition::Cross),
+            )),
+            Box::new(theta.clone()),
+        );
+        assert_eq!(equi_key_fields(&deep_left, true), Some((3, 4)));
+        // Two equi components: the first in left-to-right order wins (any
+        // single equi conjunct is a correct filter).
+        let two = JoinCondition::And(
+            Box::new(JoinCondition::And(
+                Box::new(theta.clone()),
+                Box::new(JoinCondition::equi(1)),
+            )),
+            Box::new(equi),
+        );
+        assert_eq!(equi_key_fields(&two, true), Some((1, 1)));
+        // All-theta trees have no equi anywhere.
+        let none = JoinCondition::And(
+            Box::new(theta.clone()),
+            Box::new(JoinCondition::And(
+                Box::new(JoinCondition::Cross),
+                Box::new(theta),
+            )),
+        );
+        assert_eq!(equi_key_fields(&none, true), None);
     }
 
     #[test]
@@ -806,6 +1070,225 @@ mod tests {
         assert!(s.live_bytes() < two);
         s.pop_front();
         assert_eq!(s.live_bytes(), 0);
+    }
+
+    /// `lo ≤ stored.0 ≤ hi` with the bounds in probe fields 0 and 1.
+    fn band_state() -> JoinState {
+        JoinState::band_indexed(BandProbe {
+            stored_field: 0,
+            lower: Some((0, true)),
+            upper: Some((1, true)),
+        })
+    }
+
+    fn band_probe_tuple(lo: i64, hi: i64) -> Tuple {
+        Tuple::of_ints(Timestamp::from_secs(99), StreamId::B, &[lo, hi])
+    }
+
+    #[test]
+    fn condition_selects_band_index_when_no_equi() {
+        let theta = JoinCondition::Theta {
+            left_field: 0,
+            op: crate::predicate::CmpOp::Ge,
+            right_field: 1,
+        };
+        let s = JoinState::for_condition(&theta, true);
+        assert!(s.is_band_indexed());
+        assert!(!s.is_indexed());
+        assert_eq!(
+            s.band_spec(),
+            Some(&BandProbe {
+                stored_field: 0,
+                lower: Some((1, true)),
+                upper: None,
+            })
+        );
+        // An equi component anywhere wins: hash index, no band index.
+        let both = JoinCondition::And(Box::new(theta), Box::new(JoinCondition::equi(2)));
+        let s = JoinState::for_condition(&both, true);
+        assert!(s.is_indexed());
+        assert!(!s.is_band_indexed());
+        // No usable component at all: linear.
+        let s = JoinState::for_condition(&JoinCondition::Cross, true);
+        assert!(!s.is_indexed() && !s.is_band_indexed());
+    }
+
+    #[test]
+    fn band_probe_walks_only_the_value_range() {
+        let mut s = band_state();
+        for (secs, key) in [(1, 5), (2, 20), (3, 7), (4, 11), (5, 6)] {
+            s.push(t(secs, key));
+        }
+        // Range [5, 7]: keys 5, 6, 7 in value order.
+        assert_eq!(candidate_secs(&s, &band_probe_tuple(5, 7)), vec![1, 5, 3]);
+        // Half-miss range and full-miss range.
+        assert_eq!(candidate_secs(&s, &band_probe_tuple(12, 25)), vec![2]);
+        assert_eq!(
+            candidate_secs(&s, &band_probe_tuple(13, 19)),
+            Vec::<u64>::new()
+        );
+        // Inverted range (lo > hi): no candidates, and no panic.
+        assert_eq!(
+            candidate_secs(&s, &band_probe_tuple(9, 3)),
+            Vec::<u64>::new()
+        );
+        // Duplicate keys stay in insertion order within their run.
+        s.push(t(6, 6));
+        assert_eq!(candidate_secs(&s, &band_probe_tuple(6, 6)), vec![5, 6]);
+    }
+
+    #[test]
+    fn band_non_numeric_and_nan_keys_never_produce_false_negatives() {
+        let mut s = band_state();
+        s.push(tv(1, Value::Int(5)));
+        s.push(tv(2, Value::Float(f64::NAN)));
+        s.push(tv(3, Value::str("zzz")));
+        s.push(tv(4, Value::Null));
+        // Numeric probe range: the tree narrows to key 5, but NaN (compares
+        // Equal to everything), Str (ranks above numbers, can satisfy ≥) and
+        // Null (ranks below, can satisfy ≤) must all stay candidates.
+        assert_eq!(
+            candidate_secs(&s, &band_probe_tuple(5, 5)),
+            vec![1, 2, 3, 4]
+        );
+        // A non-numeric bound value degrades to a full scan.
+        let probe = Tuple::new(
+            Timestamp::from_secs(9),
+            StreamId::B,
+            vec![Value::str("a"), Value::str("b")],
+        );
+        assert_eq!(candidate_secs(&s, &probe), vec![1, 2, 3, 4]);
+        // A missing bound attribute yields no candidates at all.
+        let probe = Tuple::of_ints(Timestamp::from_secs(9), StreamId::B, &[3]);
+        assert_eq!(candidate_secs(&s, &probe), Vec::<u64>::new());
+        // A stored tuple *missing* the band field is never a candidate.
+        let mut s = JoinState::band_indexed(BandProbe {
+            stored_field: 7,
+            lower: Some((0, true)),
+            upper: Some((1, true)),
+        });
+        s.push(t(1, 5));
+        assert_eq!(
+            candidate_secs(&s, &band_probe_tuple(i64::MIN, i64::MAX)),
+            Vec::<u64>::new()
+        );
+    }
+
+    #[test]
+    fn band_endpoints_widen_over_int_to_float_rounding() {
+        // 2^53 and 2^53 + 1 are distinct i64 keys that collapse to the same
+        // f64 bucket.  A probe whose exact range covers only one of them
+        // must still see both (widened endpoints; the caller's condition
+        // re-eval discards the false positive).
+        const BIG: i64 = 1 << 53;
+        let mut s = band_state();
+        s.push(t(1, BIG));
+        s.push(t(2, BIG + 1));
+        let candidates = candidate_secs(&s, &band_probe_tuple(BIG + 1, BIG + 1));
+        assert!(candidates.contains(&2), "true match lost to rounding");
+        assert_eq!(candidates, vec![1, 2], "bucket-mates ride along");
+        // -0.0 and +0.0 share one bucket.
+        let mut s = band_state();
+        s.push(tv(1, Value::Float(-0.0)));
+        assert_eq!(candidate_secs(&s, &band_probe_tuple(0, 0)), vec![1]);
+    }
+
+    #[test]
+    fn band_stale_references_auto_compact() {
+        let mut s = band_state();
+        for i in 0..40u64 {
+            s.push(t(i, (i % 7) as i64));
+        }
+        for _ in 0..35 {
+            s.pop_front();
+        }
+        assert_eq!(s.len(), 5);
+        // Same compaction cadence as the hash index: the sweep fired on the
+        // 33rd pop, leaving 5 live + 2 fresh dead references.
+        let band = s.band.as_ref().unwrap();
+        let referenced: usize =
+            band.tree.values().map(|r| r.len()).sum::<usize>() + band.side.len();
+        assert_eq!(referenced, 7, "auto-compaction swept dead references");
+        // A full-range probe still sees exactly the live tuples (candidates
+        // come back in value order; compare as multisets).
+        let mut want: Vec<u64> = s.iter().map(|c| c.ts.as_micros() / 1_000_000).collect();
+        let mut got = candidate_secs(&s, &band_probe_tuple(0, 6));
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn band_drain_and_load_round_trip_rebuilds_the_order_index() {
+        let mut s = band_state();
+        for (secs, key) in [(1, 9), (2, 3), (3, 9), (4, 5)] {
+            s.push(t(secs, key));
+        }
+        s.pop_front();
+        let before = candidate_secs(&s, &band_probe_tuple(3, 9));
+        let drained = s.drain_ordered();
+        assert_eq!(drained.len(), 3);
+        s.load_ordered(drained);
+        assert!(s.is_band_indexed());
+        // The rebuilt index probes identically to the incremental one.
+        assert_eq!(candidate_secs(&s, &band_probe_tuple(3, 9)), before);
+        assert_eq!(candidate_secs(&s, &band_probe_tuple(3, 9)), vec![2, 4, 3]);
+    }
+
+    #[test]
+    fn band_random_probes_match_a_linear_reference() {
+        // Differential check: stored.0 ∈ [probe.1, probe.2], with strict
+        // variants and occasional NaN/missing values thrown in.
+        let cond = JoinCondition::And(
+            Box::new(JoinCondition::Theta {
+                left_field: 0,
+                op: crate::predicate::CmpOp::Ge,
+                right_field: 1,
+            }),
+            Box::new(JoinCondition::Theta {
+                left_field: 0,
+                op: crate::predicate::CmpOp::Lt,
+                right_field: 2,
+            }),
+        );
+        let mut banded = JoinState::for_condition(&cond, true);
+        assert!(banded.is_band_indexed());
+        let mut linear = JoinState::linear();
+        let mut seed = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for step in 0..500u64 {
+            let key = match next() % 16 {
+                0 => Value::Float(f64::NAN),
+                1 => Value::Float((next() % 19) as f64 / 2.0),
+                _ => Value::Int((next() % 19) as i64),
+            };
+            let tuple = tv(step, key);
+            if next() % 4 == 0 && !banded.is_empty() {
+                banded.pop_front();
+                linear.pop_front();
+            }
+            let lo = (next() % 19) as i64;
+            let probe = Tuple::of_ints(
+                Timestamp::from_secs(step),
+                StreamId::B,
+                &[0, lo, lo + (next() % 5) as i64],
+            );
+            let mut got: Vec<&Tuple> = banded
+                .probe_candidates(&probe)
+                .filter(|s| cond.eval(s, &probe))
+                .collect();
+            let mut want: Vec<&Tuple> = linear.iter().filter(|s| cond.eval(s, &probe)).collect();
+            got.sort_by_key(|t| t.ts);
+            want.sort_by_key(|t| t.ts);
+            assert_eq!(got, want, "divergence at step {step}");
+            banded.push(tuple.clone());
+            linear.push(tuple);
+        }
     }
 
     #[test]

@@ -238,9 +238,14 @@ impl JoinCondition {
                 left_field,
                 right_field,
             } => {
-                *comparisons += 1;
+                // Count only when both fields exist: the counter contract is
+                // "counters equal actual value comparisons", and an absent
+                // field short-circuits to false before any compare runs.
                 match (left.value(*left_field), right.value(*right_field)) {
-                    (Some(l), Some(r)) => l.compare(r) == std::cmp::Ordering::Equal,
+                    (Some(l), Some(r)) => {
+                        *comparisons += 1;
+                        l.compare(r) == std::cmp::Ordering::Equal
+                    }
                     _ => false,
                 }
             }
@@ -248,13 +253,13 @@ impl JoinCondition {
                 left_field,
                 op,
                 right_field,
-            } => {
-                *comparisons += 1;
-                match (left.value(*left_field), right.value(*right_field)) {
-                    (Some(l), Some(r)) => op.apply(l.compare(r)),
-                    _ => false,
+            } => match (left.value(*left_field), right.value(*right_field)) {
+                (Some(l), Some(r)) => {
+                    *comparisons += 1;
+                    op.apply(l.compare(r))
                 }
-            }
+                _ => false,
+            },
             JoinCondition::And(a, b) => {
                 a.eval_counted(left, right, comparisons) && b.eval_counted(left, right, comparisons)
             }
@@ -266,6 +271,130 @@ impl JoinCondition {
         let mut scratch = 0;
         self.eval_counted(left, right, &mut scratch)
     }
+}
+
+/// A band probe recognised by [`band_bounds`]: the stored-side field is
+/// constrained to a (half-)interval whose endpoints come from probe-tuple
+/// fields, `lo ≤ stored.g − probe.f ≤ hi` in the classic band-join shape.
+///
+/// Each bound is `(probe_field, inclusive)`.  One of the two may be absent
+/// (a half-open band from a single `Theta`).  Any equi or residual component
+/// of the original condition is *not* represented here — callers re-evaluate
+/// the full [`JoinCondition`] on every candidate, so the probe only has to
+/// be a superset of the true matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BandProbe {
+    /// Field index of the stored tuple the order index sorts by.
+    pub stored_field: usize,
+    /// Lower bound: `stored.field ≥ probe.0` (`>` when `.1` is false).
+    pub lower: Option<(usize, bool)>,
+    /// Upper bound: `stored.field ≤ probe.0` (`<` when `.1` is false).
+    pub upper: Option<(usize, bool)>,
+}
+
+impl BandProbe {
+    /// `true` when both a lower and an upper bound are present.
+    pub fn is_two_sided(&self) -> bool {
+        self.lower.is_some() && self.upper.is_some()
+    }
+}
+
+/// One usable theta constraint on a stored-side field, in normalised
+/// `stored op probe` orientation.
+struct ThetaBound {
+    stored_field: usize,
+    probe_field: usize,
+    op: CmpOp,
+}
+
+fn collect_theta_bounds(cond: &JoinCondition, stored_is_left: bool, out: &mut Vec<ThetaBound>) {
+    match cond {
+        JoinCondition::Theta {
+            left_field,
+            op,
+            right_field,
+        } => {
+            // Normalise to `stored op probe`: when the stored tuple is the
+            // right operand, flip the operand order and mirror the operator.
+            let (stored_field, probe_field, op) = if stored_is_left {
+                (*left_field, *right_field, *op)
+            } else {
+                let mirrored = match op {
+                    CmpOp::Lt => CmpOp::Gt,
+                    CmpOp::Le => CmpOp::Ge,
+                    CmpOp::Gt => CmpOp::Lt,
+                    CmpOp::Ge => CmpOp::Le,
+                    CmpOp::Eq => CmpOp::Eq,
+                    CmpOp::Ne => CmpOp::Ne,
+                };
+                (*right_field, *left_field, mirrored)
+            };
+            if matches!(op, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge) {
+                out.push(ThetaBound {
+                    stored_field,
+                    probe_field,
+                    op,
+                });
+            }
+        }
+        JoinCondition::And(a, b) => {
+            collect_theta_bounds(a, stored_is_left, out);
+            collect_theta_bounds(b, stored_is_left, out);
+        }
+        JoinCondition::Cross | JoinCondition::Equi { .. } => {}
+    }
+}
+
+/// Classify the band shape of a join condition from the stored side's point
+/// of view (`stored_is_left` says whether the stored tuple is the condition's
+/// left or right operand).
+///
+/// Walks the `And` tree collecting inequality `Theta` components, normalised
+/// to `stored op probe`, and groups them by stored field.  A field with both
+/// a lower and an upper bound (two opposing thetas on the same stored field)
+/// wins over a field with only one; ties go to the first field encountered.
+/// `Eq`/`Ne` thetas, equi components and `Cross` contribute nothing — they
+/// stay in the condition and are re-evaluated on every candidate the band
+/// probe yields.  Returns `None` when no inequality theta exists at all.
+pub fn band_bounds(cond: &JoinCondition, stored_is_left: bool) -> Option<BandProbe> {
+    let mut bounds = Vec::new();
+    collect_theta_bounds(cond, stored_is_left, &mut bounds);
+    if bounds.is_empty() {
+        return None;
+    }
+    // Assemble per-stored-field probes, preserving first-encountered order.
+    let mut probes: Vec<BandProbe> = Vec::new();
+    for b in &bounds {
+        let probe = match probes.iter_mut().find(|p| p.stored_field == b.stored_field) {
+            Some(p) => p,
+            None => {
+                probes.push(BandProbe {
+                    stored_field: b.stored_field,
+                    lower: None,
+                    upper: None,
+                });
+                probes.last_mut().unwrap()
+            }
+        };
+        match b.op {
+            CmpOp::Ge | CmpOp::Gt => {
+                if probe.lower.is_none() {
+                    probe.lower = Some((b.probe_field, b.op == CmpOp::Ge));
+                }
+            }
+            CmpOp::Le | CmpOp::Lt => {
+                if probe.upper.is_none() {
+                    probe.upper = Some((b.probe_field, b.op == CmpOp::Le));
+                }
+            }
+            _ => unreachable!("collect_theta_bounds only keeps inequalities"),
+        }
+    }
+    probes
+        .iter()
+        .find(|p| p.is_two_sided())
+        .or_else(|| probes.first())
+        .copied()
 }
 
 #[cfg(test)]
@@ -377,6 +506,138 @@ mod tests {
         assert!(!c.eval_counted(&a, &d, &mut n));
         assert_eq!(n, 2);
         assert!(JoinCondition::Cross.eval(&a, &d));
+    }
+
+    #[test]
+    fn join_condition_counters_skip_absent_fields() {
+        // Pin the counter contract: counters equal *actual* value
+        // comparisons.  An absent field short-circuits Equi/Theta to false
+        // with no compare, so the counter must not move.
+        let equi = JoinCondition::equi(3);
+        let theta = JoinCondition::Theta {
+            left_field: 3,
+            op: CmpOp::Lt,
+            right_field: 0,
+        };
+        let short = t(&[1]); // has no field 3
+        let long = t(&[1, 2, 3, 4]);
+        let mut n = 0;
+        assert!(!equi.eval_counted(&short, &long, &mut n));
+        assert!(!equi.eval_counted(&long, &short, &mut n));
+        assert!(!theta.eval_counted(&short, &long, &mut n));
+        assert_eq!(n, 0, "absent-field evaluations must not count");
+        // Both fields present: exactly one comparison each.
+        assert!(equi.eval_counted(&long, &long, &mut n));
+        assert!(!theta.eval_counted(&long, &long, &mut n));
+        assert_eq!(n, 2);
+        // And short-circuit: a false left conjunct with a missing field
+        // costs zero and suppresses the right conjunct entirely.
+        let both = JoinCondition::And(Box::new(equi), Box::new(theta));
+        let mut m = 0;
+        assert!(!both.eval_counted(&short, &long, &mut m));
+        assert_eq!(m, 0);
+    }
+
+    #[test]
+    fn band_bounds_recognises_single_theta_half_bands() {
+        // stored(left).2 >= probe(right).0  →  lower bound on field 2.
+        let c = JoinCondition::Theta {
+            left_field: 2,
+            op: CmpOp::Ge,
+            right_field: 0,
+        };
+        assert_eq!(
+            band_bounds(&c, true),
+            Some(BandProbe {
+                stored_field: 2,
+                lower: Some((0, true)),
+                upper: None,
+            })
+        );
+        // Same condition from the right-hand store's point of view:
+        // probe.2 >= stored.0  ⇔  stored.0 <= probe.2 (upper bound).
+        assert_eq!(
+            band_bounds(&c, false),
+            Some(BandProbe {
+                stored_field: 0,
+                lower: None,
+                upper: Some((2, true)),
+            })
+        );
+        // Strict operators stay strict.
+        let c = JoinCondition::Theta {
+            left_field: 1,
+            op: CmpOp::Lt,
+            right_field: 3,
+        };
+        assert_eq!(
+            band_bounds(&c, true),
+            Some(BandProbe {
+                stored_field: 1,
+                lower: None,
+                upper: Some((3, false)),
+            })
+        );
+    }
+
+    #[test]
+    fn band_bounds_pairs_opposing_thetas_and_prefers_two_sided_fields() {
+        // lo ≤ stored.0 ≤ hi with probe fields 2 (lo) and 3 (hi).
+        let lo = JoinCondition::Theta {
+            left_field: 0,
+            op: CmpOp::Ge,
+            right_field: 2,
+        };
+        let hi = JoinCondition::Theta {
+            left_field: 0,
+            op: CmpOp::Le,
+            right_field: 3,
+        };
+        let band = JoinCondition::And(Box::new(lo.clone()), Box::new(hi.clone()));
+        assert_eq!(
+            band_bounds(&band, true),
+            Some(BandProbe {
+                stored_field: 0,
+                lower: Some((2, true)),
+                upper: Some((3, true)),
+            })
+        );
+        // A one-sided theta on another field first: the two-sided field
+        // still wins regardless of encounter order.
+        let stray = JoinCondition::Theta {
+            left_field: 5,
+            op: CmpOp::Gt,
+            right_field: 1,
+        };
+        let c = JoinCondition::And(Box::new(stray), Box::new(band.clone()));
+        assert_eq!(band_bounds(&c, true).unwrap().stored_field, 0);
+        assert!(band_bounds(&c, true).unwrap().is_two_sided());
+        // Equi and Cross components are transparent residue.
+        let c = JoinCondition::And(
+            Box::new(JoinCondition::equi(4)),
+            Box::new(JoinCondition::And(
+                Box::new(JoinCondition::Cross),
+                Box::new(band),
+            )),
+        );
+        assert_eq!(
+            band_bounds(&c, true),
+            Some(BandProbe {
+                stored_field: 0,
+                lower: Some((2, true)),
+                upper: Some((3, true)),
+            })
+        );
+        // No inequality theta anywhere → no band.
+        assert_eq!(band_bounds(&JoinCondition::equi(0), true), None);
+        assert_eq!(band_bounds(&JoinCondition::Cross, true), None);
+        // Ne is not a usable bound.
+        let ne = JoinCondition::Theta {
+            left_field: 0,
+            op: CmpOp::Ne,
+            right_field: 0,
+        };
+        assert_eq!(band_bounds(&ne, true), None);
     }
 
     #[test]

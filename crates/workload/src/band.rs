@@ -1,0 +1,255 @@
+//! Band-join workload generation.
+//!
+//! Band joins (`|a.key − b.key| ≤ W`) are the paper's canonical non-equi
+//! window join: no hash index applies, but the inequality pair admits a
+//! value-ordered index.  This module generates streams whose tuples carry
+//! the band endpoints *materialised as payload fields* so the join
+//! condition stays a pure field-vs-field conjunction:
+//!
+//! * field [`BAND_KEY_FIELD`] — the band attribute `key`,
+//! * field [`VALUE_FIELD`](crate::VALUE_FIELD) — the filtered attribute,
+//! * field [`BAND_LO_FIELD`] — `key − W`,
+//! * field [`BAND_HI_FIELD`] — `key + W`.
+//!
+//! [`band_condition`] then expresses the band from both sides, so whichever
+//! stream a [`JoinState`](streamkit::join_state::JoinState) stores, the
+//! classifier finds a two-sided band over the stored `key` field.
+//!
+//! The expected fraction of tuple pairs within the band is
+//! `(2W + 1) / |domain|` for uniform keys; [`BandGenerator::key_domain`]
+//! inverts that, sizing the domain so the configured `sel_join` becomes the
+//! empirical band selectivity.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use streamkit::predicate::{CmpOp, JoinCondition};
+use streamkit::tuple::{StreamId, Tuple, Value};
+use streamkit::Timestamp;
+
+use crate::generator::{WorkloadConfig, VALUE_DOMAIN};
+use crate::poisson::arrival_times;
+
+/// Index of the band attribute in generated tuples.
+pub const BAND_KEY_FIELD: usize = 0;
+/// Index of the materialised lower band endpoint (`key − W`).
+pub const BAND_LO_FIELD: usize = 2;
+/// Index of the materialised upper band endpoint (`key + W`).
+pub const BAND_HI_FIELD: usize = 3;
+
+/// The band-join condition `|left.key − right.key| ≤ W`, written as a
+/// conjunction of field-vs-field inequalities over the materialised
+/// endpoints:
+///
+/// ```text
+/// left.key ≥ right.lo ∧ left.key ≤ right.hi     (left stored: band on left.key)
+/// ∧ left.lo ≤ right.key ∧ left.hi ≥ right.key   (right stored: band on right.key)
+/// ```
+///
+/// The two halves are logically equivalent (both say the keys differ by at
+/// most `W`), but spelling both out lets `band_bounds` classify a two-sided
+/// band over the *stored* key field for either probe direction.
+pub fn band_condition() -> JoinCondition {
+    let theta = |left_field, op, right_field| JoinCondition::Theta {
+        left_field,
+        op,
+        right_field,
+    };
+    JoinCondition::And(
+        Box::new(JoinCondition::And(
+            Box::new(theta(BAND_KEY_FIELD, CmpOp::Ge, BAND_LO_FIELD)),
+            Box::new(theta(BAND_KEY_FIELD, CmpOp::Le, BAND_HI_FIELD)),
+        )),
+        Box::new(JoinCondition::And(
+            Box::new(theta(BAND_LO_FIELD, CmpOp::Le, BAND_KEY_FIELD)),
+            Box::new(theta(BAND_HI_FIELD, CmpOp::Ge, BAND_KEY_FIELD)),
+        )),
+    )
+}
+
+/// Generates band-join streams: Poisson arrivals with 4-field tuples
+/// `[key, value, key − W, key + W]`.
+#[derive(Debug, Clone)]
+pub struct BandGenerator {
+    config: WorkloadConfig,
+    width: i64,
+}
+
+impl BandGenerator {
+    /// Wrap a configuration and a band half-width `W ≥ 0`.  The config's
+    /// `sel_join` is reinterpreted as the *band* selectivity.
+    pub fn new(config: WorkloadConfig, width: i64) -> Self {
+        BandGenerator { config, width }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// The band half-width `W`.
+    pub fn width(&self) -> i64 {
+        self.width
+    }
+
+    /// Size of the key domain implementing the configured band selectivity:
+    /// `|domain| = (2W + 1) / S⋈`, clamped to at least `2W + 1` so the band
+    /// never degenerates to the full domain.
+    pub fn key_domain(&self) -> i64 {
+        let span = 2 * self.width + 1;
+        if self.config.sel_join <= 0.0 {
+            return i64::MAX / 4;
+        }
+        ((span as f64 / self.config.sel_join).round() as i64).max(span)
+    }
+
+    /// Validate parameter ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.width < 0 {
+            return Err("band width must be non-negative".to_string());
+        }
+        self.config.validate()
+    }
+
+    /// Generate one stream's tuples in timestamp order.
+    pub fn generate(&self, stream: StreamId) -> Vec<Tuple> {
+        let sub_seed = self
+            .config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(stream.0 as u64 + 1);
+        let times = arrival_times(self.config.rate, self.config.duration_secs, sub_seed);
+        let mut rng = StdRng::seed_from_u64(sub_seed ^ 0xABCD_EF01);
+        let keys = self.key_domain();
+        times
+            .into_iter()
+            .map(|ts| self.tuple_at(ts, stream, &mut rng, keys))
+            .collect()
+    }
+
+    /// Generate both streams: `(stream A, stream B)`.
+    pub fn generate_pair(&self) -> (Vec<Tuple>, Vec<Tuple>) {
+        (self.generate(StreamId::A), self.generate(StreamId::B))
+    }
+
+    fn tuple_at(&self, ts: Timestamp, stream: StreamId, rng: &mut StdRng, keys: i64) -> Tuple {
+        let key = rng.gen_range(0..keys);
+        let value = rng.gen_range(0..VALUE_DOMAIN);
+        Tuple::new(
+            ts,
+            stream,
+            vec![
+                Value::Int(key),
+                Value::Int(value),
+                Value::Int(key - self.width),
+                Value::Int(key + self.width),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamkit::predicate::band_bounds;
+
+    fn generator() -> BandGenerator {
+        BandGenerator::new(
+            WorkloadConfig {
+                rate: 100.0,
+                duration_secs: 30.0,
+                sel_join: 0.05,
+                sel_filter: 0.5,
+                seed: 13,
+                key_dist: Default::default(),
+            },
+            12,
+        )
+    }
+
+    #[test]
+    fn key_domain_implements_band_selectivity() {
+        // (2·12 + 1) / 0.05 = 500 keys.
+        assert_eq!(generator().key_domain(), 500);
+        let mut g = generator();
+        g.config.sel_join = 1.0; // clamped: never smaller than the band span
+        assert_eq!(g.key_domain(), 25);
+        g.config.sel_join = 0.0;
+        assert!(g.key_domain() > 1_000_000);
+    }
+
+    #[test]
+    fn condition_matches_exactly_the_band_pairs() {
+        let g = generator();
+        let (a, b) = g.generate_pair();
+        let cond = band_condition();
+        let key_of = |t: &Tuple| match t.value(BAND_KEY_FIELD) {
+            Some(&Value::Int(k)) => k,
+            other => panic!("band key must be an int, got {other:?}"),
+        };
+        let mut matches = 0usize;
+        let sample_a: Vec<_> = a.iter().step_by(5).collect();
+        let sample_b: Vec<_> = b.iter().step_by(5).collect();
+        for x in &sample_a {
+            for y in &sample_b {
+                let mut n = 0u64;
+                let hit = cond.eval_counted(x, y, &mut n);
+                assert_eq!(hit, (key_of(x) - key_of(y)).abs() <= g.width());
+                if hit {
+                    matches += 1;
+                }
+            }
+        }
+        let sel = matches as f64 / (sample_a.len() * sample_b.len()) as f64;
+        assert!(
+            (sel - 0.05).abs() < 0.02,
+            "band selectivity {sel} too far from 0.05"
+        );
+    }
+
+    #[test]
+    fn condition_classifies_as_a_two_sided_band_from_both_sides() {
+        let cond = band_condition();
+        for stored_is_left in [true, false] {
+            let spec = band_bounds(&cond, stored_is_left).expect("band must classify");
+            assert_eq!(spec.stored_field, BAND_KEY_FIELD);
+            assert!(spec.is_two_sided(), "stored_is_left={stored_is_left}");
+            assert_eq!(spec.lower, Some((BAND_LO_FIELD, true)));
+            assert_eq!(spec.upper, Some((BAND_HI_FIELD, true)));
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_carry_materialised_endpoints() {
+        let g = generator();
+        let a1 = g.generate(StreamId::A);
+        let a2 = g.generate(StreamId::A);
+        let b = g.generate(StreamId::B);
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert!(a1.windows(2).all(|w| w[1].ts >= w[0].ts));
+        let domain = g.key_domain();
+        for t in a1.iter().chain(&b) {
+            let (Some(&Value::Int(k)), Some(&Value::Int(lo)), Some(&Value::Int(hi))) = (
+                t.value(BAND_KEY_FIELD),
+                t.value(BAND_LO_FIELD),
+                t.value(BAND_HI_FIELD),
+            ) else {
+                panic!("band tuple fields must be ints");
+            };
+            assert!((0..domain).contains(&k));
+            assert_eq!(lo, k - g.width());
+            assert_eq!(hi, k + g.width());
+        }
+    }
+
+    #[test]
+    fn validation_guards_band_parameters() {
+        assert!(generator().validate().is_ok());
+        let mut g = generator();
+        g.width = -1;
+        assert!(g.validate().is_err());
+        let mut g = generator();
+        g.config.rate = 0.0;
+        assert!(g.validate().is_err());
+    }
+}

@@ -10,6 +10,8 @@
 //! This crate reproduces all of that:
 //!
 //! * [`poisson`] — Poisson arrival-time generation,
+//! * [`band`] — band-join streams (`|a.key − b.key| ≤ W`) with materialised
+//!   band endpoints and the matching two-sided join condition,
 //! * [`generator`] — tuple generation with controllable selectivities,
 //! * [`distributions`] — the window distributions of Tables 3 and 4,
 //! * [`scenario`] — complete experiment scenarios (rate sweeps, parameters)
@@ -20,6 +22,7 @@
 //!   key-skew shifts (drives the adaptive re-optimization of
 //!   `core::adaptive`).
 
+pub mod band;
 pub mod churn;
 pub mod distributions;
 pub mod drift;
@@ -27,6 +30,7 @@ pub mod generator;
 pub mod poisson;
 pub mod scenario;
 
+pub use band::{band_condition, BandGenerator, BAND_HI_FIELD, BAND_KEY_FIELD, BAND_LO_FIELD};
 pub use churn::{churn_schedule, ChurnAction, ChurnConfig, ChurnEvent};
 pub use distributions::WindowDistribution;
 pub use drift::{DriftPhase, DriftProfile};

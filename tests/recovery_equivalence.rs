@@ -22,15 +22,20 @@
 use std::sync::Mutex;
 
 use proptest::prelude::*;
-use state_slice_repro::core::planner::PlannerOptions;
+use state_slice_repro::core::planner::{PlannerOptions, CHAIN_ENTRY};
 use state_slice_repro::core::recovery::{RecoveryConfig, RecoverySupervisor};
 use state_slice_repro::core::verify::collected_fingerprints;
-use state_slice_repro::core::{ChainPlanFactory, ChainSpec, JoinQuery, QueryWorkload};
+use state_slice_repro::core::{
+    ChainPlanFactory, ChainSpec, JoinQuery, QueryWorkload, SharedChainPlan,
+};
 use state_slice_repro::streamkit::checkpoint::ShardCheckpoint;
 use state_slice_repro::streamkit::fault::FaultPlan;
+use state_slice_repro::streamkit::predicate::CmpOp;
 use state_slice_repro::streamkit::punctuation::Punctuation;
 use state_slice_repro::streamkit::tuple::StreamId;
-use state_slice_repro::streamkit::{ExecutorConfig, JoinCondition, TimeDelta, Timestamp, Tuple};
+use state_slice_repro::streamkit::{
+    CostCounters, Executor, ExecutorConfig, JoinCondition, TimeDelta, Timestamp, Tuple,
+};
 
 type Fingerprint = (Timestamp, TimeDelta, Timestamp);
 
@@ -49,12 +54,62 @@ fn quiet<R>(f: impl FnOnce() -> R) -> R {
 
 const WINDOWS: [u64; 2] = [4, 16];
 
-fn factory(shards: usize) -> ChainPlanFactory {
-    let queries = WINDOWS
-        .iter()
-        .map(|&w| JoinQuery::new(format!("Q{w}"), TimeDelta::from_secs(w)))
-        .collect();
-    let wl = QueryWorkload::new(queries, JoinCondition::equi(0)).unwrap();
+/// Which `JoinState` mode the workload's condition selects: `Equi` drives
+/// the hash-indexed states, `Band` the band-indexed (value-ordered) ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Equi,
+    Band,
+}
+
+/// The band half-width used by [`Mode::Band`] tuples and their condition.
+const BAND_W: i64 = 2;
+
+impl Mode {
+    /// The join condition: plain key equality, or the two-sided band
+    /// `|a.key − b.key| ≤ W` over materialised `[key, lo, hi]` endpoints
+    /// (written from both sides so either stored stream classifies).
+    fn condition(self) -> JoinCondition {
+        match self {
+            Mode::Equi => JoinCondition::equi(0),
+            Mode::Band => {
+                let theta = |left_field, op, right_field| JoinCondition::Theta {
+                    left_field,
+                    op,
+                    right_field,
+                };
+                JoinCondition::And(
+                    Box::new(JoinCondition::And(
+                        Box::new(theta(0, CmpOp::Ge, 1)),
+                        Box::new(theta(0, CmpOp::Le, 2)),
+                    )),
+                    Box::new(JoinCondition::And(
+                        Box::new(theta(1, CmpOp::Le, 0)),
+                        Box::new(theta(2, CmpOp::Ge, 0)),
+                    )),
+                )
+            }
+        }
+    }
+
+    fn tuple(self, ts: Timestamp, stream: StreamId, key: i64) -> Tuple {
+        match self {
+            Mode::Equi => Tuple::of_ints(ts, stream, &[key]),
+            Mode::Band => Tuple::of_ints(ts, stream, &[key, key - BAND_W, key + BAND_W]),
+        }
+    }
+
+    fn workload(self) -> QueryWorkload {
+        let queries = WINDOWS
+            .iter()
+            .map(|&w| JoinQuery::new(format!("Q{w}"), TimeDelta::from_secs(w)))
+            .collect();
+        QueryWorkload::new(queries, self.condition()).unwrap()
+    }
+}
+
+fn factory(mode: Mode, shards: usize) -> ChainPlanFactory {
+    let wl = mode.workload();
     let spec = ChainSpec::memory_optimal(&wl);
     ChainPlanFactory::new(
         wl,
@@ -66,9 +121,9 @@ fn factory(shards: usize) -> ChainPlanFactory {
     )
 }
 
-fn supervisor(shards: usize, every: u64) -> RecoverySupervisor {
+fn supervisor(mode: Mode, shards: usize, every: u64) -> RecoverySupervisor {
     RecoverySupervisor::launch(
-        factory(shards),
+        factory(mode, shards),
         ExecutorConfig::default(),
         RecoveryConfig {
             checkpoint_every_epochs: every,
@@ -91,16 +146,15 @@ struct Second {
 /// per-shard states captured at a forced drained-boundary checkpoint.
 fn drive(
     sup: &mut RecoverySupervisor,
+    mode: Mode,
     seconds: &[Second],
     cuts: &[usize],
 ) -> (Vec<(String, Vec<Fingerprint>)>, Vec<ShardCheckpoint>) {
     let mut cut_iter = cuts.iter().peekable();
     for (t, s) in seconds.iter().enumerate() {
         let ts = Timestamp::from_secs(t as u64);
-        sup.ingest(Tuple::of_ints(ts, StreamId::A, &[s.key_a]))
-            .unwrap();
-        sup.ingest(Tuple::of_ints(ts, StreamId::B, &[s.key_b]))
-            .unwrap();
+        sup.ingest(mode.tuple(ts, StreamId::A, s.key_a)).unwrap();
+        sup.ingest(mode.tuple(ts, StreamId::B, s.key_b)).unwrap();
         sup.ingest(Punctuation::new(ts)).unwrap();
         while cut_iter.peek() == Some(&&t) {
             cut_iter.next();
@@ -130,18 +184,19 @@ fn drive(
 /// must match an uninterrupted run of the same input.  Returns the number
 /// of recoveries the faulty run logged.
 fn assert_equivalent(
+    mode: Mode,
     shards: usize,
     every: u64,
     seconds: &[Second],
     cuts: &[usize],
     fault: FaultPlan,
 ) -> usize {
-    let mut oracle = supervisor(shards, every);
-    let (expected_results, expected_states) = drive(&mut oracle, seconds, cuts);
+    let mut oracle = supervisor(mode, shards, every);
+    let (expected_results, expected_states) = drive(&mut oracle, mode, seconds, cuts);
 
-    let mut sup = supervisor(shards, every);
+    let mut sup = supervisor(mode, shards, every);
     sup.arm_fault(0, fault).unwrap();
-    let (results, states) = quiet(|| drive(&mut sup, seconds, cuts));
+    let (results, states) = quiet(|| drive(&mut sup, mode, seconds, cuts));
 
     assert_eq!(
         results,
@@ -168,8 +223,107 @@ fn a_worker_panic_at_a_punctuation_boundary_is_invisible() {
         .collect();
     let cuts = [5, 11, 17];
     for shards in [1, 3] {
-        let recoveries = assert_equivalent(shards, 4, &seconds, &cuts, FaultPlan::panic_at(9));
+        let recoveries = assert_equivalent(
+            Mode::Equi,
+            shards,
+            4,
+            &seconds,
+            &cuts,
+            FaultPlan::panic_at(9),
+        );
         assert_eq!(recoveries, 1, "{shards} shard(s): the panic must fire once");
+    }
+}
+
+#[test]
+fn a_crash_with_band_indexed_states_is_invisible() {
+    // Band conditions have no equi component, so the chain runs single-shard
+    // (the planner refuses to hash-partition them); the recovered band index
+    // is rebuilt from the checkpointed tuples and must behave identically.
+    let seconds: Vec<Second> = (0..24)
+        .map(|t| Second {
+            key_a: (t % 9) as i64,
+            key_b: ((t * 5) % 9) as i64,
+        })
+        .collect();
+    let cuts = [5, 11, 17];
+    let recoveries = assert_equivalent(Mode::Band, 1, 4, &seconds, &cuts, FaultPlan::panic_at(9));
+    assert_eq!(recoveries, 1, "the panic must fire once");
+}
+
+/// Checkpoint round-trip for *indexed* join states: capture a drained
+/// executor mid-stream, restore into a fresh plan instance, then feed both
+/// the same continuation.  The restored index (hash-bucketed or
+/// band-ordered) must not just produce the same results — it must do the
+/// same *work*: every cost counter's continuation delta matches exactly,
+/// and a final capture of both executors is identical.
+#[test]
+fn an_indexed_state_checkpoint_round_trip_preserves_probe_behaviour() {
+    for mode in [Mode::Equi, Mode::Band] {
+        let wl = mode.workload();
+        let spec = ChainSpec::memory_optimal(&wl);
+        let options = PlannerOptions {
+            retain_results: true,
+            index_join_state: true,
+            ..PlannerOptions::default()
+        };
+        let mut original =
+            Executor::new(SharedChainPlan::build(&wl, &spec, &options).unwrap().plan);
+        let mut restored =
+            Executor::new(SharedChainPlan::build(&wl, &spec, &options).unwrap().plan);
+
+        let feed = |exec: &mut Executor, range: std::ops::Range<u64>| {
+            for t in range {
+                let ts = Timestamp::from_secs(t);
+                exec.ingest(CHAIN_ENTRY, mode.tuple(ts, StreamId::A, (t % 9) as i64))
+                    .unwrap();
+                exec.ingest(
+                    CHAIN_ENTRY,
+                    mode.tuple(ts, StreamId::B, ((t * 5) % 9) as i64),
+                )
+                .unwrap();
+                exec.ingest(CHAIN_ENTRY, Punctuation::new(ts)).unwrap();
+            }
+            exec.run().unwrap().totals
+        };
+        let delta = |after: &CostCounters, before: &CostCounters| {
+            (
+                after.probe_comparisons - before.probe_comparisons,
+                after.purge_comparisons - before.purge_comparisons,
+                after.route_comparisons - before.route_comparisons,
+                after.union_comparisons - before.union_comparisons,
+                after.filter_comparisons - before.filter_comparisons,
+                after.split_comparisons - before.split_comparisons,
+            )
+        };
+
+        let before = feed(&mut original, 0..14);
+        let ckpt = ShardCheckpoint::capture(&mut original).unwrap();
+        ckpt.restore(&mut restored).unwrap();
+
+        let after = feed(&mut original, 14..30);
+        let continued = feed(&mut restored, 14..30);
+        assert!(
+            after.probe_comparisons > before.probe_comparisons,
+            "{mode:?}: the continuation must probe"
+        );
+        assert_eq!(
+            delta(&continued, &CostCounters::default()),
+            delta(&after, &before),
+            "{mode:?}: restored index did different probe work than the original"
+        );
+        for &w in &WINDOWS {
+            let name = format!("Q{w}");
+            let sink = |exec: &Executor| {
+                collected_fingerprints(exec.plan().sink(&name).unwrap().collected())
+            };
+            assert_eq!(sink(&original), sink(&restored), "{mode:?}: {name} results");
+        }
+        assert_eq!(
+            ShardCheckpoint::capture(&mut original).unwrap(),
+            ShardCheckpoint::capture(&mut restored).unwrap(),
+            "{mode:?}: final states diverged after the round trip"
+        );
     }
 }
 
@@ -186,6 +340,7 @@ proptest! {
         every in 1u64..7,
         crash_epoch in 1u64..48,
         cuts in prop::collection::vec(0usize..40, 1..5),
+        band in proptest::bool::ANY,
     ) {
         let seconds: Vec<Second> = keys
             .into_iter()
@@ -194,7 +349,9 @@ proptest! {
         let mut cuts = cuts;
         cuts.sort_unstable();
         cuts.dedup();
-        assert_equivalent(shards, every, &seconds, &cuts, FaultPlan::panic_at(crash_epoch));
+        // Band chains are single-shard (no equi key to partition by).
+        let (mode, shards) = if band { (Mode::Band, 1) } else { (Mode::Equi, shards) };
+        assert_equivalent(mode, shards, every, &seconds, &cuts, FaultPlan::panic_at(crash_epoch));
     }
 
     /// Seed-derived fault plans (panic, stall or poisoned run at a
@@ -210,6 +367,6 @@ proptest! {
             .map(|(key_a, key_b)| Second { key_a, key_b })
             .collect();
         let fault = FaultPlan::from_seed(seed, 16);
-        assert_equivalent(shards, 4, &seconds, &[7, 15], fault);
+        assert_equivalent(Mode::Equi, shards, 4, &seconds, &[7, 15], fault);
     }
 }
